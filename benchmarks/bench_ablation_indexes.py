@@ -1,0 +1,77 @@
+"""Ablation: attribute indexes vs full extent scans.
+
+The paper's platform (GemStone) indexes attributes; our reproduction does
+too.  This ablation measures exact-match selection with and without an
+index, over a population large enough for the asymptotic difference to
+show, and verifies indexed answers match scans exactly — including right
+after a capacity-augmenting schema change, when the index lives on the
+refine class's storage.
+"""
+
+import time
+
+from conftest import format_table, write_report
+
+from repro.algebra.expressions import Compare
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+
+N_DOCS = 3000
+N_TAGS = 100
+
+
+def build():
+    db = TseDatabase()
+    db.define_class(
+        "Doc", [Attribute("tag", domain="str"), Attribute("size", domain="int")]
+    )
+    view = db.create_view("V", ["Doc"])
+    for index in range(N_DOCS):
+        view["Doc"].create(tag=f"t{index % N_TAGS}", size=index)
+    return db, view
+
+
+def timed(fn, repeats=5):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = fn()
+    return result, (time.perf_counter() - start) * 1000 / repeats
+
+
+def test_ablation_indexes(benchmark):
+    db, view = build()
+    predicate = Compare("tag", "==", "t42")
+
+    scan_hits, scan_ms = timed(lambda: view["Doc"].select_where(predicate))
+    db.create_index("Doc", "tag")
+    indexed_hits, indexed_ms = timed(lambda: view["Doc"].select_where(predicate))
+
+    # same answer, much less work
+    assert {h.oid for h in indexed_hits} == {h.oid for h in scan_hits}
+    assert len(indexed_hits) == N_DOCS // N_TAGS
+    assert indexed_ms < scan_ms / 3  # selectivity 1% -> order-of-magnitude win
+
+    # the index stays exact across a capacity-augmenting schema change
+    view.add_attribute("status", to="Doc", domain="str")
+    sample = indexed_hits[0]
+    fresh_handle = view["Doc"].get_object(sample.oid)
+    fresh_handle["status"] = "checked"
+    after_change = view["Doc"].select_where(predicate)
+    assert {h.oid for h in after_change} == {h.oid for h in scan_hits}
+
+    write_report(
+        "ablation_indexes",
+        "Ablation — exact-match selection with and without an index",
+        format_table(
+            ["configuration", "hits", "mean latency (ms)"],
+            [
+                ("full extent scan", len(scan_hits), round(scan_ms, 2)),
+                ("hash index", len(indexed_hits), round(indexed_ms, 3)),
+            ],
+        )
+        + f"\n\n{N_DOCS} objects, {N_TAGS} distinct tags (1% selectivity): "
+        f"the index wins by ~{scan_ms / max(indexed_ms, 1e-9):.0f}x and stays "
+        "exact across view evolution.",
+    )
+
+    benchmark(lambda: view["Doc"].select_where(predicate))

@@ -1,0 +1,79 @@
+"""Figures 10-11: the delete-edge schema change.
+
+Reproduces the figure 10 extents — TeachingStaff shrinking from
+{o2 o3 o4 o5} to {o2 o3} — the loss of the ``lecture`` property, and the
+figure 11 multi-path case where commonSub-style keepers preserve instances
+still visible through other relationships.
+"""
+
+from conftest import format_table, write_report
+
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+from repro.workloads.university import build_figure10_database
+
+
+def build_figure11():
+    db = TseDatabase()
+    db.define_class("V", [Attribute("v")])
+    db.define_class("Csup", [Attribute("s")], inherits_from=("V",))
+    db.define_class("Other", [Attribute("o")], inherits_from=("V",))
+    db.define_class("Csub", [Attribute("b")], inherits_from=("Csup",))
+    db.define_class("C1", [Attribute("c1")], inherits_from=("Csub", "Other"))
+    view = db.create_view("W", ["V", "Csup", "Other", "Csub", "C1"], closure="ignore")
+    o_sub = db.engine.create("Csub", {})
+    o_c1 = db.engine.create("C1", {})
+    return db, view, o_sub, o_c1
+
+
+def test_fig10_delete_edge(benchmark):
+    db, view, objects = build_figure10_database()
+    before = sorted(h.oid.value for h in view["TeachingStaff"].extent())
+    view.delete_edge("TeachingStaff", "TA")
+    record = db.evolution_log()[-1]
+    after = sorted(h.oid.value for h in view["TeachingStaff"].extent())
+
+    # -- figure 10's claims ---------------------------------------------------
+    assert before == sorted(objects[k].value for k in ("o2", "o3", "o4", "o5"))
+    assert after == sorted(objects[k].value for k in ("o2", "o3"))
+    assert "lecture" not in view["TA"].property_names()
+    assert "TA" in view.schema.roots()  # connected to ROOT by default
+
+    # -- figure 11's multi-path case --------------------------------------------
+    db11, view11, o_sub, o_c1 = build_figure11()
+    view11.delete_edge("Csup", "Csub")
+    v_extent = {h.oid for h in view11["V"].extent()}
+    assert o_c1 in v_extent  # still visible through Other
+    csup_extent = {h.oid for h in view11["Csup"].extent()}
+    assert o_sub not in csup_extent and o_c1 not in csup_extent
+
+    write_report(
+        "fig10_delete_edge",
+        "Figures 10-11 — delete_edge TeachingStaff-TA",
+        "\n\n".join(
+            [
+                "## Generated script\n```\n" + record.script + "\n```",
+                format_table(
+                    ["quantity", "paper", "measured"],
+                    [
+                        ("extent(TeachingStaff) before", "{o2 o3 o4 o5}", before),
+                        ("extent(TeachingStaff) after", "{o2 o3}", after),
+                        ("lecture no longer inherited by TA", "yes", "yes"),
+                        ("TA re-attached under ROOT", "yes", "yes"),
+                        (
+                            "fig 11: multi-path instances keep visibility",
+                            "yes",
+                            "yes",
+                        ),
+                    ],
+                ),
+            ]
+        ),
+    )
+
+    def pipeline():
+        fresh_db, fresh_view, _ = build_figure10_database()
+        fresh_view.delete_edge("TeachingStaff", "TA")
+        return fresh_view.version
+
+    assert benchmark(pipeline) == 2

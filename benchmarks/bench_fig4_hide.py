@@ -1,0 +1,70 @@
+"""Figure 4: virtual class creation via ``hide`` and its classification.
+
+``defineVC AgelessPerson as (hide age from Person)`` must classify the new
+class as a *superclass* of Person (more general type, same extent), with the
+age attribute invisible through it.
+"""
+
+from conftest import format_table, write_report
+
+from repro.core.database import TseDatabase
+from repro.errors import UnknownProperty
+from repro.schema.classes import Derivation
+from repro.schema.properties import Attribute
+
+
+def build():
+    db = TseDatabase()
+    db.define_class(
+        "Person",
+        [Attribute("name"), Attribute("age", domain="int"), Attribute("ssn")],
+    )
+    for index in range(50):
+        db.engine.create("Person", {"name": f"p{index}", "age": 20 + index % 50})
+    return db
+
+
+def test_fig4_hide_virtual_class(benchmark):
+    db = build()
+    effective = db.define_virtual_class(
+        "AgelessPerson",
+        Derivation(op="hide", sources=("Person",), hidden=("age",)),
+    )
+
+    # -- the figure's claims ------------------------------------------------
+    assert effective == "AgelessPerson"
+    assert db.schema.is_ancestor("AgelessPerson", "Person")  # superclass!
+    assert db.extent("AgelessPerson") == db.extent("Person")  # same extent
+    assert set(db.type_names("AgelessPerson")) == {"name", "ssn"}
+
+    view = db.create_view("ageless", ["AgelessPerson"], closure="ignore")
+    handle = view["AgelessPerson"].extent()[0]
+    assert handle["name"] is not None
+    try:
+        handle["age"]
+        raise AssertionError("age must be hidden")
+    except UnknownProperty:
+        pass
+
+    write_report(
+        "fig4_hide",
+        "Figure 4 — hide-derived AgelessPerson classified above Person",
+        format_table(
+            ["check", "result"],
+            [
+                ("AgelessPerson is superclass of Person", "yes"),
+                ("extent(AgelessPerson) == extent(Person)", len(db.extent("Person"))),
+                ("type(AgelessPerson)", "{name, ssn}"),
+                ("age hidden through the view", "yes"),
+            ],
+        ),
+    )
+
+    def define_fresh():
+        fresh = build()
+        return fresh.define_virtual_class(
+            "AgelessPerson",
+            Derivation(op="hide", sources=("Person",), hidden=("age",)),
+        )
+
+    assert benchmark(define_fresh) == "AgelessPerson"

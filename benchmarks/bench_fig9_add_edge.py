@@ -1,0 +1,66 @@
+"""Figure 9: the add-edge schema change (SupportStaff above TA).
+
+Reproduces the figure's annotated extents — {o2 o3} growing to
+{o2 o3 o4 o5 o6} — the inherited ``boss`` property, and the union-class
+update routing of section 6.5.4.
+"""
+
+from conftest import format_table, write_report
+
+from repro.workloads.university import build_figure9_database
+
+
+def test_fig9_add_edge(benchmark):
+    db, view, objects = build_figure9_database()
+    before = sorted(h.oid.value for h in view["SupportStaff"].extent())
+    view.add_edge("SupportStaff", "TA")
+    record = db.evolution_log()[-1]
+    after = sorted(h.oid.value for h in view["SupportStaff"].extent())
+
+    # -- the figure's claims ------------------------------------------------
+    expected_before = sorted(objects[k].value for k in ("o2", "o3"))
+    expected_after = sorted(
+        objects[k].value for k in ("o2", "o3", "o4", "o5", "o6")
+    )
+    assert before == expected_before
+    assert after == expected_after
+    assert "boss" in view["TA"].property_names()
+    assert "boss" in view["Grader"].property_names()
+    assert ("SupportStaff", "TA") in view.edges()
+    # Person was already above TA: not primed (the paper's remark)
+    assert view.schema.global_name_of("Person") == "Person"
+
+    # 6.5.4: create on the union class routes to the substituted class
+    fresh = view["SupportStaff"].create(name="hire", boss="b")
+    assert fresh.oid not in {h.oid for h in view["TA"].extent()}
+
+    write_report(
+        "fig9_add_edge",
+        "Figure 9 — add_edge SupportStaff-TA",
+        "\n\n".join(
+            [
+                "## Generated script\n```\n" + record.script + "\n```",
+                format_table(
+                    ["quantity", "paper", "measured"],
+                    [
+                        ("extent(SupportStaff) before", "{o2 o3}", before),
+                        (
+                            "extent(SupportStaff) after",
+                            "{o2 o3 o4 o5 o6}",
+                            after,
+                        ),
+                        ("boss inherited by TA and Grader", "yes", "yes"),
+                        ("Person untouched", "yes", "yes"),
+                        ("create routes to substituted class", "yes", "yes"),
+                    ],
+                ),
+            ]
+        ),
+    )
+
+    def pipeline():
+        fresh_db, fresh_view, _ = build_figure9_database()
+        fresh_view.add_edge("SupportStaff", "TA")
+        return fresh_view.version
+
+    assert benchmark(pipeline) == 2

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and
+
+* asserts the paper's qualitative *shape* (who wins, what grows, what stays
+  constant), and
+* writes the reproduced rows/series to ``benchmarks/results/<name>.md`` so a
+  run leaves a reviewable artifact (EXPERIMENTS.md records one such run).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, title: str, body: str) -> Path:
+    """Persist one experiment's reproduced output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.md"
+    path.write_text(f"# {title}\n\n{body.rstrip()}\n")
+    return path
+
+
+def format_table(headers, rows) -> str:
+    """Render a simple markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,74 @@
+"""Operations-flavoured walkthrough: evolve, audit, persist, reload.
+
+Shows the tooling around the core: version diffs (`repro.tools`), the
+evolution summary, schema visualisation (`repro.viz`), whole-database
+persistence and an index surviving all of it.
+
+Run:  python examples/audit_and_persistence.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Attribute, Compare, TseDatabase
+from repro.tools import diff_view_versions, evolution_summary
+from repro.viz import view_to_dot
+
+
+def main() -> None:
+    db = TseDatabase()
+    db.define_class(
+        "Ticket",
+        [Attribute("title", domain="str"), Attribute("state", domain="str")],
+    )
+    db.define_class(
+        "Incident", [Attribute("severity", domain="int")], inherits_from=("Ticket",)
+    )
+    ops = db.create_view("ops", ["Ticket", "Incident"])
+
+    for index in range(12):
+        if index % 3 == 0:
+            ops["Incident"].create(
+                title=f"inc-{index}", state="open", severity=index % 4
+            )
+        else:
+            ops["Ticket"].create(title=f"tkt-{index}", state="open")
+
+    # evolve twice
+    ops.add_attribute("assignee", to="Ticket", domain="str")
+    ops.add_attribute("root_cause", to="Incident", domain="str")
+    ops["Ticket"].set_where(Compare("state", "==", "open"), assignee="oncall")
+
+    # ---- audit what happened -------------------------------------------------
+    print("== diff v1 -> v3 ==")
+    print(diff_view_versions(db, "ops", old_version=1, new_version=3).describe())
+    print("\n== evolution summary ==")
+    print(evolution_summary(db))
+
+    # ---- query with an index ---------------------------------------------------
+    db.create_index("Ticket", "state")
+    open_tickets = ops["Ticket"].select_where(Compare("state", "==", "open"))
+    by_severity = ops["Incident"].aggregate("severity")
+    print(f"\nopen tickets: {len(open_tickets)}; "
+          f"incident severity stats: {by_severity[None]}")
+
+    # ---- persist and reload -------------------------------------------------------
+    path = Path(tempfile.mkstemp(suffix=".json")[1])
+    db.save(path)
+    loaded = TseDatabase.load(path)
+    reloaded_ops = loaded.view("ops")
+    assert reloaded_ops.version == 3
+    assert len(
+        reloaded_ops["Ticket"].select_where(Compare("assignee", "==", "oncall"))
+    ) == len(open_tickets)
+    print(f"\nreloaded from {path.name}: view at v{reloaded_ops.version}, "
+          "data intact.")
+    path.unlink()
+
+    # ---- render the view as a paper-style diagram ------------------------------------
+    print("\n== dot rendering of the current view (pipe through `dot -Tsvg`) ==")
+    print(view_to_dot(loaded.schema, reloaded_ops.schema))
+
+
+if __name__ == "__main__":
+    main()

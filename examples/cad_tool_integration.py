@@ -1,0 +1,129 @@
+"""CAD tool integration: the paper's motivating application domain.
+
+Section 1 motivates TSE with CAD/CAM and VLSI design: many long-lived tools
+share one design database, and each tool wants its own, evolving schema.
+This example wires three tools over one component database:
+
+* the **layout** tool needs geometry and evolves its view to track
+  fabrication metadata;
+* the **simulation** tool needs electrical parameters and derives a virtual
+  class of power-hungry components;
+* the **release** tool is a frozen legacy application that must keep running
+  unchanged through all of it.
+
+Run:  python examples/cad_tool_integration.py
+"""
+
+from repro import Attribute, Compare, TseDatabase
+from repro.schema.classes import Derivation
+
+
+def build_design_database() -> TseDatabase:
+    db = TseDatabase()
+    db.define_class(
+        "Component",
+        [
+            Attribute("name", domain="str"),
+            Attribute("x", domain="int"),
+            Attribute("y", domain="int"),
+        ],
+    )
+    db.define_class(
+        "Gate",
+        [Attribute("fanin", domain="int"), Attribute("power_mw", domain="int")],
+        inherits_from=("Component",),
+    )
+    db.define_class(
+        "Macro",
+        [Attribute("cells", domain="int")],
+        inherits_from=("Component",),
+    )
+    return db
+
+
+def main() -> None:
+    db = build_design_database()
+
+    # three tools, three views over one persistent design
+    layout = db.create_view("layout_tool", ["Component", "Gate", "Macro"])
+    simulation = db.create_view("sim_tool", ["Component", "Gate"])
+    release = db.create_view("release_tool", ["Component", "Gate", "Macro"])
+
+    # the layout tool places some components
+    for index in range(6):
+        layout["Gate"].create(
+            name=f"g{index}", x=index * 10, y=5, fanin=2 + index % 3,
+            power_mw=10 * (index + 1),
+        )
+    layout["Macro"].create(name="alu", x=100, y=100, cells=5400)
+    release_baseline = {
+        cls: release[cls].count() for cls in release.class_names()
+    }
+
+    # ------------------------------------------------------------------
+    # the layout tool evolves: fabrication metadata on every component
+    # ------------------------------------------------------------------
+    layout.add_attribute("layer", to="Component", domain="str")
+    layout.add_attribute("checked", to="Gate", domain="bool", default=False)
+    for handle in layout["Component"].extent():
+        handle["layer"] = "metal1" if handle["y"] < 50 else "metal2"
+    print("layout tool at view version", layout.version)
+
+    # ------------------------------------------------------------------
+    # the simulation tool derives a virtual class and evolves around it
+    # ------------------------------------------------------------------
+    hot_name = db.define_virtual_class(
+        "HotGate",
+        Derivation(
+            op="select",
+            sources=("Gate",),
+            predicate=Compare("power_mw", ">=", 40),
+        ),
+    )
+    # pull the virtual class into the simulation view (new version)
+    selected = set(db.views.current("sim_tool").selected) | {hot_name}
+    db.views.register_successor(
+        "sim_tool", selected, closure="ignore", provenance="adopt HotGate"
+    )
+    simulation.add_attribute("sim_model", to="HotGate", domain="str")
+    hot = simulation["HotGate"]
+    for handle in hot.extent():
+        handle["sim_model"] = "detailed"
+    print(
+        "simulation tool sees",
+        hot.count(),
+        "hot gates; models:",
+        sorted({h["sim_model"] for h in hot.extent()}),
+    )
+    # a hot gate is simultaneously a Gate and a HotGate (multiple
+    # classification via object slicing) — cast between the two contexts
+    sample = hot.extent()[0]
+    as_gate = sample.cast("Gate")
+    assert as_gate["power_mw"] == sample["power_mw"]
+
+    # updates through the virtual class propagate to shared storage
+    hottest = hot.select_where(Compare("power_mw", ">=", 60))
+    for handle in hottest:
+        handle["fanin"] = 1  # de-load the gate
+    assert all(
+        layout["Gate"].get_object(h.oid)["fanin"] == 1 for h in hottest
+    )
+
+    # ------------------------------------------------------------------
+    # the release tool never moved — and still sees every component
+    # ------------------------------------------------------------------
+    assert release.version == 1
+    assert {cls: release[cls].count() for cls in release.class_names()} == release_baseline
+    assert "layer" not in release["Component"].property_names()
+    assert "sim_model" not in release["Gate"].property_names()
+    print("release tool untouched at version", release.version)
+
+    # it can even merge the two evolved schemas when it finally upgrades
+    merged = db.merge_views("layout_tool", "sim_tool", "release_tool_v2")
+    print("merged upgrade view classes:", merged.class_names())
+
+    print("\nOK — three tools, one database, no coordination meetings.")
+
+
+if __name__ == "__main__":
+    main()

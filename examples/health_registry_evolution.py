@@ -1,0 +1,40 @@
+"""Eighteen months of schema churn, zero service interruptions.
+
+Replays the evolution-rate workload of the paper's introduction ([26]
+Sjøberg's health-management study: relations +139%, attributes +274%; [12]
+Marche: 59% attribute churn) against a TSE database while a legacy
+application keeps its original view open the whole time.
+
+Run:  python examples/health_registry_evolution.py   (takes a few seconds)
+"""
+
+from repro.workloads.sjoberg import SjobergTrace
+
+
+def main() -> None:
+    trace = SjobergTrace()
+    print("replaying 18 months of schema evolution ...")
+    stats = trace.replay()
+
+    print()
+    print(f"  initial classes        : {stats.initial_classes}")
+    print(f"  final classes          : {stats.final_classes}  "
+          f"(+{stats.class_growth:.0%}; study observed +139%)")
+    print(f"  initial attributes     : {stats.initial_attributes}")
+    print(f"  final attributes       : {stats.final_attributes}  "
+          f"(+{stats.attribute_growth:.0%}; study observed +274%)")
+    print(f"  attribute churn        : {stats.churn_rate:.0%}  "
+          f"(Marche observed 59%)")
+    print(f"  classes changed        : {stats.classes_changed} "
+          f"(study: every relation changed)")
+    print(f"  schema changes applied : {stats.changes_applied}")
+    print()
+    if stats.old_view_intact:
+        print("legacy application verdict: every query answers exactly as on day 1.")
+    else:  # pragma: no cover - the bench asserts this never happens
+        print("legacy application broke — reproduction bug!")
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

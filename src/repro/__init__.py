@@ -1,0 +1,51 @@
+"""repro — a reproduction of "A Transparent Object-Oriented Schema Change
+Approach Using View Evolution" (Ra & Rundensteiner, ICDE 1995).
+
+The public API lives in :class:`repro.TseDatabase`; see README.md for a
+quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core.database import TseDatabase
+from repro.core.handles import ObjectHandle, ViewClassHandle, ViewHandle
+from repro.schema.properties import Attribute, Method
+from repro.schema.classes import Derivation, SharedProperty, ROOT_CLASS
+from repro.algebra.expressions import (
+    And,
+    Compare,
+    IsIn,
+    IsSet,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.algebra.updates import ValueClosurePolicy
+from repro import errors
+from repro.persistence import load_database, save_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TseDatabase",
+    "ObjectHandle",
+    "ViewClassHandle",
+    "ViewHandle",
+    "Attribute",
+    "Method",
+    "Derivation",
+    "SharedProperty",
+    "ROOT_CLASS",
+    "And",
+    "Compare",
+    "IsIn",
+    "IsSet",
+    "Not",
+    "Or",
+    "Predicate",
+    "TruePredicate",
+    "ValueClosurePolicy",
+    "errors",
+    "load_database",
+    "save_database",
+    "__version__",
+]

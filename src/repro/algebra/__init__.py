@@ -1,0 +1,51 @@
+"""The extended object algebra: derivations, defineVC, generic updates."""
+
+from repro.algebra.define import AlgebraProcessor, DefineOutcome, DefineStatement
+from repro.algebra.expressions import (
+    And,
+    Compare,
+    IsIn,
+    IsSet,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    predicate_from_dict,
+)
+from repro.algebra.operators import (
+    difference,
+    hide,
+    intersect,
+    refine,
+    select,
+    union,
+)
+from repro.algebra.updates import (
+    UpdateEngine,
+    UpdateReport,
+    ValueClosurePolicy,
+)
+
+__all__ = [
+    "AlgebraProcessor",
+    "DefineOutcome",
+    "DefineStatement",
+    "And",
+    "Compare",
+    "IsIn",
+    "IsSet",
+    "Not",
+    "Or",
+    "Predicate",
+    "TruePredicate",
+    "predicate_from_dict",
+    "difference",
+    "hide",
+    "intersect",
+    "refine",
+    "select",
+    "union",
+    "UpdateEngine",
+    "UpdateReport",
+    "ValueClosurePolicy",
+]

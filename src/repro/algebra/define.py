@@ -1,0 +1,119 @@
+"""``defineVC <name> as <query>`` — executing view-definition statements.
+
+After execution the name appears "as a persistent class of the database,
+just like base classes" (section 3.2): the derivation is registered and the
+classifier integrates the class into the global schema, possibly discovering
+that an equivalent class already exists (in which case the existing class is
+reused and reported).
+
+Statements are first-class values so the TSE Translator can *produce* a list
+of them (figure 7 (b) shows exactly such a generated script) and so the
+command-language interpreter and the tests can render them back to the
+paper's syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.classifier.classify import ClassificationResult, Classifier
+from repro.schema.classes import Derivation
+from repro.schema.graph import GlobalSchema
+
+
+@dataclass(frozen=True)
+class DefineStatement:
+    """One ``defineVC`` statement: a name bound to a derivation query."""
+
+    name: str
+    derivation: Derivation
+    #: optional name of the view-class this statement primes/replaces, used
+    #: by the TSE pipeline when assembling the successor view schema
+    primes: Optional[str] = None
+
+    def render(self) -> str:
+        """The statement in the paper's concrete syntax."""
+        return f"defineVC {self.name} as ({self.derivation.describe()})"
+
+
+@dataclass
+class DefineOutcome:
+    """Result of executing one statement.
+
+    ``class_name`` is the name to use from now on — it differs from the
+    statement's requested name when the classifier found a duplicate.
+    """
+
+    statement: DefineStatement
+    class_name: str
+    created: bool
+    classification: ClassificationResult
+
+
+class AlgebraProcessor:
+    """Executes ``defineVC`` statements against a global schema.
+
+    This is the paper's *Extended Object Algebra Processor* module
+    (figure 6); the TSE Manager feeds it translator output.
+    """
+
+    def __init__(self, schema: GlobalSchema) -> None:
+        self.schema = schema
+        self.classifier = Classifier(schema)
+
+    def execute(self, statement: DefineStatement, meta: Optional[dict] = None) -> DefineOutcome:
+        """Run one statement: derive the class and classify it."""
+        merged_meta = {"derivation": statement.derivation.describe()}
+        if statement.primes:
+            merged_meta["primes"] = statement.primes
+        if meta:
+            merged_meta.update(meta)
+        result = self.classifier.classify_new(
+            statement.name, statement.derivation, meta=merged_meta
+        )
+        return DefineOutcome(
+            statement=statement,
+            class_name=result.cls.name,
+            created=result.created,
+            classification=result,
+        )
+
+    def execute_all(
+        self, statements: Sequence[DefineStatement], meta: Optional[dict] = None
+    ) -> List[DefineOutcome]:
+        """Run a script of statements in order, re-pointing later statements
+        at reused classes when duplicates were discovered."""
+        outcomes: List[DefineOutcome] = []
+        substitutions: dict = {}
+        for statement in statements:
+            derivation = _substitute_sources(statement.derivation, substitutions)
+            effective = DefineStatement(
+                name=statement.name, derivation=derivation, primes=statement.primes
+            )
+            outcome = self.execute(effective, meta=meta)
+            if outcome.class_name != statement.name:
+                substitutions[statement.name] = outcome.class_name
+            outcomes.append(outcome)
+        return outcomes
+
+
+def _substitute_sources(derivation: Derivation, substitutions: dict) -> Derivation:
+    """Rewrite source names through the duplicate-substitution map."""
+    if not substitutions:
+        return derivation
+    sources = tuple(substitutions.get(s, s) for s in derivation.sources)
+    shared = tuple(
+        type(s)(from_class=substitutions.get(s.from_class, s.from_class), name=s.name)
+        for s in derivation.shared_properties
+    )
+    if sources == derivation.sources and shared == derivation.shared_properties:
+        return derivation
+    return Derivation(
+        op=derivation.op,
+        sources=sources,
+        predicate=derivation.predicate,
+        hidden=derivation.hidden,
+        new_properties=derivation.new_properties,
+        shared_properties=shared,
+    )

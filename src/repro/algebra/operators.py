@@ -1,0 +1,126 @@
+"""Constructors for the extended object algebra (section 3.2).
+
+Each function validates its operands against the global schema and returns a
+:class:`~repro.schema.classes.Derivation` ready to be handed to ``defineVC``
+(:mod:`repro.algebra.define`).  The validation rules come straight from the
+paper:
+
+* ``hide`` removes properties that must exist in the source's type;
+* ``refine`` introduces properties whose names "must be different from all
+  existing functions defined for the type of the class"; the *extended*
+  refine additionally accepts stored attributes (capacity augmentation) and
+  the ``C1:x`` shared-property form;
+* set operators take any two classes ("ultimately, they are all objects").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+from repro.errors import DuplicateProperty, InvalidDerivation, UnknownProperty
+from repro.algebra.expressions import Predicate
+from repro.schema.classes import Derivation, SharedProperty
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute, Method, Property
+from repro.schema.types import property_names
+
+
+def _require_class(schema: GlobalSchema, name: str) -> None:
+    schema[name]  # raises UnknownClass when absent
+
+
+def select(schema: GlobalSchema, source: str, predicate: Predicate) -> Derivation:
+    """``select from <source> where <predicate>`` — subset, same type."""
+    _require_class(schema, source)
+    if not isinstance(predicate, Predicate):
+        raise InvalidDerivation("select predicate must be a Predicate instance")
+    return Derivation(op="select", sources=(source,), predicate=predicate)
+
+
+def hide(schema: GlobalSchema, properties: Sequence[str], source: str) -> Derivation:
+    """``hide <properties> from <source>`` — same extent, supertype."""
+    _require_class(schema, source)
+    if not properties:
+        raise InvalidDerivation("hide requires at least one property name")
+    available = property_names(schema.type_of(source))
+    missing = sorted(set(properties) - set(available))
+    if missing:
+        raise UnknownProperty(
+            f"cannot hide {missing} from {source!r}: not in its type"
+        )
+    if set(properties) >= set(available):
+        raise InvalidDerivation(
+            f"hiding every property of {source!r} would leave an empty type"
+        )
+    return Derivation(op="hide", sources=(source,), hidden=tuple(sorted(properties)))
+
+
+def refine(
+    schema: GlobalSchema,
+    properties: Sequence[Union[Property, SharedProperty]],
+    source: str,
+) -> Derivation:
+    """``refine <property-defs> for <source>`` — same extent, subtype.
+
+    ``properties`` mixes new definitions (:class:`Attribute` — including
+    *stored* attributes, the capacity-augmenting extension — and
+    :class:`Method`) with :class:`SharedProperty` references implementing the
+    ``refine C1:x for C2`` inheritance form of section 3.2.
+    """
+    _require_class(schema, source)
+    if not properties:
+        raise InvalidDerivation("refine requires at least one property")
+    existing = property_names(schema.type_of(source))
+    new_props = []
+    shared = []
+    seen = set()
+    for prop in properties:
+        if isinstance(prop, SharedProperty):
+            _require_class(schema, prop.from_class)
+            donor_names = property_names(schema.type_of(prop.from_class))
+            if prop.name not in donor_names:
+                raise UnknownProperty(
+                    f"class {prop.from_class!r} has no property {prop.name!r} "
+                    f"to share"
+                )
+            name = prop.name
+            shared.append(prop)
+        elif isinstance(prop, (Attribute, Method)):
+            name = prop.name
+            new_props.append(prop)
+        else:
+            raise InvalidDerivation(f"not a property definition: {prop!r}")
+        if name in existing:
+            raise DuplicateProperty(
+                f"refine rejected: {name!r} already defined for {source!r}"
+            )
+        if name in seen:
+            raise DuplicateProperty(f"refine lists {name!r} twice")
+        seen.add(name)
+    return Derivation(
+        op="refine",
+        sources=(source,),
+        new_properties=tuple(new_props),
+        shared_properties=tuple(shared),
+    )
+
+
+def union(schema: GlobalSchema, first: str, second: str) -> Derivation:
+    """``union <first> and <second>`` — superset extent, common supertype."""
+    _require_class(schema, first)
+    _require_class(schema, second)
+    return Derivation(op="union", sources=(first, second))
+
+
+def difference(schema: GlobalSchema, first: str, second: str) -> Derivation:
+    """``difference <first> and <second>`` — subset of the first argument."""
+    _require_class(schema, first)
+    _require_class(schema, second)
+    return Derivation(op="difference", sources=(first, second))
+
+
+def intersect(schema: GlobalSchema, first: str, second: str) -> Derivation:
+    """``intersect <first> and <second>`` — greatest common subtype."""
+    _require_class(schema, first)
+    _require_class(schema, second)
+    return Derivation(op="intersect", sources=(first, second))

@@ -1,0 +1,48 @@
+"""Comparator systems: the section 8 baselines plus the in-place oracle."""
+
+from repro.baselines.base import (
+    EvolutionSystemAdapter,
+    FeatureRow,
+    ScenarioObservations,
+    UserEffort,
+    render_table,
+)
+from repro.baselines.closql import ClosqlAdapter, ClosqlSystem
+from repro.baselines.direct import DirectSchema, oracle_from_view, view_snapshot
+from repro.baselines.encore import EncoreAdapter, EncoreSystem
+from repro.baselines.goose import GooseAdapter, GooseSystem
+from repro.baselines.orion import OrionAdapter, OrionSystem
+from repro.baselines.rose import RoseAdapter, RoseSystem
+from repro.baselines.tse_adapter import TseAdapter
+
+ALL_ADAPTERS = [
+    EncoreAdapter,
+    OrionAdapter,
+    GooseAdapter,
+    ClosqlAdapter,
+    RoseAdapter,
+    TseAdapter,
+]
+
+__all__ = [
+    "EvolutionSystemAdapter",
+    "FeatureRow",
+    "ScenarioObservations",
+    "UserEffort",
+    "render_table",
+    "ClosqlAdapter",
+    "ClosqlSystem",
+    "DirectSchema",
+    "oracle_from_view",
+    "view_snapshot",
+    "EncoreAdapter",
+    "EncoreSystem",
+    "GooseAdapter",
+    "GooseSystem",
+    "OrionAdapter",
+    "OrionSystem",
+    "RoseAdapter",
+    "RoseSystem",
+    "TseAdapter",
+    "ALL_ADAPTERS",
+]

@@ -1,0 +1,117 @@
+"""Common harness for comparing schema-evolution systems (Table 2).
+
+Each baseline of section 8 — Encore, Orion, Goose, CLOSQL, Rose — plus our
+TSE system is wrapped in an adapter that (a) executes one canonical
+evolution scenario so the ``sharing`` column can be *observed* rather than
+asserted, and (b) reports its mechanism-determined feature cells.
+
+The canonical scenario, chosen to exercise exactly what Table 2 grades:
+
+1. define ``Person(name)``; an *old application* binds to schema version 1
+   and creates ``alice``;
+2. evolution: add attribute ``email`` to ``Person`` → schema version 2;
+3. a *new application* binds to version 2 and creates ``bob`` with an email;
+4. observations:
+   * does the old application see ``bob``?  (forward sharing)
+   * does the new application see ``alice``, and what does reading her
+     ``email`` take?  (backward sharing + user effort)
+   * the new application deletes ``alice``; does the old application still
+     see her?  (backward propagation — the Orion anomaly of section 8)
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class UserEffort(enum.Enum):
+    """The "effort required by user" column of Table 2."""
+
+    NOTHING = "nothing particular"
+    EXCEPTION_HANDLERS = "must create exception handler"
+    TRACK_CLASS_VERSIONS = "keep track of class versions for each schema"
+    CONVERSION_FUNCTIONS = "must create update/backdate functions"
+
+
+@dataclass
+class FeatureRow:
+    """One row of Table 2."""
+
+    system: str
+    sharing: bool
+    effort: UserEffort
+    flexibility: bool
+    subschema_evolution: bool
+    views_with_change: bool
+    version_merging: bool
+
+    def cells(self) -> List[str]:
+        yes_no = lambda flag: "yes" if flag else "no"
+        return [
+            self.system,
+            yes_no(self.sharing),
+            self.effort.value,
+            yes_no(self.flexibility),
+            yes_no(self.subschema_evolution),
+            yes_no(self.views_with_change),
+            yes_no(self.version_merging),
+        ]
+
+
+@dataclass
+class ScenarioObservations:
+    """What the canonical scenario actually measured."""
+
+    old_app_sees_new_object: bool
+    new_app_sees_old_object: bool
+    old_object_email_readable: bool
+    email_read_needed_user_code: bool
+    delete_propagates_backwards: bool
+    instance_copies: int
+
+
+class EvolutionSystemAdapter(abc.ABC):
+    """One schema-evolution system under the Table 2 microscope."""
+
+    name: str = "?"
+
+    @abc.abstractmethod
+    def run_scenario(self) -> ScenarioObservations:
+        """Execute the canonical scenario against a fresh instance."""
+
+    @abc.abstractmethod
+    def feature_row(self) -> FeatureRow:
+        """The system's Table 2 row (mechanism-determined cells)."""
+
+    def consistent(self) -> bool:
+        """Check the observable cells against the declared row."""
+        observed = self.run_scenario()
+        declared = self.feature_row()
+        sharing_observed = (
+            observed.old_app_sees_new_object and observed.new_app_sees_old_object
+        )
+        return sharing_observed == declared.sharing
+
+
+def render_table(rows: List[FeatureRow]) -> str:
+    """Format feature rows the way the paper prints Table 2."""
+    headers = [
+        "system",
+        "sharing",
+        "effort required by user",
+        "flexibility",
+        "subschema evolution",
+        "views + schema change",
+        "version merging",
+    ]
+    matrix = [headers] + [row.cells() for row in rows]
+    widths = [max(len(line[col]) for line in matrix) for col in range(len(headers))]
+    lines = []
+    for line in matrix:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(lines)

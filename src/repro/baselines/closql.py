@@ -1,0 +1,181 @@
+"""CLOSQL-style class versioning with update/backdate functions (Monk &
+Sommerville [15], section 8).
+
+Mechanism: classes are versioned; instances stay stored in the format of the
+version that created them.  When an application bound to another version
+accesses an instance, user-supplied **update** (old → new) or **backdate**
+(new → old) conversion functions translate attribute values on the fly.
+"The user's responsibility would be great even if the system provides the
+default conversion functions.  In addition, the computation time for
+conversion might be a significant overhead."  Both costs are observable
+here: the adapter registers the conversion functions (user code) and the
+system counts conversions performed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.base import (
+    EvolutionSystemAdapter,
+    FeatureRow,
+    ScenarioObservations,
+    UserEffort,
+)
+from repro.errors import SchemaError
+
+#: A conversion function: values-in-one-format -> values-in-another-format.
+Converter = Callable[[Dict[str, object]], Dict[str, object]]
+
+
+@dataclass
+class ClosqlClassVersion:
+    class_name: str
+    version: int
+    attributes: Tuple[str, ...]
+
+
+@dataclass
+class ClosqlObject:
+    object_id: int
+    class_name: str
+    stored_version: int
+    values: Dict[str, object]
+    deleted: bool = False
+
+
+class ClosqlSystem:
+    """A working miniature of CLOSQL's conversion-function mechanism."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[str, List[ClosqlClassVersion]] = {}
+        self._objects: List[ClosqlObject] = []
+        self._ids = itertools.count(1)
+        #: (class, from_version, to_version) -> converter
+        self._converters: Dict[Tuple[str, int, int], Converter] = {}
+        self.conversions_performed = 0
+
+    # -- class versions -----------------------------------------------------------
+
+    def define_class(self, name: str, attributes: Tuple[str, ...]) -> int:
+        if name in self._versions:
+            raise SchemaError(f"class {name!r} already defined")
+        self._versions[name] = [ClosqlClassVersion(name, 1, tuple(attributes))]
+        return 1
+
+    def add_attribute(self, class_name: str, attribute: str) -> int:
+        versions = self._versions[class_name]
+        latest = versions[-1]
+        versions.append(
+            ClosqlClassVersion(
+                class_name, latest.version + 1, latest.attributes + (attribute,)
+            )
+        )
+        return versions[-1].version
+
+    def register_update_function(
+        self, class_name: str, from_version: int, to_version: int, fn: Converter
+    ) -> None:
+        """The user-supplied format converter (update or backdate)."""
+        self._converters[(class_name, from_version, to_version)] = fn
+
+    # -- objects -----------------------------------------------------------------
+
+    def create(self, class_name: str, version: int, values: Dict[str, object]) -> int:
+        allowed = set(self._versions[class_name][version - 1].attributes)
+        unknown = set(values) - allowed
+        if unknown:
+            raise SchemaError(f"attributes {sorted(unknown)} not in v{version}")
+        obj = ClosqlObject(next(self._ids), class_name, version, dict(values))
+        self._objects.append(obj)
+        return obj.object_id
+
+    def instances_of(self, class_name: str) -> List[ClosqlObject]:
+        return [
+            o for o in self._objects if o.class_name == class_name and not o.deleted
+        ]
+
+    def read_as(self, object_id: int, version: int, attribute: str) -> object:
+        """Read an instance through an application's class version.
+
+        Stored format differs from the requested format → the registered
+        converter runs (update for old→new, backdate for new→old); without
+        one the access fails, which is the user's problem to fix.
+        """
+        obj = self._get(object_id)
+        versions = self._versions[obj.class_name]
+        target = versions[version - 1]
+        if attribute not in target.attributes:
+            raise SchemaError(f"{attribute!r} not in v{version}")
+        if obj.stored_version == version:
+            return obj.values.get(attribute)
+        converter = self._converters.get(
+            (obj.class_name, obj.stored_version, version)
+        )
+        if converter is None:
+            raise SchemaError(
+                f"no update/backdate function from v{obj.stored_version} "
+                f"to v{version} of {obj.class_name!r}"
+            )
+        self.conversions_performed += 1
+        return converter(dict(obj.values)).get(attribute)
+
+    def delete(self, object_id: int) -> None:
+        self._get(object_id).deleted = True
+
+    def _get(self, object_id: int) -> ClosqlObject:
+        for obj in self._objects:
+            if obj.object_id == object_id:
+                return obj
+        raise SchemaError(f"no object {object_id}")
+
+
+class ClosqlAdapter(EvolutionSystemAdapter):
+    """Table 2 adapter around :class:`ClosqlSystem`."""
+
+    name = "CLOSQL"
+
+    def run_scenario(self) -> ScenarioObservations:
+        system = ClosqlSystem()
+        system.define_class("Person", ("name",))
+        alice = system.create("Person", 1, {"name": "alice"})
+        v2 = system.add_attribute("Person", "email")
+        bob = system.create("Person", v2, {"name": "bob", "email": "b@x"})
+
+        people = {o.object_id for o in system.instances_of("Person")}
+        needed_user_code = False
+        try:
+            email = system.read_as(alice, v2, "email")
+            email_readable = True
+        except SchemaError:
+            # the user's burden: write the update function, then it works
+            system.register_update_function(
+                "Person", 1, v2, lambda values: {**values, "email": None}
+            )
+            email = system.read_as(alice, v2, "email")
+            email_readable = email is None
+            needed_user_code = True
+
+        system.delete(alice)
+        still_visible = alice in {o.object_id for o in system.instances_of("Person")}
+        return ScenarioObservations(
+            old_app_sees_new_object=bob in people,
+            new_app_sees_old_object=alice in people,
+            old_object_email_readable=email_readable,
+            email_read_needed_user_code=needed_user_code,
+            delete_propagates_backwards=not still_visible,
+            instance_copies=0,
+        )
+
+    def feature_row(self) -> FeatureRow:
+        return FeatureRow(
+            system=self.name,
+            sharing=True,
+            effort=UserEffort.CONVERSION_FUNCTIONS,
+            flexibility=True,
+            subschema_evolution=False,
+            views_with_change=False,
+            version_merging=False,
+        )

@@ -1,0 +1,253 @@
+"""The conventional in-place schema editor — the verification oracle.
+
+Section 6 verifies every translation algorithm by comparing the view schema
+TSE generates (``S''``) against the schema a *normal* (destructive, in-place)
+schema modification would produce (``S'``).  This module is that normal
+modification: a minimal object-oriented schema with in-place edits carrying
+the Banerjee/Zicari semantics of sections 6.x.1.
+
+The oracle compares at the granularity the paper's proofs use: per class,
+the set of property *names* in its type and the set of object identifiers in
+its (global) extent, plus the is-a edge set.
+
+Use :func:`oracle_from_view` to photograph a live TSE view into an oracle,
+apply the same change to both, and assert :func:`snapshot` equality — that
+is literally Proposition A, executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ChangeRejected, CyclicSchema, UnknownClass
+from repro.core.database import TseDatabase
+from repro.core.handles import ViewHandle
+
+#: the implicit root of a direct schema
+_ROOT = "ROOT"
+
+
+@dataclass
+class DirectClass:
+    """One class of the oracle schema: local property names and parents."""
+
+    name: str
+    local_properties: Set[str] = field(default_factory=set)
+    supers: Set[str] = field(default_factory=set)
+
+
+class DirectSchema:
+    """A conventional OO schema supporting in-place evolution."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, DirectClass] = {_ROOT: DirectClass(_ROOT)}
+        #: object id -> class names the object is a direct member of
+        self._membership: Dict[object, Set[str]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        local_properties: Iterable[str] = (),
+        supers: Iterable[str] = (),
+    ) -> DirectClass:
+        if name in self._classes:
+            raise ChangeRejected(f"class {name!r} already defined")
+        parents = set(supers) or {_ROOT}
+        for parent in parents:
+            self._class(parent)
+        cls = DirectClass(name, set(local_properties), parents)
+        self._classes[name] = cls
+        return cls
+
+    def place_object(self, object_id: object, classes: Iterable[str]) -> None:
+        for name in classes:
+            self._class(name)
+        self._membership[object_id] = set(classes)
+
+    def _class(self, name: str) -> DirectClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClass(f"unknown class {name!r}") from None
+
+    # -- structure ----------------------------------------------------------------
+
+    def class_names(self) -> List[str]:
+        return sorted(n for n in self._classes if n != _ROOT)
+
+    def ancestors(self, name: str) -> FrozenSet[str]:
+        result: Set[str] = set()
+        frontier = list(self._class(name).supers)
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self._class(current).supers)
+        return frozenset(result)
+
+    def is_ancestor_or_equal(self, sup: str, sub: str) -> bool:
+        return sup == sub or sup in self.ancestors(sub)
+
+    def type_of(self, name: str) -> FrozenSet[str]:
+        """Property names of the class: local plus inherited."""
+        result = set(self._class(name).local_properties)
+        for parent in self._class(name).supers:
+            result |= self.type_of(parent)
+        return frozenset(result)
+
+    def extent(self, name: str) -> FrozenSet[object]:
+        """Global extent: members of the class or any subclass."""
+        self._class(name)
+        return frozenset(
+            object_id
+            for object_id, classes in self._membership.items()
+            if any(self.is_ancestor_or_equal(name, member) for member in classes)
+        )
+
+    def edges(self) -> FrozenSet[Tuple[str, str]]:
+        result = set()
+        for cls in self._classes.values():
+            for parent in cls.supers:
+                if parent != _ROOT and cls.name != _ROOT:
+                    result.add((parent, cls.name))
+        return frozenset(result)
+
+    # -- in-place evolution (sections 6.x.1 semantics) --------------------------------
+
+    def add_attribute(self, prop: str, to: str) -> None:
+        cls = self._class(to)
+        if prop in self.type_of(to):
+            raise ChangeRejected(f"{prop!r} already exists in {to!r}")
+        cls.local_properties.add(prop)
+
+    add_method = add_attribute  # identical at name granularity
+
+    def delete_attribute(self, prop: str, from_: str) -> None:
+        cls = self._class(from_)
+        if prop not in self.type_of(from_):
+            raise ChangeRejected(f"no property {prop!r} in {from_!r}")
+        for sup in self.ancestors(from_):
+            if sup != _ROOT and prop in self.type_of(sup):
+                raise ChangeRejected(f"{prop!r} is not local to {from_!r}")
+        cls.local_properties.discard(prop)
+
+    delete_method = delete_attribute
+
+    def add_edge(self, sup: str, sub: str) -> None:
+        if self.is_ancestor_or_equal(sup, sub):
+            raise ChangeRejected(f"{sup!r} already a superclass of {sub!r}")
+        if self.is_ancestor_or_equal(sub, sup):
+            raise CyclicSchema(f"edge {sup!r}->{sub!r} would cycle")
+        self._class(sub).supers.add(sup)
+        self._class(sub).supers.discard(_ROOT)
+
+    def delete_edge(self, sup: str, sub: str, connected_to: Optional[str] = None) -> None:
+        cls = self._class(sub)
+        if sup not in cls.supers:
+            raise ChangeRejected(f"{sup!r} is not a direct superclass of {sub!r}")
+        cls.supers.discard(sup)
+        if not cls.supers:
+            cls.supers.add(connected_to if connected_to else _ROOT)
+
+    def add_class(self, name: str, connected_to: Optional[str] = None) -> None:
+        self.define_class(name, (), {connected_to} if connected_to else set())
+
+    def delete_class(self, name: str) -> None:
+        """The removeFromView-flavoured delete of section 6.8: the class
+        leaves the schema; subclasses are re-wired through it so its local
+        extent stays visible to superclasses and its local properties stay
+        inherited by its subclasses."""
+        cls = self._class(name)
+        for other in self._classes.values():
+            if name in other.supers:
+                other.supers.discard(name)
+                other.supers |= cls.supers
+                other.local_properties |= cls.local_properties
+        for object_id, classes in self._membership.items():
+            if name in classes:
+                classes.discard(name)
+                classes |= {s for s in cls.supers if s != _ROOT}
+        del self._classes[name]
+
+    # -- comparison -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Tuple[FrozenSet[str], FrozenSet[object]]]:
+        """Per class: (type names, extent).  The S' of Proposition A."""
+        return {
+            name: (self.type_of(name), self.extent(name))
+            for name in self.class_names()
+        }
+
+
+def oracle_from_view(db: TseDatabase, view: ViewHandle) -> DirectSchema:
+    """Photograph a live TSE view into a :class:`DirectSchema`.
+
+    Local properties of each view class are reconstructed as its type names
+    minus those of its view parents; object memberships are taken at the
+    most specific view classes containing each object.
+    """
+    schema = view.schema
+    oracle = DirectSchema()
+    edges = list(schema.edges)
+    parents: Dict[str, Set[str]] = {name: set() for name in schema.selected}
+    for sup, sub in edges:
+        parents[sub].add(sup)
+
+    # supers-first topological order over the view graph
+    order: List[str] = []
+    remaining = set(schema.selected)
+    while remaining:
+        ready = sorted(
+            name for name in remaining if parents[name] <= set(order)
+        )
+        assert ready, "view hierarchy contains a cycle"
+        order.extend(ready)
+        remaining -= set(ready)
+
+    for global_name in order:
+        view_name = schema.view_name_of(global_name)
+        type_names = set(db.schema.type_of(global_name))
+        inherited: Set[str] = set()
+        parent_views = []
+        for parent in parents[global_name]:
+            inherited |= set(db.schema.type_of(parent))
+            parent_views.append(schema.view_name_of(parent))
+        oracle.define_class(view_name, type_names - inherited, parent_views)
+
+    # memberships: most specific view classes per object
+    extents = {
+        name: db.evaluator.extent(name) for name in schema.selected
+    }
+    all_oids = set().union(*extents.values()) if extents else set()
+    down: Dict[str, Set[str]] = {name: set() for name in schema.selected}
+    for sup, sub in edges:
+        down[sup].add(sub)
+    for oid in all_oids:
+        containing = {name for name, extent in extents.items() if oid in extent}
+        most_specific = {
+            name
+            for name in containing
+            if not any(child in containing for child in down[name])
+        }
+        oracle.place_object(
+            oid, {schema.view_name_of(name) for name in most_specific}
+        )
+    return oracle
+
+
+def view_snapshot(db: TseDatabase, view: ViewHandle) -> Dict[str, tuple]:
+    """The S'' of Proposition A: the live view, same shape as
+    :meth:`DirectSchema.snapshot` (view names, type names, extents)."""
+    schema = view.schema
+    result = {}
+    for global_name in schema.selected:
+        view_name = schema.view_name_of(global_name)
+        result[view_name] = (
+            frozenset(db.schema.type_of(global_name)),
+            frozenset(db.evaluator.extent(global_name)),
+        )
+    return result

@@ -1,0 +1,179 @@
+"""Encore-style type versioning (Skarra & Zdonik [27], section 8).
+
+Mechanism: every *type* is versioned individually; objects stay bound to the
+type version they were created under.  All objects live in one shared space,
+so any program sees any object — but a program written against a newer type
+version that touches a field an old object's type version lacks triggers an
+exception, which the **user** must handle by writing exception handlers
+("it is both labor-intensive as well as difficult to provide semantically
+meaningful exception handlers").  The schema itself is not versioned: a
+virtual schema version is a lattice of type versions the user must track.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.base import (
+    EvolutionSystemAdapter,
+    FeatureRow,
+    ScenarioObservations,
+    UserEffort,
+)
+from repro.errors import SchemaError
+
+
+class UndefinedFieldError(SchemaError):
+    """Raised when a program touches a field the object's type version lacks."""
+
+
+@dataclass
+class TypeVersion:
+    type_name: str
+    version: int
+    attributes: Tuple[str, ...]
+
+
+@dataclass
+class EncoreObject:
+    object_id: int
+    type_name: str
+    type_version: int
+    values: Dict[str, object]
+    deleted: bool = False
+
+
+#: An exception handler: (object, attribute) -> substitute value.
+Handler = Callable[[EncoreObject, str], object]
+
+
+class EncoreSystem:
+    """A working miniature of Encore's type-version mechanism."""
+
+    def __init__(self) -> None:
+        self._type_versions: Dict[str, List[TypeVersion]] = {}
+        self._objects: List[EncoreObject] = []
+        self._ids = itertools.count(1)
+        #: (type name, old version, attribute) -> handler
+        self._handlers: Dict[Tuple[str, int, str], Handler] = {}
+
+    # -- types ------------------------------------------------------------------
+
+    def define_type(self, name: str, attributes: Tuple[str, ...]) -> int:
+        if name in self._type_versions:
+            raise SchemaError(f"type {name!r} already defined")
+        self._type_versions[name] = [TypeVersion(name, 1, tuple(attributes))]
+        return 1
+
+    def add_attribute(self, type_name: str, attribute: str) -> int:
+        """New type version; old objects stay bound to their old version."""
+        versions = self._type_versions[type_name]
+        latest = versions[-1]
+        versions.append(
+            TypeVersion(type_name, latest.version + 1, latest.attributes + (attribute,))
+        )
+        return versions[-1].version
+
+    def latest_version(self, type_name: str) -> int:
+        return self._type_versions[type_name][-1].version
+
+    def register_handler(
+        self, type_name: str, old_version: int, attribute: str, handler: Handler
+    ) -> None:
+        """The user-supplied exception handler for undefined fields."""
+        self._handlers[(type_name, old_version, attribute)] = handler
+
+    # -- objects -----------------------------------------------------------------
+
+    def create(self, type_name: str, version: int, values: Dict[str, object]) -> int:
+        allowed = set(self._type_versions[type_name][version - 1].attributes)
+        unknown = set(values) - allowed
+        if unknown:
+            raise SchemaError(f"attributes {sorted(unknown)} not in version {version}")
+        obj = EncoreObject(next(self._ids), type_name, version, dict(values))
+        self._objects.append(obj)
+        return obj.object_id
+
+    def instances_of(self, type_name: str) -> List[EncoreObject]:
+        """All live objects of a type, whatever their type version — the
+        shared object space."""
+        return [
+            o for o in self._objects if o.type_name == type_name and not o.deleted
+        ]
+
+    def read(self, object_id: int, attribute: str) -> object:
+        """Read as a program bound to the latest type version would.
+
+        Touching a field the object's own type version lacks raises unless a
+        handler was registered.
+        """
+        obj = self._get(object_id)
+        bound = self._type_versions[obj.type_name][obj.type_version - 1]
+        if attribute in bound.attributes:
+            return obj.values.get(attribute)
+        handler = self._handlers.get((obj.type_name, obj.type_version, attribute))
+        if handler is None:
+            raise UndefinedFieldError(
+                f"{attribute!r} undefined for {obj.type_name} "
+                f"version {obj.type_version}; no exception handler"
+            )
+        return handler(obj, attribute)
+
+    def delete(self, object_id: int) -> None:
+        self._get(object_id).deleted = True
+
+    def _get(self, object_id: int) -> EncoreObject:
+        for obj in self._objects:
+            if obj.object_id == object_id:
+                return obj
+        raise SchemaError(f"no object {object_id}")
+
+
+class EncoreAdapter(EvolutionSystemAdapter):
+    """Table 2 adapter around :class:`EncoreSystem`."""
+
+    name = "Encore"
+
+    def run_scenario(self) -> ScenarioObservations:
+        system = EncoreSystem()
+        v1 = system.define_type("Person", ("name",))
+        alice = system.create("Person", v1, {"name": "alice"})
+        v2 = system.add_attribute("Person", "email")
+        bob = system.create("Person", v2, {"name": "bob", "email": "b@x"})
+
+        people = {o.object_id for o in system.instances_of("Person")}
+        needed_user_code = False
+        try:
+            system.read(alice, "email")
+            email_readable = True
+        except UndefinedFieldError:
+            # the user's burden: write the handler, then it works
+            system.register_handler("Person", v1, "email", lambda obj, attr: None)
+            email_readable = system.read(alice, "email") is None
+            needed_user_code = True
+
+        system.delete(alice)
+        still_visible = alice in {
+            o.object_id for o in system.instances_of("Person")
+        }
+        return ScenarioObservations(
+            old_app_sees_new_object=bob in people,
+            new_app_sees_old_object=alice in people,
+            old_object_email_readable=email_readable,
+            email_read_needed_user_code=needed_user_code,
+            delete_propagates_backwards=not still_visible,
+            instance_copies=0,
+        )
+
+    def feature_row(self) -> FeatureRow:
+        return FeatureRow(
+            system=self.name,
+            sharing=True,
+            effort=UserEffort.EXCEPTION_HANDLERS,
+            flexibility=True,
+            subschema_evolution=False,
+            views_with_change=False,
+            version_merging=False,
+        )

@@ -1,0 +1,187 @@
+"""Goose-style per-class versioning (Kim et al. [7, 11], section 8).
+
+Mechanism: individual *classes* are versioned (not the whole schema, not
+bare types).  A complete schema is **composed** by the user selecting one
+version of each class — which is flexible, but puts the burden of tracking
+version combinations and checking their mutual consistency on the user.
+Objects live in one shared space tagged with the class version that created
+them; reads through a schema composition convert on the fly when possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.base import (
+    EvolutionSystemAdapter,
+    FeatureRow,
+    ScenarioObservations,
+    UserEffort,
+)
+from repro.errors import SchemaError
+
+
+@dataclass
+class ClassVersion:
+    class_name: str
+    version: int
+    attributes: Tuple[str, ...]
+    #: class versions this one is consistent with (references it was built
+    #: against); compositions mixing inconsistent versions are rejected
+    consistent_with: Set[Tuple[str, int]] = field(default_factory=set)
+
+
+@dataclass
+class GooseObject:
+    object_id: int
+    class_name: str
+    class_version: int
+    values: Dict[str, object]
+    deleted: bool = False
+
+
+class GooseSystem:
+    """A working miniature of Goose's class-version mechanism."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[str, List[ClassVersion]] = {}
+        self._objects: List[GooseObject] = []
+        self._ids = itertools.count(1)
+
+    # -- class versions -----------------------------------------------------------
+
+    def define_class(self, name: str, attributes: Tuple[str, ...]) -> int:
+        if name in self._versions:
+            raise SchemaError(f"class {name!r} already defined")
+        self._versions[name] = [ClassVersion(name, 1, tuple(attributes))]
+        return 1
+
+    def add_attribute(self, class_name: str, attribute: str) -> int:
+        versions = self._versions[class_name]
+        latest = versions[-1]
+        new = ClassVersion(
+            class_name,
+            latest.version + 1,
+            latest.attributes + (attribute,),
+            consistent_with={(class_name, latest.version)},
+        )
+        versions.append(new)
+        return new.version
+
+    def class_version(self, name: str, version: int) -> ClassVersion:
+        try:
+            return self._versions[name][version - 1]
+        except (KeyError, IndexError):
+            raise SchemaError(f"no version {version} of class {name!r}") from None
+
+    # -- schema composition (the user's burden) --------------------------------------
+
+    def compose_schema(self, selection: Dict[str, int]) -> Dict[str, int]:
+        """Validate a user-selected combination of class versions.
+
+        Mixing a class version with another it was never declared consistent
+        with is rejected — the user must figure out valid combinations,
+        which is the "keep track of class versions" effort of Table 2.
+        """
+        for name, version in selection.items():
+            self.class_version(name, version)
+        names = sorted(selection)
+        for first in names:
+            for second in names:
+                if first >= second:
+                    continue
+                cv_first = self.class_version(first, selection[first])
+                cv_second = self.class_version(second, selection[second])
+                compatible = (
+                    (second, selection[second]) in cv_first.consistent_with
+                    or (first, selection[first]) in cv_second.consistent_with
+                    or selection[first] == selection[second]
+                )
+                if not compatible:
+                    raise SchemaError(
+                        f"inconsistent composition: {first} v{selection[first]} "
+                        f"with {second} v{selection[second]}"
+                    )
+        return dict(selection)
+
+    # -- objects -----------------------------------------------------------------
+
+    def create(
+        self, class_name: str, version: int, values: Dict[str, object]
+    ) -> int:
+        allowed = set(self.class_version(class_name, version).attributes)
+        unknown = set(values) - allowed
+        if unknown:
+            raise SchemaError(f"attributes {sorted(unknown)} not in v{version}")
+        obj = GooseObject(next(self._ids), class_name, version, dict(values))
+        self._objects.append(obj)
+        return obj.object_id
+
+    def instances_of(self, class_name: str) -> List[GooseObject]:
+        """Shared object space: every live object of the class, any version."""
+        return [
+            o for o in self._objects if o.class_name == class_name and not o.deleted
+        ]
+
+    def read(self, schema: Dict[str, int], object_id: int, attribute: str) -> object:
+        """Read through a composed schema; absent attributes default to None
+        (Goose converts between class versions automatically where the
+        attribute sets allow it)."""
+        obj = self._get(object_id)
+        viewing = self.class_version(obj.class_name, schema[obj.class_name])
+        if attribute not in viewing.attributes:
+            raise SchemaError(
+                f"{attribute!r} not in {obj.class_name} v{viewing.version}"
+            )
+        return obj.values.get(attribute)
+
+    def delete(self, object_id: int) -> None:
+        self._get(object_id).deleted = True
+
+    def _get(self, object_id: int) -> GooseObject:
+        for obj in self._objects:
+            if obj.object_id == object_id:
+                return obj
+        raise SchemaError(f"no object {object_id}")
+
+
+class GooseAdapter(EvolutionSystemAdapter):
+    """Table 2 adapter around :class:`GooseSystem`."""
+
+    name = "Goose"
+
+    def run_scenario(self) -> ScenarioObservations:
+        system = GooseSystem()
+        system.define_class("Person", ("name",))
+        v2 = system.add_attribute("Person", "email")
+        # the user must track which composition each application runs on
+        old_schema = system.compose_schema({"Person": 1})
+        new_schema = system.compose_schema({"Person": v2})
+        alice = system.create("Person", 1, {"name": "alice"})
+        bob = system.create("Person", v2, {"name": "bob", "email": "b@x"})
+
+        people = {o.object_id for o in system.instances_of("Person")}
+        email = system.read(new_schema, alice, "email")
+        system.delete(alice)
+        still_visible = alice in {o.object_id for o in system.instances_of("Person")}
+        return ScenarioObservations(
+            old_app_sees_new_object=bob in people,
+            new_app_sees_old_object=alice in people,
+            old_object_email_readable=email is None,
+            email_read_needed_user_code=False,
+            delete_propagates_backwards=not still_visible,
+            instance_copies=0,
+        )
+
+    def feature_row(self) -> FeatureRow:
+        return FeatureRow(
+            system=self.name,
+            sharing=True,
+            effort=UserEffort.TRACK_CLASS_VERSIONS,
+            flexibility=True,
+            subschema_evolution=False,
+            views_with_change=False,
+            version_merging=False,
+        )

@@ -1,0 +1,200 @@
+"""Orion-style whole-schema versioning (Kim & Chou [8], section 8).
+
+Mechanism: every schema change derives a *complete new version of the whole
+schema hierarchy*.  Instances belong to the schema version they were created
+under; to make old data available under a new version it must be **copied
+and converted**.  Old copies are frozen.  There is no backward propagation:
+deleting an object under the new version leaves its old-version copy alive —
+exactly the anomaly the paper calls out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import (
+    EvolutionSystemAdapter,
+    FeatureRow,
+    ScenarioObservations,
+    UserEffort,
+)
+from repro.errors import SchemaError
+
+
+@dataclass
+class OrionSchemaVersion:
+    """One immutable version of the entire schema."""
+
+    version: int
+    #: class name -> tuple of attribute names
+    classes: Dict[str, Tuple[str, ...]]
+
+
+@dataclass
+class OrionInstance:
+    """An instance bound to one schema version.
+
+    ``lineage`` is the logical identity shared by the copies an instance
+    accumulates across versions; ``frozen`` instances reject updates.
+    """
+
+    instance_id: int
+    lineage: int
+    version: int
+    class_name: str
+    values: Dict[str, object]
+    frozen: bool = False
+    deleted: bool = False
+
+
+class OrionSystem:
+    """A working miniature of Orion's schema-version mechanism."""
+
+    def __init__(self) -> None:
+        self._versions: List[OrionSchemaVersion] = []
+        self._instances: List[OrionInstance] = []
+        self._ids = itertools.count(1)
+        self._lineages = itertools.count(1)
+        self.instance_copies = 0
+
+    # -- schema -----------------------------------------------------------------
+
+    def define_initial_schema(self, classes: Dict[str, Tuple[str, ...]]) -> int:
+        if self._versions:
+            raise SchemaError("initial schema already defined")
+        self._versions.append(OrionSchemaVersion(1, dict(classes)))
+        return 1
+
+    def current_version(self) -> int:
+        return self._versions[-1].version
+
+    def schema(self, version: int) -> OrionSchemaVersion:
+        return self._versions[version - 1]
+
+    def add_attribute(self, class_name: str, attribute: str) -> int:
+        """Derive a new whole-schema version and copy-convert every instance.
+
+        Old instances are frozen under their old version; their converted
+        copies live under the new version.
+        """
+        current = self._versions[-1]
+        if class_name not in current.classes:
+            raise SchemaError(f"unknown class {class_name!r}")
+        new_classes = dict(current.classes)
+        new_classes[class_name] = current.classes[class_name] + (attribute,)
+        new_version = OrionSchemaVersion(current.version + 1, new_classes)
+        self._versions.append(new_version)
+        for instance in [i for i in self._instances if i.version == current.version]:
+            if instance.deleted:
+                continue
+            instance.frozen = True
+            converted_values = dict(instance.values)
+            if instance.class_name == class_name:
+                converted_values[attribute] = None
+            self._instances.append(
+                OrionInstance(
+                    instance_id=next(self._ids),
+                    lineage=instance.lineage,
+                    version=new_version.version,
+                    class_name=instance.class_name,
+                    values=converted_values,
+                )
+            )
+            self.instance_copies += 1
+        return new_version.version
+
+    # -- instances ------------------------------------------------------------------
+
+    def create(self, version: int, class_name: str, values: Dict[str, object]) -> int:
+        schema = self.schema(version)
+        if class_name not in schema.classes:
+            raise SchemaError(f"unknown class {class_name!r}")
+        allowed = set(schema.classes[class_name])
+        unknown = set(values) - allowed
+        if unknown:
+            raise SchemaError(f"attributes {sorted(unknown)} not in version {version}")
+        instance = OrionInstance(
+            instance_id=next(self._ids),
+            lineage=next(self._lineages),
+            version=version,
+            class_name=class_name,
+            values=dict(values),
+        )
+        self._instances.append(instance)
+        return instance.lineage
+
+    def visible_instances(self, version: int, class_name: str) -> List[OrionInstance]:
+        """Instances an application bound to ``version`` can see — only the
+        ones living under that very version."""
+        return [
+            i
+            for i in self._instances
+            if i.version == version and i.class_name == class_name and not i.deleted
+        ]
+
+    def read(self, version: int, lineage: int, attribute: str) -> object:
+        for instance in self._instances:
+            if instance.version == version and instance.lineage == lineage:
+                if instance.deleted:
+                    raise SchemaError("instance deleted under this version")
+                return instance.values.get(attribute)
+        raise SchemaError(f"lineage {lineage} not visible under version {version}")
+
+    def delete(self, version: int, lineage: int) -> None:
+        """Delete under one version only — no backward propagation."""
+        for instance in self._instances:
+            if instance.version == version and instance.lineage == lineage:
+                instance.deleted = True
+                return
+        raise SchemaError(f"lineage {lineage} not visible under version {version}")
+
+
+class OrionAdapter(EvolutionSystemAdapter):
+    """Table 2 adapter around :class:`OrionSystem`."""
+
+    name = "Orion"
+
+    def run_scenario(self) -> ScenarioObservations:
+        system = OrionSystem()
+        v1 = system.define_initial_schema({"Person": ("name",)})
+        alice = system.create(v1, "Person", {"name": "alice"})
+        v2 = system.add_attribute("Person", "email")
+        bob = system.create(v2, "Person", {"name": "bob", "email": "b@x"})
+
+        old_sees_bob = any(
+            i.lineage == bob for i in system.visible_instances(v1, "Person")
+        )
+        new_sees_alice = any(
+            i.lineage == alice for i in system.visible_instances(v2, "Person")
+        )
+        email_readable = True
+        try:
+            system.read(v2, alice, "email")
+        except SchemaError:
+            email_readable = False
+
+        system.delete(v2, alice)
+        still_visible_under_v1 = any(
+            i.lineage == alice for i in system.visible_instances(v1, "Person")
+        )
+        return ScenarioObservations(
+            old_app_sees_new_object=old_sees_bob,
+            new_app_sees_old_object=new_sees_alice,
+            old_object_email_readable=email_readable,
+            email_read_needed_user_code=False,
+            delete_propagates_backwards=not still_visible_under_v1,
+            instance_copies=system.instance_copies,
+        )
+
+    def feature_row(self) -> FeatureRow:
+        return FeatureRow(
+            system=self.name,
+            sharing=False,
+            effort=UserEffort.NOTHING,
+            flexibility=False,
+            subschema_evolution=False,
+            views_with_change=False,
+            version_merging=False,
+        )

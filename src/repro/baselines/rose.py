@@ -1,0 +1,132 @@
+"""Rose-style type-mismatch resolution (Mehta, Spooner & Hardwick [14]).
+
+Mechanism: a persistent engineering object system that resolves mismatches
+between an instance's stored format and the type an application expects
+*automatically* — missing attributes read as defaults, extra attributes are
+ignored.  Table 2 credits Rose with sharing and no particular user effort,
+but no subschema evolution, no views, no merging.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.base import (
+    EvolutionSystemAdapter,
+    FeatureRow,
+    ScenarioObservations,
+    UserEffort,
+)
+from repro.errors import SchemaError
+
+
+@dataclass
+class RoseTypeVersion:
+    type_name: str
+    version: int
+    attributes: Tuple[str, ...]
+
+
+@dataclass
+class RoseObject:
+    object_id: int
+    type_name: str
+    stored_version: int
+    values: Dict[str, object]
+    deleted: bool = False
+
+
+class RoseSystem:
+    """A working miniature of Rose's automatic mismatch resolution."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[str, List[RoseTypeVersion]] = {}
+        self._objects: List[RoseObject] = []
+        self._ids = itertools.count(1)
+        self.mismatches_resolved = 0
+
+    def define_type(self, name: str, attributes: Tuple[str, ...]) -> int:
+        if name in self._versions:
+            raise SchemaError(f"type {name!r} already defined")
+        self._versions[name] = [RoseTypeVersion(name, 1, tuple(attributes))]
+        return 1
+
+    def add_attribute(self, type_name: str, attribute: str) -> int:
+        versions = self._versions[type_name]
+        latest = versions[-1]
+        versions.append(
+            RoseTypeVersion(type_name, latest.version + 1, latest.attributes + (attribute,))
+        )
+        return versions[-1].version
+
+    def create(self, type_name: str, version: int, values: Dict[str, object]) -> int:
+        allowed = set(self._versions[type_name][version - 1].attributes)
+        unknown = set(values) - allowed
+        if unknown:
+            raise SchemaError(f"attributes {sorted(unknown)} not in v{version}")
+        obj = RoseObject(next(self._ids), type_name, version, dict(values))
+        self._objects.append(obj)
+        return obj.object_id
+
+    def instances_of(self, type_name: str) -> List[RoseObject]:
+        return [o for o in self._objects if o.type_name == type_name and not o.deleted]
+
+    def read_as(self, object_id: int, version: int, attribute: str) -> object:
+        """Automatic resolution: a field the stored format lacks reads as
+        ``None`` — no user-supplied code required."""
+        obj = self._get(object_id)
+        target = self._versions[obj.type_name][version - 1]
+        if attribute not in target.attributes:
+            raise SchemaError(f"{attribute!r} not in v{version}")
+        if attribute not in obj.values:
+            self.mismatches_resolved += 1
+            return None
+        return obj.values[attribute]
+
+    def delete(self, object_id: int) -> None:
+        self._get(object_id).deleted = True
+
+    def _get(self, object_id: int) -> RoseObject:
+        for obj in self._objects:
+            if obj.object_id == object_id:
+                return obj
+        raise SchemaError(f"no object {object_id}")
+
+
+class RoseAdapter(EvolutionSystemAdapter):
+    """Table 2 adapter around :class:`RoseSystem`."""
+
+    name = "Rose"
+
+    def run_scenario(self) -> ScenarioObservations:
+        system = RoseSystem()
+        system.define_type("Person", ("name",))
+        alice = system.create("Person", 1, {"name": "alice"})
+        v2 = system.add_attribute("Person", "email")
+        bob = system.create("Person", v2, {"name": "bob", "email": "b@x"})
+
+        people = {o.object_id for o in system.instances_of("Person")}
+        email = system.read_as(alice, v2, "email")
+        system.delete(alice)
+        still_visible = alice in {o.object_id for o in system.instances_of("Person")}
+        return ScenarioObservations(
+            old_app_sees_new_object=bob in people,
+            new_app_sees_old_object=alice in people,
+            old_object_email_readable=email is None,
+            email_read_needed_user_code=False,
+            delete_propagates_backwards=not still_visible,
+            instance_copies=0,
+        )
+
+    def feature_row(self) -> FeatureRow:
+        return FeatureRow(
+            system=self.name,
+            sharing=True,
+            effort=UserEffort.NOTHING,
+            flexibility=True,
+            subschema_evolution=False,
+            views_with_change=False,
+            version_merging=False,
+        )

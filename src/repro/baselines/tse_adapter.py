@@ -1,0 +1,73 @@
+"""Table 2 adapter for our own TSE system — same scenario as the baselines.
+
+Here the interesting cells are *observed*: the old application keeps its
+view handle across the other user's schema change, sees the new user's
+objects (sharing through the single global schema), reads old objects
+without any user-written glue, and observes deletions immediately (backward
+propagation, which Orion lacks).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    EvolutionSystemAdapter,
+    FeatureRow,
+    ScenarioObservations,
+    UserEffort,
+)
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+
+
+class TseAdapter(EvolutionSystemAdapter):
+    """Runs the canonical scenario against a fresh :class:`TseDatabase`."""
+
+    name = "TSE system"
+
+    def run_scenario(self) -> ScenarioObservations:
+        db = TseDatabase()
+        db.define_class("Person", [Attribute("name", domain="str")])
+        old_app = db.create_view("old_app", ["Person"], closure="ignore")
+        new_app = db.create_view("new_app", ["Person"], closure="ignore")
+
+        alice = old_app["Person"].create(name="alice")
+
+        # the new application evolves *its own view*; the old one is untouched
+        new_app.add_attribute("email", to="Person", domain="str")
+        bob = new_app["Person"].create(name="bob", email="b@x")
+
+        old_people = {h.oid for h in old_app["Person"].extent()}
+        new_people = {h.oid for h in new_app["Person"].extent()}
+
+        # no user code needed: an unwritten capacity-augmenting attribute
+        # reads as its default through the new view
+        alice_via_new = new_app["Person"].get_object(alice.oid)
+        email = alice_via_new["email"]
+
+        # the old application must NOT see the new attribute
+        old_sees_email = "email" in old_app["Person"].property_names()
+        assert not old_sees_email
+
+        alice_via_new.delete()
+        still_visible = alice.oid in {h.oid for h in old_app["Person"].extent()}
+        return ScenarioObservations(
+            old_app_sees_new_object=bob.oid in old_people,
+            new_app_sees_old_object=alice.oid in new_people,
+            old_object_email_readable=email is None,
+            email_read_needed_user_code=False,
+            delete_propagates_backwards=not still_visible,
+            instance_copies=0,
+        )
+
+    def feature_row(self) -> FeatureRow:
+        return FeatureRow(
+            system=self.name,
+            sharing=True,
+            effort=UserEffort.NOTHING,
+            # Table 2 grades TSE "no" on composing schemas from arbitrary
+            # class versions — views select classes, not class versions
+            flexibility=False,
+            subschema_evolution=True,
+            views_with_change=True,
+            version_merging=True,
+        )

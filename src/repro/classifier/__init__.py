@@ -1,0 +1,5 @@
+"""Classification of derived classes into the global schema ([17])."""
+
+from repro.classifier.classify import ClassificationResult, Classifier
+
+__all__ = ["ClassificationResult", "Classifier"]

@@ -1,0 +1,182 @@
+"""``tse-shell`` — an interactive console over a TSE database.
+
+Speaks the paper's command language (schema changes, ``defineVC``, generic
+updates, ``merge``) plus a handful of meta-commands:
+
+.. code-block:: text
+
+    .help                 show this summary
+    .views                list views and their current versions
+    .use <view>           switch the session to another view
+    .show                 print the current view schema
+    .classes              list classes of the current view
+    .extent <class>       list the objects of a class
+    .history              print the evolution log
+    .save <path>          persist the database
+    .quit                 leave the shell
+
+Everything else on a line is handed to the command-language interpreter,
+e.g. ``add_attribute register : str to Student`` or
+``create Student [name = "Ada"]``.
+
+Programmatic use (and the tests) drive :func:`run_shell` directly with a
+list of input lines; ``main`` wires it to stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import TseError
+from repro.core.database import TseDatabase
+from repro.lang.interpreter import Interpreter
+from repro.persistence import load_database, save_database
+
+HELP_TEXT = __doc__.split(".. code-block:: text")[1].split("Everything else")[0]
+
+
+def _meta_command(
+    db: TseDatabase, state: dict, line: str, emit: Callable[[str], None]
+) -> bool:
+    """Handle one ``.meta`` command; returns False on ``.quit``."""
+    parts = line.split()
+    command, args = parts[0], parts[1:]
+    if command == ".help":
+        emit(HELP_TEXT.strip("\n"))
+    elif command == ".views":
+        for name in db.view_names():
+            current = db.views.current(name)
+            marker = "*" if name == state["view"] else " "
+            emit(f" {marker} {current.label}  ({len(current.selected)} classes)")
+    elif command == ".use":
+        if not args:
+            emit("usage: .use <view>")
+        else:
+            db.views.current(args[0])  # raises on unknown
+            state["view"] = args[0]
+            emit(f"now using view {args[0]!r}")
+    elif command == ".show":
+        emit(db.view(state["view"]).describe())
+    elif command == ".classes":
+        view = db.view(state["view"])
+        for cls in view.class_names():
+            props = ", ".join(view[cls].property_names())
+            emit(f"  {cls}({props})")
+    elif command == ".extent":
+        if not args:
+            emit("usage: .extent <class>")
+        else:
+            view = db.view(state["view"])
+            for handle in view[args[0]].extent():
+                emit(f"  {handle.oid}: {handle.values()}")
+    elif command == ".history":
+        for record in db.evolution_log():
+            emit(
+                f"  {record.view_name} v{record.old_version}->v{record.new_version}: "
+                f"{record.plan.provenance}"
+            )
+    elif command == ".save":
+        if not args:
+            emit("usage: .save <path>")
+        else:
+            save_database(db, args[0])
+            emit(f"saved to {args[0]}")
+    elif command == ".quit":
+        return False
+    else:
+        emit(f"unknown meta-command {command!r} (try .help)")
+    return True
+
+
+def run_shell(
+    db: TseDatabase,
+    view_name: str,
+    lines: Iterable[str],
+    emit: Callable[[str], None] = print,
+) -> dict:
+    """Execute shell input against ``db`` in the context of ``view_name``.
+
+    Returns the final session state (current view name, commands executed,
+    errors encountered) so tests can assert on it.
+    """
+    state = {"view": view_name, "executed": 0, "errors": 0}
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("."):
+            try:
+                if not _meta_command(db, state, line, emit):
+                    break
+            except TseError as exc:
+                state["errors"] += 1
+                emit(f"error: {exc}")
+            continue
+        try:
+            result = Interpreter(db, state["view"]).execute(line)
+        except TseError as exc:
+            state["errors"] += 1
+            emit(f"error: {exc}")
+            continue
+        state["executed"] += 1
+        if result.kind == "create":
+            emit(f"created {result.objects[0].oid}")
+        elif result.kind in ("set", "delete", "add", "remove"):
+            emit(f"{result.kind}: {result.count} object(s)")
+        elif result.kind == "schema_change":
+            emit(f"schema change applied; {result.detail}")
+        elif result.kind == "defineview":
+            emit(f"created view {result.detail} (use .use {result.detail})")
+        elif result.kind == "definevc":
+            emit(f"defined virtual class {result.detail}")
+        elif result.kind == "merge":
+            emit(f"merged into view {result.detail}")
+    return state
+
+
+def _bootstrap_database(path: Optional[str]) -> TseDatabase:
+    if path:
+        return load_database(path)
+    # an empty playground database with one view, so the shell is usable
+    from repro.schema.properties import Attribute
+
+    db = TseDatabase()
+    db.define_class("Object_", [Attribute("label", domain="str")])
+    db.create_view("main", ["Object_"], closure="ignore")
+    return db
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tse-shell",
+        description="interactive console over a TSE database "
+        "(transparent schema evolution)",
+    )
+    parser.add_argument("database", nargs="?", help="database JSON to load")
+    parser.add_argument(
+        "--view", default=None, help="view to start in (default: first view)"
+    )
+    args = parser.parse_args(argv)
+    db = _bootstrap_database(args.database)
+    views = db.view_names()
+    if not views:
+        print("database has no views; create one programmatically first")
+        return 1
+    view_name = args.view or views[0]
+    print(f"TSE shell — view {view_name!r}; .help for commands, .quit to exit")
+
+    def stdin_lines():
+        while True:
+            try:
+                yield input(f"{view_name}> ")
+            except EOFError:
+                return
+
+    run_shell(db, view_name, stdin_lines())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""TSE core: translator, manager, macros, merging, database facade, handles."""
+
+from repro.core.database import TseDatabase
+from repro.core.handles import ObjectHandle, ViewClassHandle, ViewHandle
+from repro.core.macros import (
+    coalesce_classes,
+    delete_class_2,
+    insert_class,
+    partition_class,
+)
+from repro.core.manager import EvolutionRecord, TseManager
+from repro.core.merging import merge_views
+from repro.core.translator import ChangePlan, TseTranslator
+
+__all__ = [
+    "TseDatabase",
+    "ObjectHandle",
+    "ViewClassHandle",
+    "ViewHandle",
+    "coalesce_classes",
+    "delete_class_2",
+    "insert_class",
+    "partition_class",
+    "EvolutionRecord",
+    "TseManager",
+    "merge_views",
+    "ChangePlan",
+    "TseTranslator",
+]

@@ -1,0 +1,323 @@
+"""``TseDatabase`` — the public facade wiring every subsystem together.
+
+Mirrors the architecture of figure 6: GemStone stand-in (storage) at the
+bottom, the TSE object model (instance pool) above it, the global schema
+manager, and on top the algebra processor, classifier, view manager and TSE
+manager.  Most applications only ever touch this class plus the handles it
+returns.
+
+Typical use::
+
+    db = TseDatabase()
+    db.define_class("Person", [Attribute("name")])
+    db.define_class("Student", [Attribute("major")], inherits_from=("Person",))
+    view = db.create_view("registrar", ["Person", "Student"])
+    view.add_attribute("register", to="Student")      # transparent evolution
+    student = view["Student"].create(name="Ada", register="enrolled")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.algebra.define import AlgebraProcessor, DefineStatement
+from repro.algebra.updates import UpdateEngine, ValueClosurePolicy
+from repro.core.handles import ObjectHandle, ViewClassHandle, ViewHandle
+from repro.core.manager import TseManager
+from repro.core.merging import merge_views
+from repro.objectmodel.indexes import IndexManager
+from repro.objectmodel.slicing import InstancePool
+from repro.schema.classes import Derivation, ROOT_CLASS
+from repro.schema.extents import ExtentEvaluator
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute, Method, Property
+from repro.storage.store import ObjectStore
+from repro.storage.transactions import TransactionManager
+from repro.views.manager import ViewManager
+from repro.views.schema import ViewSchema
+
+
+class TseDatabase:
+    """An in-process TSE database: global schema, instances, views, evolution."""
+
+    def __init__(
+        self,
+        slots_per_page: int = 32,
+        cache_pages: int = 8,
+        value_closure: ValueClosurePolicy = ValueClosurePolicy.REJECT,
+    ) -> None:
+        self.store = ObjectStore(slots_per_page=slots_per_page, cache_pages=cache_pages)
+        self.transactions = TransactionManager(self.store)
+        self.pool = InstancePool(self.store)
+        self.indexes = IndexManager(self.pool)
+        self.schema = GlobalSchema()
+        self.evaluator = ExtentEvaluator(self.schema, self.pool)
+        self.engine = UpdateEngine(
+            self.schema, self.pool, self.evaluator, value_closure=value_closure
+        )
+        self.algebra = AlgebraProcessor(self.schema)
+        self.views = ViewManager(self.schema)
+        self.tsem = TseManager(self.schema, self.algebra, self.views)
+
+    # ------------------------------------------------------------------
+    # schema authoring (the initial global schema of section 2.1)
+    # ------------------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        properties: Sequence[Property] = (),
+        inherits_from: Sequence[str] = (ROOT_CLASS,),
+    ):
+        """Author a base class in the global schema."""
+        return self.schema.add_base_class(
+            name, properties=tuple(properties), inherits_from=tuple(inherits_from)
+        )
+
+    def define_virtual_class(self, name: str, derivation: Derivation) -> str:
+        """Run one ``defineVC`` statement; returns the effective class name
+        (an existing class when the classifier found a duplicate)."""
+        outcome = self.algebra.execute(DefineStatement(name=name, derivation=derivation))
+        return outcome.class_name
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def create_view(
+        self,
+        name: str,
+        classes: Iterable[str],
+        renames: Optional[Mapping[str, str]] = None,
+        closure: str = "complete",
+    ) -> ViewHandle:
+        """Create a view over global classes and return a live handle."""
+        self.views.create_view(name, classes, renames, closure=closure)
+        return ViewHandle(self, name)
+
+    def view(self, name: str) -> ViewHandle:
+        """A live handle onto an existing view (always the current version)."""
+        self.views.current(name)  # raises UnknownView when absent
+        return ViewHandle(self, name)
+
+    def view_names(self) -> List[str]:
+        return self.views.history.view_names()
+
+    def merge_views(
+        self,
+        first: str,
+        second: str,
+        into: str,
+        first_version: Optional[int] = None,
+        second_version: Optional[int] = None,
+    ) -> ViewHandle:
+        """Version merging (section 7)."""
+        merge_views(
+            self.views,
+            first,
+            second,
+            into,
+            first_version=first_version,
+            second_version=second_version,
+        )
+        return ViewHandle(self, into)
+
+    # ------------------------------------------------------------------
+    # direct (un-viewed) access — mostly for tests and tooling
+    # ------------------------------------------------------------------
+
+    def extent(self, global_class: str):
+        return self.evaluator.extent(global_class)
+
+    def type_names(self, global_class: str) -> List[str]:
+        return sorted(self.schema.type_of(global_class))
+
+    def evolution_log(self):
+        """Audit trail of every schema change applied through the TSEM."""
+        return list(self.tsem.log)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def vacuum(self) -> List[str]:
+        """Drop virtual classes no view version references, directly or
+        through derivations.
+
+        Evolution accumulates helper classes (the diff/union temporaries of
+        delete-edge, superseded primes once *every* version using them is
+        itself unreferenced).  A class is retained when it is a base class,
+        selected by any view version in the history, or a (transitive)
+        derivation source of a retained class.  Returns the names removed.
+        """
+        from repro.schema.classes import VirtualClass
+
+        retained = set()
+        for view_name in self.views.history.view_names():
+            for version in self.views.history.versions_of(view_name):
+                retained |= set(version.selected)
+        frontier = list(retained)
+        while frontier:
+            current = frontier.pop()
+            cls = self.schema[current]
+            if isinstance(cls, VirtualClass):
+                for source in cls.derivation.sources:
+                    if source not in retained:
+                        retained.add(source)
+                        frontier.append(source)
+        # every remaining virtual class must also not feed a retained one
+        # (covered above) — anything else virtual is garbage
+        garbage = {
+            name
+            for name in self.schema.class_names()
+            if isinstance(self.schema[name], VirtualClass) and name not in retained
+        }
+        # drop in dependency order: a class leaves only when no other
+        # garbage class still derives from it; iterate to a fixpoint
+        removed: List[str] = []
+        progress = True
+        while progress:
+            progress = False
+            for name in sorted(garbage - set(removed)):
+                dependents = [
+                    other
+                    for other in garbage
+                    if other != name
+                    and other not in removed
+                    and name in self.schema[other].derivation.sources
+                ]
+                if not dependents:
+                    self.schema.remove_class(name)
+                    removed.append(name)
+                    progress = True
+        if removed:
+            self.evaluator.invalidate()
+        return sorted(removed)
+
+    # ------------------------------------------------------------------
+    # transactions (database-level savepoints)
+    # ------------------------------------------------------------------
+
+    def transaction(self):
+        """A context manager giving all-or-nothing semantics to a block of
+        work — generic updates *and* schema evolution alike.
+
+        Implemented as a whole-database savepoint (this is a single-process
+        reproduction; the paper delegated real concurrency control to
+        GemStone): on a raised exception the store, instance pool, global
+        schema, view history, evolution log and indexes are rolled back to
+        the state at entry, and the exception propagates.
+
+        ::
+
+            with db.transaction():
+                view.add_attribute("x", to="C")
+                view["C"].create(x=1)
+                raise RuntimeError()   # everything above is undone
+        """
+        from contextlib import contextmanager
+
+        @contextmanager
+        def scope():
+            checkpoint = self._checkpoint()
+            try:
+                yield self
+            except BaseException:
+                self._restore(checkpoint)
+                raise
+
+        return scope()
+
+    def _checkpoint(self) -> dict:
+        return {
+            "store": self.store.snapshot(),
+            "pool": self.pool.memento(),
+            "schema": self.schema.memento(),
+            "views": {
+                name: list(self.views.history.versions_of(name))
+                for name in self.views.history.view_names()
+            },
+            "log_length": len(self.tsem.log),
+            "indexes": list(self.indexes.index_names()),
+        }
+
+    def _restore(self, checkpoint: dict) -> None:
+        self.store.restore_snapshot(checkpoint["store"])
+        self.pool.restore(checkpoint["pool"])
+        self.schema.restore(checkpoint["schema"])
+        self.views.history._versions = {
+            name: list(versions)
+            for name, versions in checkpoint["views"].items()
+        }
+        del self.tsem.log[checkpoint["log_length"]:]
+        # rebuild indexes from restored data (cheap at savepoint scale)
+        for storage_class, attribute in checkpoint["indexes"]:
+            self.indexes.drop_index(storage_class, attribute)
+            self.indexes.create_index(storage_class, attribute)
+        for storage_class, attribute in list(self.indexes.index_names()):
+            if (storage_class, attribute) not in checkpoint["indexes"]:
+                self.indexes.drop_index(storage_class, attribute)
+        self.evaluator.invalidate()
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, class_name: str, attribute: str):
+        """Create an exact-match index on an attribute of a global class.
+
+        The index is placed at the attribute's *storage class* (where the
+        definition lives), so it also serves subclasses and the primed
+        virtual classes evolution creates.
+        """
+        from repro.schema import types as typemod
+
+        resolved = typemod.resolve(
+            self.schema.type_of(class_name), attribute, class_name=class_name
+        )
+        if resolved.storage_class is None:
+            from repro.errors import ObjectModelError
+
+            raise ObjectModelError(
+                f"{attribute!r} of {class_name!r} is not a stored attribute"
+            )
+        return self.indexes.create_index(resolved.storage_class, attribute)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the whole database (schema, objects, views) to one JSON
+        file; see :mod:`repro.persistence`."""
+        from repro.persistence import save_database
+
+        save_database(self, path)
+
+    @classmethod
+    def load(cls, path, methods=None) -> "TseDatabase":
+        """Load a database written by :meth:`save`.  ``methods`` rebinds
+        method bodies (callables are not serialisable): a mapping from
+        ``"Class.method"`` or ``"method"`` to a callable."""
+        from repro.persistence import load_database
+
+        return load_database(path, methods=methods)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """A one-stop bundle of observability counters."""
+        return {
+            "classes_total": len(self.schema.class_names()),
+            "classes_base": len(self.schema.base_classes()),
+            "classes_virtual": len(self.schema.virtual_classes()),
+            "objects": self.pool.object_count,
+            "oids_used": self.pool.total_oids_used(),
+            "managerial_bytes": self.pool.total_managerial_bytes(),
+            "avg_n_impl": self.pool.average_n_impl(),
+            "views": len(self.view_names()),
+            "view_versions": self.views.history.total_versions(),
+            "pages": self.store.stats.as_dict(),
+        }

@@ -1,0 +1,183 @@
+"""Composed schema-change operators (section 6.9).
+
+"The schema evolution capability of our system is not limited to the schema
+change operators discussed so far" — complex operators are scripts of
+primitives, inheriting updatability and view-preservation automatically
+(Zicari's composition idea [31]).
+
+Also here: the *object-generating* macros the paper's section 9 names as
+future work (``partition_class`` / ``coalesce_classes``).  We provide them as
+working conveniences built on ``select``/``union``, but — exactly as the
+paper predicts — the coalesced result cannot offer unambiguous generic
+updates, so the macro marks it accordingly unless a propagation target is
+chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ChangeRejected
+from repro.algebra.define import DefineStatement
+from repro.algebra.expressions import Not, Predicate
+from repro.core.manager import TseManager
+from repro.schema.classes import Derivation, VirtualClass
+from repro.views.schema import ViewSchema
+
+
+def insert_class(
+    tsem: TseManager, view_name: str, name: str, between: Tuple[str, str]
+) -> ViewSchema:
+    """``insert-class C_insert between C_sup - C_sub`` (section 6.9.1).
+
+    Script: ``add_class C_insert connected_to C_sup`` followed by
+    ``add_edge C_insert - C_sub``.  The old ``C_sup - C_sub`` edge becomes
+    redundant and disappears from the generated view hierarchy by transitive
+    reduction.
+    """
+    sup, sub = between
+    view = tsem.views.current(view_name)
+    if not view.has_class(sup) or not view.has_class(sub):
+        raise ChangeRejected(
+            f"insert_class rejected: both {sup!r} and {sub!r} must be in the view"
+        )
+    tsem.add_class(view_name, name, connected_to=sup)
+    return tsem.add_edge(view_name, name, sub)
+
+
+def delete_class_2(tsem: TseManager, view_name: str, name: str) -> ViewSchema:
+    """``delete_class_2 C_delete`` (section 6.9.2) — Orion-style deletion.
+
+    Subclasses stop inheriting C_delete's local properties, its local extent
+    stops being visible to its superclasses, and every subclass is re-wired
+    to every former direct superclass of C_delete.
+    """
+    view = tsem.views.current(view_name)
+    if not view.has_class(name):
+        raise ChangeRejected(f"delete_class_2 rejected: no class {name!r} in view")
+    subs = view.direct_subs_of(name)
+    sups = view.direct_supers_of(name)
+    for sub in subs:
+        tsem.delete_edge(view_name, name, sub)
+        for sup in sups:
+            tsem.add_edge(view_name, sup, sub)
+    for sup in tsem.views.current(view_name).direct_supers_of(name):
+        tsem.delete_edge(view_name, sup, name)
+    return tsem.delete_class(view_name, name)
+
+
+# ---------------------------------------------------------------------------
+# section 9 extensions: object-generating-flavoured macros
+# ---------------------------------------------------------------------------
+
+def partition_class(
+    tsem: TseManager,
+    view_name: str,
+    source: str,
+    predicate: Predicate,
+    into: Tuple[str, str],
+) -> ViewSchema:
+    """Split a view class into two select-derived subclasses.
+
+    ``into`` names the matching / non-matching partitions.  Both partitions
+    are object-preserving select classes, hence updatable (Theorem 1); the
+    source class stays in the view as their common superclass — the paper's
+    fully object-generating partition (source removed, instances migrated)
+    is exactly what an object-preserving algebra cannot express.
+    """
+    view = tsem.views.current(view_name)
+    g_source = view.global_name_of(source)
+    match_name, rest_name = into
+    for candidate in into:
+        if view.has_class(candidate) or candidate in tsem.schema:
+            raise ChangeRejected(
+                f"partition rejected: class {candidate!r} already exists"
+            )
+    outcome_match = tsem.algebra.execute(
+        DefineStatement(
+            name=match_name,
+            derivation=Derivation(
+                op="select", sources=(g_source,), predicate=predicate
+            ),
+        ),
+        meta={"evolution": f"partition {source}"},
+    )
+    outcome_rest = tsem.algebra.execute(
+        DefineStatement(
+            name=rest_name,
+            derivation=Derivation(
+                op="select", sources=(g_source,), predicate=Not(predicate)
+            ),
+        ),
+        meta={"evolution": f"partition {source}"},
+    )
+    selected, renames = view.successor_parts()
+    selected.add(outcome_match.class_name)
+    selected.add(outcome_rest.class_name)
+    return tsem.views.register_successor(
+        view_name,
+        selected,
+        renames,
+        dict(view.property_renames),
+        closure="ignore",
+        provenance=f"partition {source} into {match_name}/{rest_name}",
+    )
+
+
+def coalesce_classes(
+    tsem: TseManager,
+    view_name: str,
+    first: str,
+    second: str,
+    into: str,
+    propagation_source: Optional[str] = None,
+) -> ViewSchema:
+    """Merge two view classes under one union-derived class.
+
+    Without a ``propagation_source`` the union class cannot route ``create``
+    unambiguously — the updatability limitation the paper's section 9
+    predicts for object-generating coalescing — so generic creations on it
+    are rejected until a target is chosen.
+    """
+    view = tsem.views.current(view_name)
+    g_first = view.global_name_of(first)
+    g_second = view.global_name_of(second)
+    if view.has_class(into) or into in tsem.schema:
+        raise ChangeRejected(f"coalesce rejected: class {into!r} already exists")
+    outcome = tsem.algebra.execute(
+        DefineStatement(
+            name=into,
+            derivation=Derivation(op="union", sources=(g_first, g_second)),
+        ),
+        meta={"evolution": f"coalesce {first}+{second}"},
+    )
+    cls = tsem.schema[outcome.class_name]
+    if isinstance(cls, VirtualClass) and cls.derivation.op == "union":
+        if propagation_source is not None:
+            cls.propagation_source = view.global_name_of(propagation_source)
+        else:
+            cls.updatable = False  # the section 9 open problem, made explicit
+    selected, renames = view.successor_parts()
+    if outcome.class_name in selected:
+        # the union provably collapsed onto a class already in the view
+        # (e.g. coalescing a class with its own subclass); nothing to add —
+        # the "coalesced" class is that existing view class
+        return tsem.views.register_successor(
+            view_name,
+            selected,
+            renames,
+            dict(view.property_renames),
+            closure="ignore",
+            provenance=f"coalesce {first}+{second} (collapsed onto existing class)",
+        )
+    selected.add(outcome.class_name)
+    if outcome.class_name != into:
+        renames[outcome.class_name] = into
+    return tsem.views.register_successor(
+        view_name,
+        selected,
+        renames,
+        dict(view.property_renames),
+        closure="ignore",
+        provenance=f"coalesce {first}+{second} into {into}",
+    )

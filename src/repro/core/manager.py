@@ -1,0 +1,205 @@
+"""The Transparent Schema Evolution Manager (TSEM) — figure 6's control module.
+
+One call to :meth:`TseManager.apply` runs the full pipeline of section 6.1.3:
+
+1. the **TSE Translator** maps the requested change to a view-specification
+   script (arrow 1);
+2. the **Extended Object Algebra Processor** executes the script, creating
+   virtual classes which the **Classifier** integrates into the global
+   schema, reusing duplicates (arrow 2);
+3. the **View Manager** assembles the successor view schema — old classes
+   substituted by their primed replacements, primed classes renamed back to
+   their original view names — and registers it in the **View Schema
+   History** (arrow 3), substituting the old version.
+
+The pipeline is atomic: a failure at any step restores the global schema to
+its pre-change structure and leaves the view history untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EvolutionError, TseError
+from repro.algebra.define import AlgebraProcessor, DefineOutcome
+from repro.core.translator import ChangePlan, TseTranslator
+from repro.schema.classes import VirtualClass
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute, Method
+from repro.views.manager import ViewManager
+from repro.views.schema import ViewSchema
+
+
+@dataclass
+class EvolutionRecord:
+    """Audit record of one applied schema change."""
+
+    view_name: str
+    old_version: int
+    new_version: int
+    plan: ChangePlan
+    outcomes: List[DefineOutcome] = field(default_factory=list)
+    #: statement name -> effective global class name (after duplicate reuse)
+    effective: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def script(self) -> str:
+        return self.plan.render_script()
+
+    def classes_created(self) -> List[str]:
+        return [o.class_name for o in self.outcomes if o.created]
+
+    def duplicates_reused(self) -> List[Tuple[str, str]]:
+        return [
+            (o.statement.name, o.class_name)
+            for o in self.outcomes
+            if not o.created
+        ]
+
+
+class TseManager:
+    """Orchestrates translator, algebra processor and view manager."""
+
+    def __init__(
+        self,
+        schema: GlobalSchema,
+        algebra: AlgebraProcessor,
+        views: ViewManager,
+    ) -> None:
+        self.schema = schema
+        self.algebra = algebra
+        self.views = views
+        self.translator = TseTranslator(schema)
+        self.log: List[EvolutionRecord] = []
+
+    # ------------------------------------------------------------------
+    # the eight primitive operators (user-facing, view-name based)
+    # ------------------------------------------------------------------
+
+    def add_attribute(self, view_name: str, prop: Attribute, to: str) -> ViewSchema:
+        view = self.views.current(view_name)
+        plan = self.translator.add_attribute(view, prop, to)
+        return self._run(view_name, view, plan)
+
+    def delete_attribute(self, view_name: str, name: str, from_: str) -> ViewSchema:
+        view = self.views.current(view_name)
+        plan = self.translator.delete_attribute(view, name, from_)
+        return self._run(view_name, view, plan)
+
+    def add_method(self, view_name: str, prop: Method, to: str) -> ViewSchema:
+        view = self.views.current(view_name)
+        plan = self.translator.add_method(view, prop, to)
+        return self._run(view_name, view, plan)
+
+    def delete_method(self, view_name: str, name: str, from_: str) -> ViewSchema:
+        view = self.views.current(view_name)
+        plan = self.translator.delete_method(view, name, from_)
+        return self._run(view_name, view, plan)
+
+    def add_edge(self, view_name: str, sup: str, sub: str) -> ViewSchema:
+        view = self.views.current(view_name)
+        plan = self.translator.add_edge(view, sup, sub)
+        return self._run(view_name, view, plan)
+
+    def delete_edge(
+        self,
+        view_name: str,
+        sup: str,
+        sub: str,
+        connected_to: Optional[str] = None,
+    ) -> ViewSchema:
+        view = self.views.current(view_name)
+        plan = self.translator.delete_edge(view, sup, sub, connected_to)
+        return self._run(view_name, view, plan)
+
+    def add_class(
+        self, view_name: str, name: str, connected_to: Optional[str] = None
+    ) -> ViewSchema:
+        view = self.views.current(view_name)
+        plan = self.translator.add_class(view, name, connected_to)
+        return self._run(view_name, view, plan)
+
+    def delete_class(self, view_name: str, name: str) -> ViewSchema:
+        view = self.views.current(view_name)
+        plan = self.translator.delete_class(view, name)
+        return self._run(view_name, view, plan)
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+
+    def _run(self, view_name: str, view: ViewSchema, plan: ChangePlan) -> ViewSchema:
+        """Execute a change plan atomically and substitute the view."""
+        memento = self.schema.memento()
+        try:
+            record = self._execute(view_name, view, plan)
+        except TseError:
+            self.schema.restore(memento)
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            self.schema.restore(memento)
+            raise EvolutionError(f"schema change failed: {exc}") from exc
+        self.log.append(record)
+        return self.views.current(view_name)
+
+    def _execute(
+        self, view_name: str, view: ViewSchema, plan: ChangePlan
+    ) -> EvolutionRecord:
+        # (0) author any fresh base classes (the C_x classes of add-class)
+        for base in plan.new_base_classes:
+            self.schema.add_base_class(base.name, inherits_from=base.inherits_from)
+
+        # (1-2) run the algebra script; classifier integrates / deduplicates
+        outcomes = self.algebra.execute_all(
+            plan.statements, meta={"evolution": plan.provenance, "view": view_name}
+        )
+        effective: Dict[str, str] = {
+            outcome.statement.name: outcome.class_name for outcome in outcomes
+        }
+
+        # record union propagation targets (section 6.5.4) on the classes
+        # that actually ended up in the schema
+        for stmt_name, target in plan.union_propagation.items():
+            cls = self.schema[effective.get(stmt_name, stmt_name)]
+            if isinstance(cls, VirtualClass) and cls.derivation.op == "union":
+                cls.propagation_source = effective.get(target, target)
+
+        # (3) assemble the successor view: substitute primed classes, keep
+        # the old view names for them, apply additions and removals
+        selected, renames = view.successor_parts()
+        property_renames = {
+            cls: dict(per_cls) for cls, per_cls in view.property_renames.items()
+        }
+        for old_global, stmt_name in plan.replacements.items():
+            primed = effective.get(stmt_name, stmt_name)
+            if primed == old_global:
+                continue
+            visible_name = renames.pop(old_global, old_global)
+            selected.discard(old_global)
+            selected.add(primed)
+            renames[primed] = visible_name
+            # property_renames are keyed by *view* class name, which the
+            # substitution keeps stable — nothing to rekey.
+        for removal in plan.removals:
+            selected.discard(removal)
+            renames.pop(removal, None)
+        for addition in plan.additions:
+            selected.add(effective.get(addition, addition))
+
+        new_view = self.views.register_successor(
+            view_name,
+            selected,
+            renames,
+            property_renames,
+            closure="ignore",
+            provenance=plan.provenance,
+        )
+        return EvolutionRecord(
+            view_name=view_name,
+            old_version=view.version,
+            new_version=new_view.version,
+            plan=plan,
+            outcomes=outcomes,
+            effective=effective,
+        )

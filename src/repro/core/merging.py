@@ -1,0 +1,98 @@
+"""Version merging using views (section 7).
+
+Because every view is defined over one integrated global schema, merging two
+schema versions reduces to collecting the classes of both views into a new
+view schema:
+
+* instances were never duplicated, so instance merging is a non-issue;
+* duplicate classes were already eliminated by the classifier, so classes of
+  the two views that are "really identical" are literally the same global
+  class;
+* same-named but distinct classes (figure 16's two ``Student`` refinements)
+  are disambiguated by suffixing the source view's version number — the user
+  may rename them afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import MergeConflict
+from repro.views.manager import ViewManager
+from repro.views.schema import ViewSchema
+
+
+def merge_views(
+    views: ViewManager,
+    first_name: str,
+    second_name: str,
+    into: str,
+    first_version: Optional[int] = None,
+    second_version: Optional[int] = None,
+) -> ViewSchema:
+    """Merge two view schema versions into a brand-new view ``into``.
+
+    By default the *current* versions are merged; pass explicit version
+    numbers to merge historical ones (figure 16 merges VS.1 and VS.2 even
+    after further evolution may have happened).
+    """
+    if into in views.history:
+        raise MergeConflict(f"merge target view {into!r} already exists")
+    first = (
+        views.history.version(first_name, first_version)
+        if first_version is not None
+        else views.current(first_name)
+    )
+    second = (
+        views.history.version(second_name, second_version)
+        if second_version is not None
+        else views.current(second_name)
+    )
+
+    selected = set(first.selected) | set(second.selected)
+    renames: Dict[str, str] = {}
+    taken: Dict[str, str] = {}  # view-visible name -> global class holding it
+
+    def claim(global_name: str, wanted: str, origin: ViewSchema) -> None:
+        holder = taken.get(wanted)
+        if holder is None:
+            taken[wanted] = global_name
+            if wanted != global_name:
+                renames[global_name] = wanted
+            return
+        if holder == global_name:
+            return  # identical class arrived from both views: one entry
+        # same view name, genuinely different classes: disambiguate both
+        # with their source view's version number (figure 16)
+        suffixed = f"{wanted}_v{origin.version}"
+        index = 2
+        while suffixed in taken:
+            suffixed = f"{wanted}_v{origin.version}_{index}"
+            index += 1
+        taken[suffixed] = global_name
+        renames[global_name] = suffixed
+
+    for global_name in sorted(first.selected):
+        claim(global_name, first.view_name_of(global_name), first)
+    for global_name in sorted(second.selected):
+        if global_name in first.selected:
+            continue  # already claimed through the first view
+        claim(global_name, second.view_name_of(global_name), second)
+
+    property_renames: Dict[str, Dict[str, str]] = {}
+    for origin in (first, second):
+        for view_class, per_class in origin.property_renames.items():
+            global_name = origin.global_name_of(view_class)
+            merged_name = renames.get(global_name, global_name)
+            property_renames.setdefault(merged_name, {}).update(per_class)
+
+    return views.create_view(
+        into,
+        selected,
+        renames,
+        property_renames,
+        closure="ignore",
+        provenance=(
+            f"merge of {first.label} and {second.label}"
+        ),
+    )

@@ -1,0 +1,752 @@
+"""The TSE Translator: schema-change operators → view-definition scripts.
+
+This module implements the algorithms of section 6 of the paper, one method
+per primitive schema-change operator of Zicari's taxonomy:
+
+* content changes — ``add_attribute`` (6.1), ``delete_attribute`` (6.2),
+  ``add_method`` (6.3), ``delete_method`` (6.4);
+* hierarchy changes — ``add_edge`` (6.5), ``delete_edge`` (6.6),
+  ``add_class`` (6.7), ``delete_class`` (6.8).
+
+Each translation runs *in the context of a view* (only subclasses within the
+view are primed — section 2.2's point about the untouched ``Grad`` class) and
+produces a :class:`ChangePlan`: the ordered ``defineVC`` statements (exactly
+the script of figure 7 (b)) plus the bookkeeping the TSE Manager needs to
+assemble the successor view (which old classes each primed class replaces,
+which classes join or leave the view, and the union propagation sources of
+section 6.5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ChangeRejected
+from repro.algebra.define import DefineStatement
+from repro.schema.classes import (
+    ROOT_CLASS,
+    BaseClass,
+    Derivation,
+    SharedProperty,
+    VirtualClass,
+)
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute, Method, Property
+from repro.schema.types import Ambiguity, property_names
+from repro.views.schema import ViewSchema
+
+#: Type alias: a set of directed view edges in global names.
+EdgeSet = Set[Tuple[str, str]]
+
+
+@dataclass
+class NewBaseClass:
+    """A base class the plan needs created (the ``C_x`` classes of 6.7.2)."""
+
+    name: str
+    inherits_from: Tuple[str, ...]
+
+
+@dataclass
+class ChangePlan:
+    """Everything the TSE Manager needs to run one schema change."""
+
+    operation: str
+    #: base classes to author before running the statements (add-class only)
+    new_base_classes: List[NewBaseClass] = field(default_factory=list)
+    #: ordered defineVC script
+    statements: List[DefineStatement] = field(default_factory=list)
+    #: old global class name -> statement name of its primed replacement
+    replacements: Dict[str, str] = field(default_factory=dict)
+    #: global class names newly added to the view
+    additions: List[str] = field(default_factory=list)
+    #: global class names dropped from the view
+    removals: List[str] = field(default_factory=list)
+    #: union statement name -> source class that create/add propagate to
+    union_propagation: Dict[str, str] = field(default_factory=dict)
+    provenance: str = ""
+
+    def render_script(self) -> str:
+        """The generated view-specification script, figure 7 (b) style."""
+        return "\n".join(s.render() for s in self.statements)
+
+
+def _edge_children(edges: EdgeSet, parent: str) -> List[str]:
+    return sorted(child for sup, child in edges if sup == parent)
+
+
+def _edge_parents(edges: EdgeSet, child: str) -> List[str]:
+    return sorted(sup for sup, sub in edges if sub == child)
+
+
+def _reachable_down(edges: EdgeSet, top: str) -> Set[str]:
+    """Strict descendants of ``top`` over ``edges``."""
+    result: Set[str] = set()
+    frontier = [top]
+    while frontier:
+        current = frontier.pop()
+        for child in _edge_children(edges, current):
+            if child not in result:
+                result.add(child)
+                frontier.append(child)
+    return result
+
+
+def _reachable_up(edges: EdgeSet, bottom: str) -> Set[str]:
+    """Strict ancestors of ``bottom`` over ``edges``."""
+    result: Set[str] = set()
+    frontier = [bottom]
+    while frontier:
+        current = frontier.pop()
+        for parent in _edge_parents(edges, current):
+            if parent not in result:
+                result.add(parent)
+                frontier.append(parent)
+    return result
+
+
+class TseTranslator:
+    """Maps schema-change requests on a view to extended-algebra scripts."""
+
+    def __init__(self, schema: GlobalSchema) -> None:
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+    # naming helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _taken(plan: Optional["ChangePlan"]) -> set:
+        if plan is None:
+            return set()
+        return {s.name for s in plan.statements} | {
+            b.name for b in plan.new_base_classes
+        }
+
+    def _fresh(self, base_name: str, plan: Optional["ChangePlan"] = None) -> str:
+        """An unused primed variant of ``base_name`` (footnote 11: each
+        virtual class is named by appending a prime).  Names already claimed
+        by earlier statements of the same plan count as used — the plan has
+        not executed yet when later statements are named."""
+        taken = self._taken(plan)
+        candidate = base_name + "'"
+        while candidate in self.schema or candidate in taken:
+            candidate += "'"
+        return candidate
+
+    def _fresh_internal(self, hint: str, plan: Optional["ChangePlan"] = None) -> str:
+        """A fresh name for an internal helper class (diff/union temps)."""
+        taken = self._taken(plan)
+        index = 0
+        candidate = f"_{hint}"
+        while candidate in self.schema or candidate in taken:
+            index += 1
+            candidate = f"_{hint}_{index}"
+        return candidate
+
+    # ------------------------------------------------------------------
+    # view-context helpers
+    # ------------------------------------------------------------------
+
+    def _global(self, view: ViewSchema, view_class: str) -> str:
+        return view.global_name_of(view_class)
+
+    def _subclasses_in_view(self, view: ViewSchema, global_name: str) -> List[str]:
+        """``global_name`` plus its subclasses within the view, supers first
+        (walked over the view's own generated hierarchy)."""
+        edges = set(view.edges)
+        members = {global_name} | _reachable_down(edges, global_name)
+        order = [c for c in self.schema.topological_order() if c in members]
+        return order
+
+    def _superclasses_in_view(self, view: ViewSchema, global_name: str) -> List[str]:
+        """``global_name`` plus its superclasses within the view, subs first."""
+        edges = set(view.edges)
+        members = {global_name} | _reachable_up(edges, global_name)
+        order = [c for c in reversed(self.schema.topological_order()) if c in members]
+        return order
+
+    def _has_property(self, class_name: str, prop_name: str) -> bool:
+        return prop_name in property_names(self.schema.type_of(class_name))
+
+    # ------------------------------------------------------------------
+    # 6.1 add_attribute  /  6.3 add_method
+    # ------------------------------------------------------------------
+
+    def add_attribute(self, view: ViewSchema, prop: Attribute, to: str) -> ChangePlan:
+        """``add_attribute x: attribute-def to C`` (section 6.1.2)."""
+        if not isinstance(prop, Attribute):
+            raise ChangeRejected("add_attribute requires an Attribute definition")
+        return self._add_property(view, prop, to, operation="add_attribute")
+
+    def add_method(self, view: ViewSchema, prop: Method, to: str) -> ChangePlan:
+        """``add_method m: method-def to C`` (section 6.3.2) — identical to
+        add_attribute except no storage reorganisation is implied."""
+        if not isinstance(prop, Method):
+            raise ChangeRejected("add_method requires a Method definition")
+        return self._add_property(view, prop, to, operation="add_method")
+
+    def _add_property(
+        self, view: ViewSchema, prop: Property, to: str, operation: str
+    ) -> ChangePlan:
+        target = self._global(view, to)
+        if self._has_property(target, prop.name):
+            raise ChangeRejected(
+                f"{operation} rejected: {prop.name!r} already exists in {to!r}"
+            )
+        plan = ChangePlan(
+            operation=operation,
+            provenance=f"{operation} {prop.name} to {to}",
+        )
+        primed_top = self._fresh(target, plan)
+        plan.statements.append(
+            DefineStatement(
+                name=primed_top,
+                derivation=Derivation(
+                    op="refine", sources=(target,), new_properties=(prop,)
+                ),
+                primes=target,
+            )
+        )
+        plan.replacements[target] = primed_top
+
+        # The paper's tmpStack loop over view subclasses: propagation stops
+        # below any class that already defines a same-named property.
+        edges = set(view.edges)
+        frontier = [target]
+        visited: Set[str] = {target}
+        while frontier:
+            tmp = frontier.pop(0)
+            for sub in _edge_children(edges, tmp):
+                if sub in visited:
+                    continue
+                visited.add(sub)
+                if self._has_property(sub, prop.name):
+                    continue  # local property overrides; stop propagation
+                primed_sub = self._fresh(sub, plan)
+                plan.statements.append(
+                    DefineStatement(
+                        name=primed_sub,
+                        derivation=Derivation(
+                            op="refine",
+                            sources=(sub,),
+                            shared_properties=(
+                                SharedProperty(from_class=primed_top, name=prop.name),
+                            ),
+                        ),
+                        primes=sub,
+                    )
+                )
+                plan.replacements[sub] = primed_sub
+                frontier.append(sub)
+        return plan
+
+    # ------------------------------------------------------------------
+    # 6.2 delete_attribute  /  6.4 delete_method
+    # ------------------------------------------------------------------
+
+    def delete_attribute(self, view: ViewSchema, name: str, from_: str) -> ChangePlan:
+        """``delete_attribute x from C`` (section 6.2.2)."""
+        return self._delete_property(view, name, from_, operation="delete_attribute")
+
+    def delete_method(self, view: ViewSchema, name: str, from_: str) -> ChangePlan:
+        """``delete_method m from C`` (section 6.4.2)."""
+        return self._delete_property(view, name, from_, operation="delete_method")
+
+    def _delete_property(
+        self, view: ViewSchema, name: str, from_: str, operation: str
+    ) -> ChangePlan:
+        target = self._global(view, from_)
+        underlying = view.visible_property(from_, name)
+        if not self._has_property(target, underlying):
+            raise ChangeRejected(
+                f"{operation} rejected: no property {name!r} in {from_!r}"
+            )
+        # Locality is judged with respect to the view (section 6.2.1): the
+        # class must be the uppermost view class carrying *this definition*.
+        # A same-named property higher up with a different identity is the
+        # overriding case — deletable, with restoration of the suppressed
+        # definition below.
+        target_entry = self.schema.type_of(target).get(underlying)
+        if isinstance(target_entry, Ambiguity):
+            raise ChangeRejected(
+                f"{operation} rejected: {name!r} is ambiguous in {from_!r}; "
+                f"rename to disambiguate first"
+            )
+        for sup in self._superclasses_in_view(view, target):
+            if sup == target:
+                continue
+            sup_entry = self.schema.type_of(sup).get(underlying)
+            if (
+                sup_entry is not None
+                and not isinstance(sup_entry, Ambiguity)
+                and sup_entry.identity() == target_entry.identity()
+            ):
+                raise ChangeRejected(
+                    f"{operation} rejected: {name!r} is not local to {from_!r} "
+                    f"in this view (inherited from {view.view_name_of(sup)!r})"
+                )
+        plan = ChangePlan(
+            operation=operation,
+            provenance=f"{operation} {name} from {from_}",
+        )
+        hide_names: Dict[str, str] = {}
+        for sub in self._subclasses_in_view(view, target):
+            if not self._has_property(sub, underlying):
+                continue
+            primed = self._fresh(sub, plan)
+            plan.statements.append(
+                DefineStatement(
+                    name=primed,
+                    derivation=Derivation(
+                        op="hide", sources=(sub,), hidden=(underlying,)
+                    ),
+                    primes=sub,
+                )
+            )
+            hide_names[sub] = primed
+            plan.replacements[sub] = primed
+
+        # Suppressed-property restoration (second loop of 6.2.2): when the
+        # deleted property was overriding a same-named inherited one, the
+        # suppressed definition is restored and propagated.
+        restorer = self._suppressed_definition(target, underlying)
+        if restorer is not None:
+            for sub, hidden_primed in hide_names.items():
+                restored = self._fresh(sub, plan)
+                plan.statements.append(
+                    DefineStatement(
+                        name=restored,
+                        derivation=Derivation(
+                            op="refine",
+                            sources=(hidden_primed,),
+                            shared_properties=(
+                                SharedProperty(from_class=restorer, name=underlying),
+                            ),
+                        ),
+                        primes=sub,
+                    )
+                )
+                plan.replacements[sub] = restored
+        return plan
+
+    def _suppressed_definition(self, target: str, prop_name: str) -> Optional[str]:
+        """The class whose same-named property ``target`` suppresses, if any.
+
+        Looks at what ``target`` would inherit from its defining parents: a
+        same-named property with a *different* identity arriving there is
+        restored when the local one is deleted.
+        """
+        local_entry = self.schema.type_of(target).get(prop_name)
+        if local_entry is None or isinstance(local_entry, Ambiguity):
+            return None
+        cls = self.schema[target]
+        if isinstance(cls, BaseClass):
+            parents: Sequence[str] = cls.inherits_from
+        else:
+            assert isinstance(cls, VirtualClass)
+            parents = cls.derivation.sources
+        for parent in parents:
+            entry = self.schema.type_of(parent).get(prop_name)
+            if entry is None or isinstance(entry, Ambiguity):
+                continue
+            if entry.identity() != local_entry.identity():
+                return parent
+        return None
+
+    # ------------------------------------------------------------------
+    # 6.5 add_edge
+    # ------------------------------------------------------------------
+
+    def add_edge(self, view: ViewSchema, sup: str, sub: str) -> ChangePlan:
+        """``add_edge C_sup - C_sub`` (section 6.5.2)."""
+        g_sup = self._global(view, sup)
+        g_sub = self._global(view, sub)
+        if self.schema.is_ancestor_or_equal(g_sup, g_sub):
+            raise ChangeRejected(
+                f"add_edge rejected: {sup!r} is already a superclass of {sub!r}"
+            )
+        if self.schema.is_ancestor_or_equal(g_sub, g_sup):
+            raise ChangeRejected(
+                f"add_edge rejected: edge {sup!r} -> {sub!r} would create a cycle"
+            )
+        plan = ChangePlan(operation="add_edge", provenance=f"add_edge {sup}-{sub}")
+        sup_prop_names = sorted(property_names(self.schema.type_of(g_sup)))
+
+        # First loop: refine every view subclass of C_sub (including C_sub)
+        # with the properties of C_sup, skipping overridden names (footnote
+        # 15 — same-named properties are not added, achieving overriding).
+        primed_sub_name = g_sub
+        for w in self._subclasses_in_view(view, g_sub):
+            w_names = property_names(self.schema.type_of(w))
+            shared = tuple(
+                SharedProperty(from_class=g_sup, name=prop_name)
+                for prop_name in sup_prop_names
+                if prop_name not in w_names
+            )
+            if not shared:
+                continue  # everything overridden: the class is unchanged
+            primed = self._fresh(w, plan)
+            plan.statements.append(
+                DefineStatement(
+                    name=primed,
+                    derivation=Derivation(
+                        op="refine", sources=(w,), shared_properties=shared
+                    ),
+                    primes=w,
+                )
+            )
+            plan.replacements[w] = primed
+            if w == g_sub:
+                primed_sub_name = primed
+
+        # Second loop: union the extent of C_sub into C_sup and every view
+        # superclass of C_sup not already a superclass of C_sub.
+        for v in self._superclasses_in_view(view, g_sup):
+            if self.schema.is_ancestor_or_equal(v, g_sub):
+                continue
+            primed = self._fresh(v, plan)
+            plan.statements.append(
+                DefineStatement(
+                    name=primed,
+                    derivation=Derivation(op="union", sources=(v, primed_sub_name)),
+                    primes=v,
+                )
+            )
+            plan.replacements[v] = primed
+            # create/add propagate to the substituted class (section 6.5.4)
+            plan.union_propagation[primed] = v
+        return plan
+
+    # ------------------------------------------------------------------
+    # 6.6 delete_edge
+    # ------------------------------------------------------------------
+
+    def delete_edge(
+        self,
+        view: ViewSchema,
+        sup: str,
+        sub: str,
+        connected_to: Optional[str] = None,
+    ) -> ChangePlan:
+        """``delete_edge C_sup - C_sub [connected_to C_upper]`` (6.6.2)."""
+        g_sup = self._global(view, sup)
+        g_sub = self._global(view, sub)
+        view_edges: EdgeSet = set(view.edges)
+        if (g_sup, g_sub) not in view_edges:
+            raise ChangeRejected(
+                f"delete_edge rejected: {sup!r} is not a direct superclass "
+                f"of {sub!r} in this view"
+            )
+        g_upper: Optional[str] = None
+        if connected_to is not None:
+            g_upper = self._global(view, connected_to)
+            if not self.schema.is_ancestor(g_upper, g_sup):
+                raise ChangeRejected(
+                    f"delete_edge rejected: {connected_to!r} must be a "
+                    f"superclass of {sup!r}"
+                )
+        plan = ChangePlan(
+            operation="delete_edge",
+            provenance=f"delete_edge {sup}-{sub}"
+            + (f" connected_to {connected_to}" if connected_to else ""),
+        )
+        remaining: EdgeSet = view_edges - {(g_sup, g_sub)}
+        if g_upper is not None:
+            # the connected_to clause re-hangs C_sub under C_upper, so the
+            # post-change graph keeps that inheritance path alive
+            remaining = remaining | {(g_upper, g_sub)}
+
+        # First loop: shrink the extents of C_sup and its view superclasses
+        # that lose visibility of C_sub's instances.  Superclasses at or
+        # above the connected_to target keep the extent (C_sub stays below
+        # them), so they are left untouched.
+        protected: Set[str] = set()
+        if g_upper is not None:
+            protected = {g_upper} | (_reachable_up(view_edges, g_upper))
+        for v in self._superclasses_in_view(view, g_sup):
+            if v in protected:
+                continue
+            if v in _reachable_up(remaining, g_sub):
+                continue  # still a superclass through another relationship
+            keepers = self._keepers(remaining, v, g_sub, plan.replacements)
+            primed = self._fresh(v, plan)
+            self._emit_shrunk_extent(plan, primed, v, g_sub, keepers)
+            plan.replacements[v] = primed
+            plan.union_propagation[primed] = v
+
+        # Second loop: hide from C_sub and its view subclasses every property
+        # inherited solely through the deleted edge (findProperties macro).
+        retained = self._retained_identities(view, remaining)
+        for w in self._subclasses_in_view(view, g_sub):
+            to_hide = self._find_properties(view, retained, w, g_sup)
+            if not to_hide:
+                continue
+            primed = self._fresh(w, plan)
+            plan.statements.append(
+                DefineStatement(
+                    name=primed,
+                    derivation=Derivation(
+                        op="hide", sources=(w,), hidden=tuple(sorted(to_hide))
+                    ),
+                    primes=w,
+                )
+            )
+            plan.replacements[w] = primed
+        return plan
+
+    def _emit_shrunk_extent(
+        self,
+        plan: ChangePlan,
+        primed: str,
+        v: str,
+        g_sub: str,
+        keepers: Sequence[str],
+    ) -> None:
+        """Emit ``v' = union(diff(v, C_sub), X)`` with X the union of the
+        commonSub classes; collapses to a plain difference when X is empty."""
+        if not keepers:
+            plan.statements.append(
+                DefineStatement(
+                    name=primed,
+                    derivation=Derivation(op="difference", sources=(v, g_sub)),
+                    primes=v,
+                )
+            )
+            return
+        diff_name = self._fresh_internal(f"diff_{v}_{g_sub}", plan)
+        plan.statements.append(
+            DefineStatement(
+                name=diff_name,
+                derivation=Derivation(op="difference", sources=(v, g_sub)),
+            )
+        )
+        current = diff_name
+        for index, keeper in enumerate(keepers):
+            last = index == len(keepers) - 1
+            union_name = primed if last else self._fresh_internal(f"keep_{v}_{keeper}", plan)
+            plan.statements.append(
+                DefineStatement(
+                    name=union_name,
+                    derivation=Derivation(op="union", sources=(current, keeper)),
+                    primes=v if last else None,
+                )
+            )
+            current = union_name
+
+    @staticmethod
+    def _keepers(
+        remaining: EdgeSet,
+        v: str,
+        c_sub: str,
+        replacements: Dict[str, str],
+    ) -> List[str]:
+        """Classes whose extents must be unioned back into ``v``'s shrunk
+        extent — a generalisation of the paper's ``commonSub`` macro.
+
+        ``diff(v, C_sub)`` over-removes: an instance of C_sub that is *also*
+        below ``v`` through another relationship must stay visible (section
+        6.6.1, figure 11).  Unioning the remaining direct view children of
+        ``v`` restores exactly those instances (each child's extent is a
+        subset of ``v``'s, so nothing foreign enters) and, as a bonus, keeps
+        those children provably below the new ``v'`` so the regenerated view
+        hierarchy preserves their edges.
+
+        Children already primed by this plan (processed supers-last, so inner
+        superclasses are primed first) are mapped to their primed names —
+        the un-primed originals would leak the deleted extent back in.
+        """
+        children = sorted(child for parent, child in remaining if parent == v)
+        return [replacements.get(child, child) for child in children]
+
+    def _retained_identities(
+        self, view: ViewSchema, remaining: EdgeSet
+    ) -> Dict[str, Set[tuple]]:
+        """Per view class, the property identities still visible over the
+        remaining view edges.
+
+        A class *introduces* an identity when none of its original view
+        parents carries it (it is locally defined, or flows in from outside
+        the view); introduced identities survive any edge deletion, inherited
+        ones survive only while a remaining path to a carrier exists.
+        """
+        original: EdgeSet = set(view.edges)
+
+        def identities(cls: str) -> Set[tuple]:
+            result: Set[tuple] = set()
+            for entry in self.schema.type_of(cls).values():
+                candidates = (
+                    entry.candidates if isinstance(entry, Ambiguity) else (entry,)
+                )
+                result.update(c.identity() for c in candidates)
+            return result
+
+        introduced: Dict[str, Set[tuple]] = {}
+        for cls in view.selected:
+            inherited: Set[tuple] = set()
+            for parent in _edge_parents(original, cls):
+                inherited |= identities(parent)
+            introduced[cls] = identities(cls) - inherited
+
+        retained: Dict[str, Set[tuple]] = {}
+
+        def compute(cls: str, active: FrozenSet[str]) -> Set[tuple]:
+            if cls in retained:
+                return retained[cls]
+            if cls in active:  # pragma: no cover - view graphs are acyclic
+                return set()
+            result = set(introduced.get(cls, set()))
+            for parent in _edge_parents(remaining, cls):
+                result |= compute(parent, active | {cls})
+            retained[cls] = result
+            return result
+
+        for cls in view.selected:
+            compute(cls, frozenset())
+        return retained
+
+    def _find_properties(
+        self,
+        view: ViewSchema,
+        retained: Dict[str, Set[tuple]],
+        w: str,
+        g_sup: str,
+    ) -> Set[str]:
+        """The ``findProperties`` macro (footnote 17): names of properties of
+        ``C_sup`` that ``w`` inherited only through the deleted edge."""
+        sup_type = self.schema.type_of(g_sup)
+        w_type = self.schema.type_of(w)
+        lost: Set[str] = set()
+        still_visible = retained.get(w, set())
+        for name, entry in sup_type.items():
+            if isinstance(entry, Ambiguity):
+                continue
+            w_entry = w_type.get(name)
+            if w_entry is None or isinstance(w_entry, Ambiguity):
+                continue
+            if w_entry.identity() != entry.identity():
+                continue  # w overrides with its own definition; keeps it
+            if entry.identity() not in still_visible:
+                lost.add(name)
+        return lost
+
+    # ------------------------------------------------------------------
+    # 6.7 add_class
+    # ------------------------------------------------------------------
+
+    def add_class(
+        self,
+        view: ViewSchema,
+        name: str,
+        connected_to: Optional[str] = None,
+    ) -> ChangePlan:
+        """``add_class C_add [connected_to C_sup]`` (section 6.7.2).
+
+        The new class is an empty leaf whose type equals ``C_sup``'s.  When
+        ``C_sup`` is virtual, a fresh base class is created under every
+        *origin* base class and ``C_sup``'s derivation is replayed over the
+        fresh bases (figure 13 (e)) — this keeps the new class empty while
+        guaranteeing it classifies as a direct subclass of ``C_sup``.
+        """
+        if view.has_class(name):
+            raise ChangeRejected(f"add_class rejected: view already has {name!r}")
+        if name in self.schema:
+            raise ChangeRejected(
+                f"add_class rejected: global schema already has {name!r}"
+            )
+        plan = ChangePlan(
+            operation="add_class",
+            provenance=f"add_class {name}"
+            + (f" connected_to {connected_to}" if connected_to else ""),
+        )
+        if connected_to is None:
+            plan.new_base_classes.append(
+                NewBaseClass(name=name, inherits_from=(ROOT_CLASS,))
+            )
+            plan.additions.append(name)
+            return plan
+        g_sup = self._global(view, connected_to)
+        sup_cls = self.schema[g_sup]
+        if isinstance(sup_cls, BaseClass):
+            # trivial case: the new leaf is simply a base subclass of C_sup
+            plan.new_base_classes.append(
+                NewBaseClass(name=name, inherits_from=(g_sup,))
+            )
+            plan.additions.append(name)
+            return plan
+        mapping: Dict[str, str] = {}
+        for origin in sorted(self._origin_classes(g_sup)):
+            fresh_base = self._fresh_internal(f"{name}_base_{origin}", plan)
+            plan.new_base_classes.append(
+                NewBaseClass(name=fresh_base, inherits_from=(origin,))
+            )
+            mapping[origin] = fresh_base
+        final = self._replay_derivation(plan, g_sup, mapping, final_name=name)
+        plan.additions.append(final)
+        return plan
+
+    def _origin_classes(self, class_name: str) -> FrozenSet[str]:
+        """Origin base classes: recursively trace derivation sources back
+        until base classes are met (section 3.4, footnote 18)."""
+        cls = self.schema[class_name]
+        if isinstance(cls, BaseClass):
+            return frozenset({class_name})
+        assert isinstance(cls, VirtualClass)
+        result: Set[str] = set()
+        for source in cls.derivation.sources:
+            result |= self._origin_classes(source)
+        return frozenset(result)
+
+    def _replay_derivation(
+        self,
+        plan: ChangePlan,
+        class_name: str,
+        mapping: Dict[str, str],
+        final_name: Optional[str] = None,
+    ) -> str:
+        """Recursively re-derive ``class_name`` with origin classes
+        substituted through ``mapping``, appending statements to the plan.
+        Returns the name of the replayed class."""
+        if class_name in mapping:
+            return mapping[class_name]
+        cls = self.schema[class_name]
+        if isinstance(cls, BaseClass):  # pragma: no cover - origins are mapped
+            return class_name
+        assert isinstance(cls, VirtualClass)
+        der = cls.derivation
+        new_sources = tuple(
+            self._replay_derivation(plan, source, mapping) for source in der.sources
+        )
+        replay_name = final_name or self._fresh_internal(f"replay_{class_name}", plan)
+        plan.statements.append(
+            DefineStatement(
+                name=replay_name,
+                derivation=Derivation(
+                    op=der.op,
+                    sources=new_sources,
+                    predicate=der.predicate,
+                    hidden=der.hidden,
+                    new_properties=der.new_properties,
+                    shared_properties=der.shared_properties,
+                ),
+            )
+        )
+        mapping[class_name] = replay_name
+        return replay_name
+
+    # ------------------------------------------------------------------
+    # 6.8 delete_class (removeFromView)
+    # ------------------------------------------------------------------
+
+    def delete_class(self, view: ViewSchema, name: str) -> ChangePlan:
+        """``delete_class C`` — MultiView's ``removeFromView`` (section 6.8):
+        the class simply leaves the view schema; its local extent stays
+        visible to its superclasses and its local properties stay inherited
+        by its subclasses, because nothing in the global schema changes."""
+        g_name = self._global(view, name)
+        if len(view.selected) == 1:
+            raise ChangeRejected("delete_class rejected: view would become empty")
+        plan = ChangePlan(operation="delete_class", provenance=f"delete_class {name}")
+        plan.removals.append(g_name)
+        return plan

@@ -1,0 +1,31 @@
+"""The TSE command language: lexer, parser, interpreter."""
+
+from repro.lang.interpreter import CommandResult, Interpreter
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import (
+    Command,
+    DefineVcCmd,
+    DefineViewCmd,
+    MergeCmd,
+    QuerySpec,
+    SchemaChangeCmd,
+    UpdateCmd,
+    parse_command,
+    parse_script,
+)
+
+__all__ = [
+    "CommandResult",
+    "Interpreter",
+    "Token",
+    "tokenize",
+    "Command",
+    "DefineVcCmd",
+    "DefineViewCmd",
+    "MergeCmd",
+    "QuerySpec",
+    "SchemaChangeCmd",
+    "UpdateCmd",
+    "parse_command",
+    "parse_script",
+]

@@ -1,0 +1,128 @@
+"""Tokenizer for the TSE command language.
+
+The language mirrors the paper's concrete syntax for schema changes
+(``add_attribute register to Student``), view definitions
+(``defineVC Student' as (refine register for Student)``) and generic
+updates (``create Student [name = "Ada"]``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import LexError
+
+#: token kinds
+KEYWORDS = frozenset(
+    {
+        "add_attribute",
+        "delete_attribute",
+        "add_method",
+        "delete_method",
+        "add_edge",
+        "delete_edge",
+        "add_class",
+        "delete_class",
+        "insert_class",
+        "delete_class_2",
+        "definevc",
+        "defineview",
+        "select",
+        "hide",
+        "refine",
+        "union",
+        "difference",
+        "intersect",
+        "create",
+        "set",
+        "delete",
+        "add",
+        "remove",
+        "merge",
+        "to",
+        "from",
+        "for",
+        "where",
+        "and",
+        "or",
+        "not",
+        "in",
+        "is",
+        "as",
+        "between",
+        "connected_to",
+        "into",
+        "true",
+        "false",
+        "none",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(\.\d+)?)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*'*)
+  | (?P<colonref>:)
+  | (?P<symbol>[()\[\]{},=\-.]|==|!=|<=|>=|<|>)
+    """,
+    re.VERBOSE,
+)
+
+# longest-match operators first
+_OPERATORS = ("==", "!=", "<=", ">=", "<", ">", "=")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'punct'
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}:{self.text}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize one command; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        # operators need longest-match handling outside the big regex
+        matched_op = None
+        for op in _OPERATORS:
+            if source.startswith(op, position):
+                matched_op = op
+                break
+        if matched_op:
+            tokens.append(Token("op", matched_op, position))
+            position += len(matched_op)
+            continue
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise LexError(
+                f"unexpected character {source[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token("number", text, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(Token("string", text, match.start()))
+        elif match.lastgroup == "ident":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, match.start()))
+            else:
+                tokens.append(Token("ident", text, match.start()))
+        elif match.lastgroup == "colonref":
+            tokens.append(Token("punct", ":", match.start()))
+        else:
+            tokens.append(Token("punct", text, match.start()))
+    return tokens

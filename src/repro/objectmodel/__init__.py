@@ -1,0 +1,9 @@
+"""Object model layer: object slicing (section 4) and its baseline rival."""
+
+from repro.objectmodel.slicing import (
+    ConceptualObject,
+    ImplementationObject,
+    InstancePool,
+)
+
+__all__ = ["ConceptualObject", "ImplementationObject", "InstancePool"]

@@ -1,0 +1,269 @@
+"""The intersection-class architecture (section 4.1's alternative).
+
+The conventional OODB invariant is "an object belongs to exactly one class".
+To make an object a member of two classes, the intersection-class approach
+fabricates a hidden class ``Jeep&Imported`` that is a subclass of both, then
+stores the object there; dynamic reclassification means creating a *new*
+object of the new class, copying every attribute value, and swapping the
+object identities.
+
+We implement the approach fully — hidden class fabrication, contiguous
+single-chunk object storage, copy-and-swap reclassification — so that
+Table 1's comparison against object slicing can be *measured*:
+
+* ``#oids`` per object is 1 (vs ``1 + N_impl``);
+* managerial storage is one OID (vs OIDs plus slice pointers);
+* the number of classes grows with the number of membership *combinations*
+  in use (worst case ``2^N_class``), while slicing never fabricates classes;
+* inherited-attribute access is one contiguous read (vs pointer chasing);
+* attribute-restricted selects must scan whole objects clustered by their
+  combination class (vs small same-class slices);
+* reclassification costs a full copy plus identity swap (vs slice add/drop).
+
+The model is deliberately independent of the TSE stack — it exists to be
+benchmarked, exactly like the paper's Table 1 discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import NotAMember, ObjectNotFound, UnknownClass
+from repro.storage.oid import OID_SIZE_BYTES, Oid
+from repro.storage.store import ObjectStore
+
+
+@dataclass
+class IntersectionClass:
+    """A class in the intersection-class model.
+
+    ``parents`` holds direct superclasses; ``hidden`` marks fabricated
+    intersection classes (``A&B``) that no user ever declared.
+    """
+
+    name: str
+    attributes: Tuple[str, ...] = ()
+    parents: Tuple[str, ...] = ()
+    hidden: bool = False
+
+
+class IntersectionModel:
+    """A miniature single-classification OODB with intersection classes."""
+
+    def __init__(self, store: Optional[ObjectStore] = None) -> None:
+        self.store = store or ObjectStore()
+        self._classes: Dict[str, IntersectionClass] = {}
+        #: object oid -> (class name, slice id of the contiguous chunk)
+        self._objects: Dict[Oid, Tuple[str, Oid]] = {}
+        self._copies_performed = 0
+        self._identity_swaps = 0
+
+    # -- schema -----------------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        attributes: Iterable[str] = (),
+        parents: Iterable[str] = (),
+    ) -> IntersectionClass:
+        if name in self._classes:
+            raise UnknownClass(f"class {name!r} already defined")
+        for parent in parents:
+            self._class(parent)
+        cls = IntersectionClass(
+            name=name, attributes=tuple(attributes), parents=tuple(parents)
+        )
+        self._classes[name] = cls
+        return cls
+
+    def _class(self, name: str) -> IntersectionClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClass(f"unknown class {name!r}") from None
+
+    def all_attributes(self, name: str) -> Tuple[str, ...]:
+        """Attributes of a class including inherited ones, supers first.
+
+        The multiple-inheritance resolution scheme is fixed at install time
+        (Table 1's last row): first parent wins on a name clash, and the
+        layout of every object chunk depends on it.
+        """
+        cls = self._class(name)
+        seen: List[str] = []
+        for parent in cls.parents:
+            for attr in self.all_attributes(parent):
+                if attr not in seen:
+                    seen.append(attr)
+        for attr in cls.attributes:
+            if attr not in seen:
+                seen.append(attr)
+        return tuple(seen)
+
+    def ancestors(self, name: str) -> FrozenSet[str]:
+        cls = self._class(name)
+        result: Set[str] = set()
+        frontier = list(cls.parents)
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self._class(current).parents)
+        return frozenset(result)
+
+    def class_count(self, include_hidden: bool = True) -> int:
+        if include_hidden:
+            return len(self._classes)
+        return sum(1 for c in self._classes.values() if not c.hidden)
+
+    def hidden_class_count(self) -> int:
+        return sum(1 for c in self._classes.values() if c.hidden)
+
+    # -- intersection-class fabrication -----------------------------------------------
+
+    def _intersection_name(self, names: Iterable[str]) -> str:
+        return "&".join(sorted(names))
+
+    def ensure_combination(self, names: Iterable[str]) -> str:
+        """Return (fabricating if needed) the class for a membership set."""
+        unique = sorted(set(names))
+        if len(unique) == 1:
+            return unique[0]
+        for name in unique:
+            self._class(name)
+        combo_name = self._intersection_name(unique)
+        if combo_name not in self._classes:
+            self._classes[combo_name] = IntersectionClass(
+                name=combo_name, attributes=(), parents=tuple(unique), hidden=True
+            )
+        return combo_name
+
+    # -- objects -----------------------------------------------------------------
+
+    def create_object(self, class_names: Iterable[str], values: Optional[dict] = None) -> Oid:
+        """Create an object member of all ``class_names`` (fabricates the
+        intersection class when more than one)."""
+        combo = self.ensure_combination(class_names)
+        oid = self.store.allocate_oid()
+        chunk = {attr: None for attr in self.all_attributes(combo)}
+        if values:
+            for key, value in values.items():
+                if key not in chunk:
+                    raise NotAMember(
+                        f"attribute {key!r} undefined for {combo!r}"
+                    )
+                chunk[key] = value
+        slice_id = self.store.create_slice(combo, chunk)
+        self._objects[oid] = (combo, slice_id)
+        return oid
+
+    def _object(self, oid: Oid) -> Tuple[str, Oid]:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise ObjectNotFound(f"no object with {oid}") from None
+
+    def class_of(self, oid: Oid) -> str:
+        return self._object(oid)[0]
+
+    def is_member(self, oid: Oid, class_name: str) -> bool:
+        current, _ = self._object(oid)
+        return current == class_name or class_name in self.ancestors(current)
+
+    def get_value(self, oid: Oid, attr: str) -> object:
+        """One contiguous read — inherited attributes cost the same as local
+        ones (Table 1: "fast access to inherited attributes")."""
+        _, slice_id = self._object(oid)
+        return self.store.get_value(slice_id, attr)
+
+    def set_value(self, oid: Oid, attr: str, value: object) -> None:
+        current, slice_id = self._object(oid)
+        if attr not in self.all_attributes(current):
+            raise NotAMember(f"attribute {attr!r} undefined for {current!r}")
+        self.store.put_value(slice_id, attr, value)
+
+    def destroy_object(self, oid: Oid) -> None:
+        _, slice_id = self._object(oid)
+        self.store.drop_slice(slice_id)
+        del self._objects[oid]
+
+    # -- dynamic classification (the expensive path) ----------------------------------
+
+    def add_membership(self, oid: Oid, class_name: str) -> None:
+        """Make the object additionally a member of ``class_name``.
+
+        Fabricates the widened intersection class, creates a fresh chunk of
+        the new layout, copies every value, and swaps identities — the copy
+        machinery Table 1 charges this architecture with.
+        """
+        current, _ = self._object(oid)
+        base_memberships = self._user_memberships(current)
+        if class_name in base_memberships:
+            return
+        self._reclassify(oid, base_memberships | {class_name})
+
+    def remove_membership(self, oid: Oid, class_name: str) -> None:
+        current, _ = self._object(oid)
+        base_memberships = self._user_memberships(current)
+        if class_name not in base_memberships:
+            raise NotAMember(f"{oid} is not a direct member of {class_name!r}")
+        remaining = base_memberships - {class_name}
+        if not remaining:
+            raise NotAMember("an object must remain member of at least one class")
+        self._reclassify(oid, remaining)
+
+    def _user_memberships(self, class_name: str) -> Set[str]:
+        cls = self._class(class_name)
+        if cls.hidden:
+            return set(cls.parents)
+        return {class_name}
+
+    def _reclassify(self, oid: Oid, memberships: Set[str]) -> None:
+        combo = self.ensure_combination(memberships)
+        _, old_slice = self._object(oid)
+        old_values = self.store.read_slice(old_slice)
+        new_chunk = {attr: None for attr in self.all_attributes(combo)}
+        for attr, value in old_values.items():
+            if attr in new_chunk:
+                new_chunk[attr] = value
+        self._copies_performed += 1
+        new_slice = self.store.create_slice(combo, new_chunk)
+        # identity swap: the object keeps its oid, pointing at the new chunk
+        self._identity_swaps += 1
+        self.store.drop_slice(old_slice)
+        self._objects[oid] = (combo, new_slice)
+
+    # -- scans and statistics ---------------------------------------------------------
+
+    def extent(self, class_name: str) -> FrozenSet[Oid]:
+        return frozenset(
+            oid for oid in self._objects if self.is_member(oid, class_name)
+        )
+
+    def scan_members(self, class_name: str) -> Iterator[Tuple[Oid, dict]]:
+        """Scan the extent, charging page reads for every member chunk."""
+        for oid in sorted(self._objects):
+            current, slice_id = self._objects[oid]
+            if current == class_name or class_name in self.ancestors(current):
+                yield oid, self.store.read_slice(slice_id)
+
+    def total_oids_used(self) -> int:
+        """One OID per object — Table 1's ``#oids = 1``."""
+        return len(self._objects)
+
+    def total_managerial_bytes(self) -> int:
+        return len(self._objects) * OID_SIZE_BYTES
+
+    @property
+    def copies_performed(self) -> int:
+        return self._copies_performed
+
+    @property
+    def identity_swaps(self) -> int:
+        return self._identity_swaps
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,326 @@
+"""The object-slicing object model (section 4 of the paper).
+
+One logical object is represented as a *conceptual object* — a bare OID plus
+membership bookkeeping — linked to one *implementation object* per class that
+stores attributes for it.  This gives the two capabilities capacity-
+augmenting views need (section 2.3):
+
+* **multiple classification** — an object is simultaneously a member of every
+  class it has (or could lazily have) a slice for;
+* **dynamic restructuring** — giving every instance of ``Car`` a new stored
+  attribute (via a capacity-augmenting refine class) requires no rewrite of
+  existing storage: a new implementation object per car is created, lazily,
+  the first time the new attribute is touched.
+
+Slices live in the :class:`~repro.storage.store.ObjectStore`, clustered by
+their class, so the page-level cost claims of Table 1 are observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set
+
+from repro.errors import InvalidCast, NotAMember, ObjectNotFound
+from repro.storage.oid import OID_SIZE_BYTES, POINTER_SIZE_BYTES, Oid
+from repro.storage.store import ObjectStore
+
+
+@dataclass
+class ImplementationObject:
+    """One class-specific slice of a conceptual object.
+
+    Carries its own OID (Table 1: ``#oids = 1 + N_impl``), the class whose
+    locally-introduced stored attributes it holds, and the two pointers that
+    link it with its conceptual object (``2 * N_impl`` pointers of managerial
+    storage per object).
+    """
+
+    oid: Oid
+    class_name: str
+    conceptual_oid: Oid
+    slice_id: Oid
+
+
+class ConceptualObject:
+    """The identity-bearing half of a sliced object."""
+
+    def __init__(self, oid: Oid) -> None:
+        self.oid = oid
+        #: base classes the object is a *direct* member of
+        self.direct_classes: Set[str] = set()
+        #: storage class name -> implementation object
+        self.implementations: Dict[str, ImplementationObject] = {}
+        #: the class currently representing the object (casting, Table 1)
+        self.current_class: Optional[str] = None
+
+    @property
+    def n_impl(self) -> int:
+        """Number of implementation objects (``N_impl`` in Table 1)."""
+        return len(self.implementations)
+
+    def managerial_storage_bytes(self) -> int:
+        """Table 1 formula: ``(1 + N_impl) * sizeOf(oid) + N_impl * 2 *
+        sizeOf(pointer)``."""
+        return (1 + self.n_impl) * OID_SIZE_BYTES + self.n_impl * 2 * POINTER_SIZE_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<object {self.oid} in {sorted(self.direct_classes)}>"
+
+
+class InstancePool:
+    """Creates, classifies and destroys sliced objects over an object store.
+
+    The pool is schema-agnostic: membership is tracked by class *name* and
+    slices by storage-class *name*.  The schema layer decides which classes
+    exist and where each attribute is stored; the pool just keeps the slices.
+    """
+
+    def __init__(self, store: ObjectStore) -> None:
+        self.store = store
+        self._objects: Dict[Oid, ConceptualObject] = {}
+        self._members_direct: Dict[str, Set[Oid]] = {}
+        self._generation = 0
+        #: callbacks fired on value writes: (oid, storage_class, attr, value)
+        self._value_listeners: list = []
+        #: callbacks fired when an object is destroyed: (oid,)
+        self._destroy_listeners: list = []
+        #: callbacks fired when a slice is dropped: (oid, storage_class)
+        self._slice_drop_listeners: list = []
+
+    def add_value_listener(self, callback) -> None:
+        """Subscribe to attribute writes (index maintenance hook)."""
+        self._value_listeners.append(callback)
+
+    def add_destroy_listener(self, callback) -> None:
+        """Subscribe to object destruction (index maintenance hook)."""
+        self._destroy_listeners.append(callback)
+
+    def add_slice_drop_listener(self, callback) -> None:
+        """Subscribe to per-class slice drops (index maintenance hook)."""
+        self._slice_drop_listeners.append(callback)
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped on membership changes (extent caching)."""
+        return self._generation
+
+    def _dirty(self) -> None:
+        self._generation += 1
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create_object(self, direct_classes: Iterable[str]) -> ConceptualObject:
+        """Create a conceptual object that is a direct member of each class."""
+        oid = self.store.allocate_oid()
+        obj = ConceptualObject(oid)
+        self._objects[oid] = obj
+        for name in direct_classes:
+            self._add_direct(obj, name)
+        self._dirty()
+        return obj
+
+    def destroy_object(self, oid: Oid) -> None:
+        """Destroy an object: all slices dropped, all memberships removed.
+
+        This is the semantics of the generic ``delete`` operator — the object
+        is "removed from all the classes which they belong to" (section 3.3).
+        """
+        obj = self.get(oid)
+        for impl in obj.implementations.values():
+            self.store.drop_slice(impl.slice_id)
+        for name in list(obj.direct_classes):
+            self._members_direct.get(name, set()).discard(oid)
+        del self._objects[oid]
+        self._dirty()
+        for listener in self._destroy_listeners:
+            listener(oid)
+
+    def get(self, oid: Oid) -> ConceptualObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise ObjectNotFound(f"no live object with {oid}") from None
+
+    def exists(self, oid: Oid) -> bool:
+        return oid in self._objects
+
+    def all_oids(self) -> FrozenSet[Oid]:
+        return frozenset(self._objects)
+
+    def objects(self) -> Iterator[ConceptualObject]:
+        return iter(self._objects.values())
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    # -- membership (multiple & dynamic classification) -------------------------
+
+    def _add_direct(self, obj: ConceptualObject, class_name: str) -> None:
+        obj.direct_classes.add(class_name)
+        self._members_direct.setdefault(class_name, set()).add(obj.oid)
+
+    def add_membership(self, oid: Oid, class_name: str) -> None:
+        """Make the object a direct member of another class (generic ``add``).
+
+        With object slicing this is cheap: record membership; slices appear
+        lazily when class-specific attributes are touched.
+        """
+        obj = self.get(oid)
+        if class_name not in obj.direct_classes:
+            self._add_direct(obj, class_name)
+            self._dirty()
+
+    def remove_membership(self, oid: Oid, class_name: str) -> None:
+        """Remove direct membership (generic ``remove``); drops the slice."""
+        obj = self.get(oid)
+        if class_name not in obj.direct_classes:
+            raise NotAMember(f"{oid} is not a direct member of {class_name!r}")
+        obj.direct_classes.discard(class_name)
+        self._members_direct.get(class_name, set()).discard(oid)
+        impl = obj.implementations.pop(class_name, None)
+        if impl is not None:
+            self.store.drop_slice(impl.slice_id)
+            for listener in self._slice_drop_listeners:
+                listener(oid, class_name)
+        if obj.current_class == class_name:
+            obj.current_class = None
+        self._dirty()
+
+    def reclassify(self, oid: Oid, from_class: str, to_class: str) -> None:
+        """Dynamic classification (Table 1): swap one membership for another.
+
+        With slicing this is "creating and destroying implementation
+        objects" — no value copying, no identity swap.
+        """
+        self.remove_membership(oid, from_class)
+        self.add_membership(oid, to_class)
+
+    def members_direct(self, class_name: str) -> FrozenSet[Oid]:
+        return frozenset(self._members_direct.get(class_name, ()))
+
+    def classes_with_members(self) -> FrozenSet[str]:
+        return frozenset(
+            name for name, oids in self._members_direct.items() if oids
+        )
+
+    # -- casting ----------------------------------------------------------------
+
+    def cast(self, oid: Oid, class_name: str, member_of: Iterable[str]) -> None:
+        """Cast the object to ``class_name`` (switch its representative
+        implementation object).
+
+        ``member_of`` is the set of classes the caller (who knows the schema)
+        has established the object belongs to; casting outside it raises.
+        """
+        obj = self.get(oid)
+        if class_name not in set(member_of):
+            raise InvalidCast(f"{oid} is not a member of {class_name!r}")
+        obj.current_class = class_name
+
+    # -- slices and values ----------------------------------------------------------
+
+    def ensure_slice(self, oid: Oid, storage_class: str) -> ImplementationObject:
+        """Return the implementation object for ``storage_class``, creating
+        it lazily — the dynamic-restructuring move of section 4.1."""
+        obj = self.get(oid)
+        impl = obj.implementations.get(storage_class)
+        if impl is None:
+            slice_id = self.store.create_slice(storage_class)
+            impl = ImplementationObject(
+                oid=self.store.allocate_oid(),
+                class_name=storage_class,
+                conceptual_oid=oid,
+                slice_id=slice_id,
+            )
+            obj.implementations[storage_class] = impl
+        return impl
+
+    def get_value(
+        self, oid: Oid, storage_class: str, attr: str, default: object = None
+    ) -> object:
+        """Read one stored attribute from the object's slice for the class.
+
+        A missing slice means the attribute was never written: the default
+        applies without materialising the slice (reads stay cheap even right
+        after a capacity-augmenting refine over a huge extent).
+        """
+        obj = self.get(oid)
+        impl = obj.implementations.get(storage_class)
+        if impl is None:
+            return default
+        if not self.store.has_value(impl.slice_id, attr):
+            return default
+        return self.store.get_value(impl.slice_id, attr)
+
+    def has_value(self, oid: Oid, storage_class: str, attr: str) -> bool:
+        obj = self.get(oid)
+        impl = obj.implementations.get(storage_class)
+        return impl is not None and self.store.has_value(impl.slice_id, attr)
+
+    def set_value(self, oid: Oid, storage_class: str, attr: str, value: object) -> None:
+        """Write one stored attribute into the slice, creating it on demand.
+
+        Value writes bump the pool generation because select-class extents
+        depend on attribute values, not only on memberships.
+        """
+        impl = self.ensure_slice(oid, storage_class)
+        self.store.put_value(impl.slice_id, attr, value)
+        self._dirty()
+        for listener in self._value_listeners:
+            listener(oid, storage_class, attr, value)
+
+    def remove_value(self, oid: Oid, storage_class: str, attr: str) -> None:
+        """Erase one stored attribute (used by update rollback)."""
+        obj = self.get(oid)
+        impl = obj.implementations.get(storage_class)
+        if impl is not None:
+            self.store.remove_value(impl.slice_id, attr)
+            self._dirty()
+
+    # -- mementos -------------------------------------------------------------
+
+    def memento(self) -> tuple:
+        """A restorable snapshot of memberships and slice links.
+
+        Implementation objects are immutable records, so sharing them
+        between the live state and the memento is safe; the mutable sets and
+        dicts are copied.
+        """
+        objects = {}
+        for oid, obj in self._objects.items():
+            clone = ConceptualObject(oid)
+            clone.direct_classes = set(obj.direct_classes)
+            clone.implementations = dict(obj.implementations)
+            clone.current_class = obj.current_class
+            objects[oid] = clone
+        members = {name: set(oids) for name, oids in self._members_direct.items()}
+        return (objects, members)
+
+    def restore(self, memento: tuple) -> None:
+        """Roll memberships and slice links back to a prior :meth:`memento`."""
+        objects, members = memento
+        self._objects = {}
+        for oid, obj in objects.items():
+            clone = ConceptualObject(oid)
+            clone.direct_classes = set(obj.direct_classes)
+            clone.implementations = dict(obj.implementations)
+            clone.current_class = obj.current_class
+            self._objects[oid] = clone
+        self._members_direct = {name: set(oids) for name, oids in members.items()}
+        self._dirty()
+
+    # -- statistics for Table 1 ---------------------------------------------------
+
+    def total_oids_used(self) -> int:
+        """OIDs consumed by conceptual plus implementation objects."""
+        return sum(1 + obj.n_impl for obj in self._objects.values())
+
+    def total_managerial_bytes(self) -> int:
+        return sum(obj.managerial_storage_bytes() for obj in self._objects.values())
+
+    def average_n_impl(self) -> float:
+        if not self._objects:
+            return 0.0
+        return sum(obj.n_impl for obj in self._objects.values()) / len(self._objects)

@@ -1,0 +1,305 @@
+"""Whole-database persistence: schema, instances, views, history.
+
+GemStone gave the paper's prototype durable storage for free; our stand-in
+completes the story by serialising every layer of a :class:`TseDatabase`
+into one JSON document and rebuilding it:
+
+* the **global schema** — base classes with their properties and authored
+  parents, virtual classes with their derivations (selection predicates
+  serialise through their ``to_dict`` forms), DAG edges, propagation
+  sources, updatability flags and provenance metadata;
+* the **object store and instance pool** — slices, memberships,
+  implementation-object links, OID continuity;
+* the **view schema history** — every version of every view, so
+  transparency survives a restart.
+
+Method bodies are Python callables and do not serialise; a *method
+registry* (mapping ``"Class.method"`` or ``"method"`` to a callable) rebinds
+them at load time.  Unbound methods remain visible in types and fail only
+when invoked.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.errors import StorageError
+from repro.algebra.expressions import predicate_from_dict
+from repro.core.database import TseDatabase
+from repro.objectmodel.slicing import ImplementationObject
+from repro.schema.classes import (
+    ROOT_CLASS,
+    BaseClass,
+    Derivation,
+    SharedProperty,
+    VirtualClass,
+)
+from repro.schema.properties import Attribute, Method, Property
+from repro.storage.oid import Oid
+from repro.storage.store import ObjectStore
+from repro.views.schema import ViewSchema
+
+#: bump when the on-disk layout changes incompatibly
+FORMAT_VERSION = 1
+
+MethodRegistry = Mapping[str, Callable]
+
+
+# ---------------------------------------------------------------------------
+# property serialisation
+# ---------------------------------------------------------------------------
+
+def property_to_dict(prop: Property) -> dict:
+    if isinstance(prop, Attribute):
+        return {
+            "kind": "attribute",
+            "name": prop.name,
+            "domain": prop.domain,
+            "required": prop.required,
+            "default": prop.default,
+            "stored": prop.stored,
+        }
+    assert isinstance(prop, Method)
+    return {"kind": "method", "name": prop.name, "doc": prop.doc}
+
+
+def property_from_dict(
+    data: dict, owner: str, registry: Optional[MethodRegistry]
+) -> Property:
+    if data["kind"] == "attribute":
+        return Attribute(
+            name=data["name"],
+            domain=data["domain"],
+            required=data["required"],
+            default=data["default"],
+            stored=data["stored"],
+        )
+    body = None
+    if registry:
+        body = registry.get(f"{owner}.{data['name']}") or registry.get(data["name"])
+    return Method(name=data["name"], body=body, doc=data.get("doc", ""))
+
+
+# ---------------------------------------------------------------------------
+# derivation serialisation
+# ---------------------------------------------------------------------------
+
+def derivation_to_dict(derivation: Derivation) -> dict:
+    return {
+        "op": derivation.op,
+        "sources": list(derivation.sources),
+        "predicate": (
+            derivation.predicate.to_dict() if derivation.predicate is not None else None
+        ),
+        "hidden": list(derivation.hidden),
+        "new_properties": [property_to_dict(p) for p in derivation.new_properties],
+        "shared_properties": [
+            {"from_class": s.from_class, "name": s.name}
+            for s in derivation.shared_properties
+        ],
+    }
+
+
+def derivation_from_dict(
+    data: dict, owner: str, registry: Optional[MethodRegistry]
+) -> Derivation:
+    return Derivation(
+        op=data["op"],
+        sources=tuple(data["sources"]),
+        predicate=(
+            predicate_from_dict(data["predicate"])
+            if data.get("predicate") is not None
+            else None
+        ),
+        hidden=tuple(data.get("hidden", ())),
+        new_properties=tuple(
+            property_from_dict(p, owner, registry)
+            for p in data.get("new_properties", ())
+        ),
+        shared_properties=tuple(
+            SharedProperty(s["from_class"], s["name"])
+            for s in data.get("shared_properties", ())
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# database <-> dict
+# ---------------------------------------------------------------------------
+
+def database_to_dict(db: TseDatabase) -> dict:
+    """Serialise the full database state."""
+    schema = db.schema
+    classes: List[dict] = []
+    for name in schema.topological_order():
+        if name == ROOT_CLASS:
+            continue
+        cls = schema[name]
+        entry: dict = {
+            "name": name,
+            "updatable": cls.updatable,
+            "meta": {k: v for k, v in cls.meta.items() if isinstance(v, (str, int, bool))},
+        }
+        if isinstance(cls, BaseClass):
+            entry["kind"] = "base"
+            entry["inherits_from"] = list(cls.inherits_from)
+            entry["properties"] = [
+                property_to_dict(p) for p in cls.local_properties.values()
+            ]
+        else:
+            assert isinstance(cls, VirtualClass)
+            entry["kind"] = "virtual"
+            entry["derivation"] = derivation_to_dict(cls.derivation)
+            entry["propagation_source"] = cls.propagation_source
+        classes.append(entry)
+
+    edges = sorted(
+        (sup, sub)
+        for sup in schema.class_names()
+        for sub in schema.direct_subs(sup)
+    )
+
+    objects = []
+    for obj in sorted(db.pool.objects(), key=lambda o: o.oid):
+        objects.append(
+            {
+                "oid": obj.oid.value,
+                "direct_classes": sorted(obj.direct_classes),
+                "current_class": obj.current_class,
+                "implementations": {
+                    cls_name: {
+                        "oid": impl.oid.value,
+                        "slice_id": impl.slice_id.value,
+                    }
+                    for cls_name, impl in sorted(obj.implementations.items())
+                },
+            }
+        )
+
+    views = []
+    for view_name in db.views.history.view_names():
+        for version in db.views.history.versions_of(view_name):
+            views.append(
+                {
+                    "name": version.name,
+                    "version": version.version,
+                    "selected": sorted(version.selected),
+                    "renames": dict(version.renames),
+                    "edges": [list(edge) for edge in version.edges],
+                    "property_renames": {
+                        cls: dict(per_cls)
+                        for cls, per_cls in version.property_renames.items()
+                    },
+                    "provenance": version.provenance,
+                }
+            )
+
+    return {
+        "format": FORMAT_VERSION,
+        "store": db.store.snapshot(),
+        "classes": classes,
+        "edges": edges,
+        "objects": objects,
+        "views": views,
+    }
+
+
+def database_from_dict(
+    data: dict, methods: Optional[MethodRegistry] = None
+) -> TseDatabase:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported database format {data.get('format')!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    db = TseDatabase()
+    db.store = ObjectStore.from_snapshot(data["store"])
+    db.transactions.store = db.store
+    db.pool.store = db.store
+
+    # classes arrive supers-before-subs (topological order at save time)
+    for entry in data["classes"]:
+        name = entry["name"]
+        if entry["kind"] == "base":
+            cls = BaseClass(
+                name,
+                properties=tuple(
+                    property_from_dict(p, name, methods)
+                    for p in entry["properties"]
+                ),
+                inherits_from=tuple(entry["inherits_from"]),
+            )
+            db.schema._classes[name] = cls
+        else:
+            cls = VirtualClass(
+                name, derivation_from_dict(entry["derivation"], name, methods)
+            )
+            cls.propagation_source = entry.get("propagation_source")
+            db.schema._classes[name] = cls
+        cls.updatable = entry.get("updatable", True)
+        cls.meta.update(entry.get("meta", {}))
+        db.schema._supers[name] = set()
+        db.schema._subs[name] = set()
+    for sup, sub in data["edges"]:
+        db.schema._subs[sup].add(sub)
+        db.schema._supers[sub].add(sup)
+    db.schema._dirty()
+    db.schema.validate()
+
+    for entry in data["objects"]:
+        oid = Oid(int(entry["oid"]))
+        obj = db.pool._objects[oid] = _rebuild_object(db, entry, oid)
+        for cls_name in obj.direct_classes:
+            db.pool._members_direct.setdefault(cls_name, set()).add(oid)
+    db.pool._dirty()
+
+    for entry in sorted(data["views"], key=lambda v: (v["name"], v["version"])):
+        view = ViewSchema(
+            name=entry["name"],
+            version=entry["version"],
+            selected=frozenset(entry["selected"]),
+            renames=entry["renames"],
+            edges=tuple(tuple(edge) for edge in entry["edges"]),
+            property_renames=entry["property_renames"],
+            provenance=entry.get("provenance", ""),
+        )
+        if view.version == 1:
+            db.views.history.register_initial(view)
+        else:
+            db.views.history.substitute(view)
+    return db
+
+
+def _rebuild_object(db: TseDatabase, entry: dict, oid: Oid):
+    from repro.objectmodel.slicing import ConceptualObject
+
+    obj = ConceptualObject(oid)
+    obj.direct_classes = set(entry["direct_classes"])
+    obj.current_class = entry.get("current_class")
+    for cls_name, impl_entry in entry["implementations"].items():
+        obj.implementations[cls_name] = ImplementationObject(
+            oid=Oid(int(impl_entry["oid"])),
+            class_name=cls_name,
+            conceptual_oid=oid,
+            slice_id=Oid(int(impl_entry["slice_id"])),
+        )
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# file front door
+# ---------------------------------------------------------------------------
+
+def save_database(db: TseDatabase, path: "Path | str") -> None:
+    """Persist a database to one JSON file."""
+    Path(path).write_text(json.dumps(database_to_dict(db), indent=1))
+
+
+def load_database(
+    path: "Path | str", methods: Optional[MethodRegistry] = None
+) -> TseDatabase:
+    """Load a database previously written by :func:`save_database`."""
+    return database_from_dict(json.loads(Path(path).read_text()), methods=methods)

@@ -1,0 +1,69 @@
+"""Schema layer: properties, types, classes, the global DAG, and extents."""
+
+from repro.schema.classes import (
+    DERIVATION_OPS,
+    EXTENT_PRESERVING_OPS,
+    ROOT_CLASS,
+    UNARY_OPS,
+    BaseClass,
+    Derivation,
+    SchemaClass,
+    SharedProperty,
+    VirtualClass,
+)
+from repro.schema.extents import (
+    ExtentEvaluator,
+    ExtentRelations,
+    attribute_reader,
+    read_attribute,
+    read_path,
+)
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import (
+    ANY_DOMAIN,
+    PRIMITIVE_DOMAINS,
+    Attribute,
+    Method,
+    Property,
+    ResolvedProperty,
+)
+from repro.schema.types import (
+    Ambiguity,
+    TypeMap,
+    is_subtype,
+    property_names,
+    resolve,
+    stored_attributes,
+    type_signature,
+)
+
+__all__ = [
+    "DERIVATION_OPS",
+    "EXTENT_PRESERVING_OPS",
+    "ROOT_CLASS",
+    "UNARY_OPS",
+    "BaseClass",
+    "Derivation",
+    "SchemaClass",
+    "SharedProperty",
+    "VirtualClass",
+    "ExtentEvaluator",
+    "ExtentRelations",
+    "attribute_reader",
+    "read_attribute",
+    "read_path",
+    "GlobalSchema",
+    "ANY_DOMAIN",
+    "PRIMITIVE_DOMAINS",
+    "Attribute",
+    "Method",
+    "Property",
+    "ResolvedProperty",
+    "Ambiguity",
+    "TypeMap",
+    "is_subtype",
+    "property_names",
+    "resolve",
+    "stored_attributes",
+    "type_signature",
+]

@@ -1,0 +1,317 @@
+"""Extent evaluation and definitional extent relations.
+
+Two distinct jobs live here:
+
+1. :class:`ExtentEvaluator` computes the (always *global*, per footnote 14)
+   extent of any class against a populated instance pool.  Base-class extents
+   come from direct memberships plus upward is-a reachability; virtual-class
+   extents are evaluated from their derivations.
+
+2. :class:`ExtentRelations` *proves* subset/equality relationships between
+   class extents without looking at instances, using the definitional rules
+   of the algebra (``extent(refine(S)) = extent(S)``,
+   ``extent(select(S,p)) ⊆ extent(S)``, union ⊇ arguments, ...).  The
+   classifier positions new virtual classes with these proofs so that
+   classification is a schema-level operation, exactly as in MultiView [17];
+   the instance-level evaluator doubles as a verification oracle in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.errors import PredicateError, UnknownProperty
+from repro.schema.classes import (
+    EXTENT_PRESERVING_OPS,
+    BaseClass,
+    VirtualClass,
+)
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute, ResolvedProperty
+from repro.schema import types as typemod
+from repro.storage.oid import Oid
+from repro.objectmodel.slicing import InstancePool
+
+
+def read_attribute(
+    schema: GlobalSchema,
+    pool: InstancePool,
+    class_name: str,
+    oid: Oid,
+    attr_name: str,
+) -> object:
+    """Read ``attr_name`` of object ``oid`` as typed by ``class_name``.
+
+    Resolution walks the class's type to find the storage class whose slice
+    holds the value; unwritten stored attributes yield their declared
+    default.  Methods cannot be read this way.
+    """
+    type_map = schema.type_of(class_name)
+    resolved = typemod.resolve_qualified(type_map, attr_name, class_name=class_name)
+    if not isinstance(resolved.prop, Attribute):
+        raise PredicateError(
+            f"{attr_name!r} is a method of {class_name!r}, not an attribute"
+        )
+    if resolved.storage_class is None:
+        compute = getattr(resolved.prop, "compute", None)
+        if compute is not None:
+            # derived attribute: evaluate against this object's own reader
+            return compute(attribute_reader(schema, pool, class_name, oid))
+        return resolved.prop.default
+    return pool.get_value(
+        oid, resolved.storage_class, resolved.prop.name,
+        default=resolved.prop.default,
+    )
+
+
+def read_path(
+    schema: GlobalSchema,
+    pool: InstancePool,
+    class_name: str,
+    oid: Oid,
+    path: str,
+) -> object:
+    """Read a dotted attribute path, dereferencing object-valued attributes.
+
+    ``read_path(..., "Student", oid, "advisor.name")`` reads the ``advisor``
+    attribute of the student (whose declared domain must be a class of the
+    schema), then reads ``name`` of the referenced object as typed by that
+    domain class.  A ``None`` anywhere along the path yields ``None``; a
+    non-OID value with path remaining is a :class:`PredicateError`.
+    """
+    segments = path.split(".")
+    current_class = class_name
+    current_oid = oid
+    for index, segment in enumerate(segments):
+        value = read_attribute(schema, pool, current_class, current_oid, segment)
+        if index == len(segments) - 1:
+            return value
+        if value is None:
+            return None
+        if not isinstance(value, Oid) or not pool.exists(value):
+            raise PredicateError(
+                f"path segment {segment!r} of {path!r} did not yield a live "
+                f"object reference"
+            )
+        type_map = schema.type_of(current_class)
+        resolved = typemod.resolve_qualified(
+            type_map, segment, class_name=current_class
+        )
+        domain = resolved.prop.domain if isinstance(resolved.prop, Attribute) else None
+        if domain is None or domain not in schema:
+            raise PredicateError(
+                f"attribute {segment!r} of {current_class!r} has no class-"
+                f"valued domain to traverse"
+            )
+        current_class = domain
+        current_oid = value
+    raise PredicateError(f"empty path {path!r}")  # pragma: no cover
+
+
+def attribute_reader(
+    schema: GlobalSchema, pool: InstancePool, class_name: str, oid: Oid
+) -> Callable[[str], object]:
+    """A closure reading attributes of one object in one class context —
+    the shape selection predicates evaluate against.  Dotted names traverse
+    object-valued attributes (see :func:`read_path`)."""
+
+    def reader(attr_name: str) -> object:
+        if "." in attr_name:
+            return read_path(schema, pool, class_name, oid, attr_name)
+        return read_attribute(schema, pool, class_name, oid, attr_name)
+
+    return reader
+
+
+class ExtentEvaluator:
+    """Computes global extents, cached per (schema, pool) generation."""
+
+    def __init__(self, schema: GlobalSchema, pool: InstancePool) -> None:
+        self.schema = schema
+        self.pool = pool
+        self._cache: Dict[str, FrozenSet[Oid]] = {}
+        self._cache_key: Tuple[int, int] = (-1, -1)
+
+    def _current_key(self) -> Tuple[int, int]:
+        return (self.schema.generation, self.pool.generation)
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+        self._cache_key = self._current_key()
+
+    def extent(self, class_name: str) -> FrozenSet[Oid]:
+        """The global extent of the class as a frozen set of conceptual OIDs."""
+        key = self._current_key()
+        if key != self._cache_key:
+            self._cache.clear()
+            self._cache_key = key
+        cached = self._cache.get(class_name)
+        if cached is not None:
+            return cached
+        result = self._evaluate(class_name, frozenset())
+        self._cache[class_name] = result
+        return result
+
+    def _evaluate(self, class_name: str, active: FrozenSet[str]) -> FrozenSet[Oid]:
+        if class_name in active:  # pragma: no cover - derivations are acyclic
+            raise PredicateError(f"cyclic extent dependency at {class_name!r}")
+        cls = self.schema[class_name]
+        active = active | {class_name}
+        if isinstance(cls, BaseClass):
+            return self._base_extent(cls)
+        assert isinstance(cls, VirtualClass)
+        der = cls.derivation
+        if der.op in EXTENT_PRESERVING_OPS:
+            return self._evaluate(der.source, active)
+        if der.op == "select":
+            source_extent = self._evaluate(der.source, active)
+            matched = set()
+            for oid in source_extent:
+                reader = attribute_reader(self.schema, self.pool, der.source, oid)
+                if der.predicate.matches(reader):
+                    matched.add(oid)
+            return frozenset(matched)
+        first = self._evaluate(der.sources[0], active)
+        second = self._evaluate(der.sources[1], active)
+        if der.op == "union":
+            return first | second
+        if der.op == "difference":
+            return first - second
+        if der.op == "intersect":
+            return first & second
+        raise PredicateError(f"unhandled derivation op {der.op!r}")  # pragma: no cover
+
+    def _base_extent(self, cls: BaseClass) -> FrozenSet[Oid]:
+        """Members of every (direct-membership) class from which ``cls`` is
+        reachable upward in the is-a DAG."""
+        result: Set[Oid] = set()
+        for member_class in self.pool.classes_with_members():
+            if member_class not in self.schema:
+                continue
+            if self.schema.is_ancestor_or_equal(cls.name, member_class):
+                result |= self.pool.members_direct(member_class)
+        return frozenset(result)
+
+    def is_member(self, oid: Oid, class_name: str) -> bool:
+        return oid in self.extent(class_name)
+
+
+class ExtentRelations:
+    """Definitional subset/equality proofs between class extents.
+
+    ``subset(a, b)`` returns True only when ``extent(a) ⊆ extent(b)`` is
+    *provable* from derivations and existing is-a edges; False means
+    "unknown", never "disjoint".  The prover is sound but deliberately
+    incomplete (so is any schema-level classifier); the hypothesis tests
+    check soundness against the instance-level evaluator.
+    """
+
+    def __init__(self, schema: GlobalSchema) -> None:
+        self.schema = schema
+        self._memo: Dict[Tuple[str, str], bool] = {}
+        self._memo_generation = -1
+
+    def _fresh_memo(self) -> None:
+        if self._memo_generation != self.schema.generation:
+            self._memo = {}
+            self._memo_generation = self.schema.generation
+
+    def subset(self, sub: str, sup: str) -> bool:
+        """Provably ``extent(sub) ⊆ extent(sup)``?"""
+        self._fresh_memo()
+        return self._subset(sub, sup, frozenset())
+
+    def equal(self, first: str, second: str) -> bool:
+        """Provably equal extents?"""
+        return self.subset(first, second) and self.subset(second, first)
+
+    def _subset(self, sub: str, sup: str, active: FrozenSet[Tuple[str, str]]) -> bool:
+        if sub == sup:
+            return True
+        key = (sub, sup)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if key in active:
+            return False  # pessimistic on cycles; keeps the prover sound
+        active = active | {key}
+        result = self._subset_uncached(sub, sup, active)
+        self._memo[key] = result
+        return result
+
+    def _subset_uncached(
+        self, sub: str, sup: str, active: FrozenSet[Tuple[str, str]]
+    ) -> bool:
+        # Existing is-a edges are extent-sound by construction.
+        if self.schema.is_ancestor(sup, sub):
+            return True
+        sub_cls = self.schema[sub]
+        sup_cls = self.schema[sup]
+        # Normalise through extent-preserving derivations on either side.
+        if (
+            isinstance(sub_cls, VirtualClass)
+            and sub_cls.derivation.op in EXTENT_PRESERVING_OPS
+        ):
+            if self._subset(sub_cls.derivation.source, sup, active):
+                return True
+        if (
+            isinstance(sup_cls, VirtualClass)
+            and sup_cls.derivation.op in EXTENT_PRESERVING_OPS
+        ):
+            if self._subset(sub, sup_cls.derivation.source, active):
+                return True
+        # Shrinking derivations on the sub side.
+        if isinstance(sub_cls, VirtualClass):
+            der = sub_cls.derivation
+            if der.op in ("select", "difference"):
+                if self._subset(der.sources[0], sup, active):
+                    return True
+            elif der.op == "union":
+                if self._subset(der.sources[0], sup, active) and self._subset(
+                    der.sources[1], sup, active
+                ):
+                    return True
+            elif der.op == "intersect":
+                if self._subset(der.sources[0], sup, active) or self._subset(
+                    der.sources[1], sup, active
+                ):
+                    return True
+        # Growing derivations on the sup side.
+        if isinstance(sup_cls, VirtualClass):
+            der = sup_cls.derivation
+            if der.op == "union":
+                if self._subset(sub, der.sources[0], active) or self._subset(
+                    sub, der.sources[1], active
+                ):
+                    return True
+        # Congruence: the same operator applied to pairwise-subsumed sources
+        # yields subsumed results.  This is what positions a replayed
+        # derivation (the add-class algorithm, figure 13 (e)) directly under
+        # its template class.
+        if isinstance(sub_cls, VirtualClass) and isinstance(sup_cls, VirtualClass):
+            da, db = sub_cls.derivation, sup_cls.derivation
+            if da.op == db.op:
+                if (
+                    da.op == "select"
+                    and da.predicate.signature() == db.predicate.signature()
+                    and self._subset(da.sources[0], db.sources[0], active)
+                ):
+                    return True
+                if (
+                    da.op == "difference"
+                    and self._subset(da.sources[0], db.sources[0], active)
+                    and self._subset(db.sources[1], da.sources[1], active)
+                ):
+                    return True
+                if da.op == "intersect" and (
+                    (
+                        self._subset(da.sources[0], db.sources[0], active)
+                        and self._subset(da.sources[1], db.sources[1], active)
+                    )
+                    or (
+                        self._subset(da.sources[0], db.sources[1], active)
+                        and self._subset(da.sources[1], db.sources[0], active)
+                    )
+                ):
+                    return True
+        return False

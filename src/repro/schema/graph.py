@@ -1,0 +1,479 @@
+"""The global schema: one DAG integrating all base and virtual classes.
+
+Section 1 of the paper: *"all objects are associated with a single underlying
+global schema"* and *"each version of the schema is implemented via a view
+defined on the global schema"*.  This module owns that single DAG — class
+registry, is-a edges, type computation and the structural queries every other
+layer needs (ancestors, descendants, transitive reduction, invariants).
+
+Type computation is *intensional*: a base class's type comes from its
+authored parents (``inherits_from``) plus local properties, and a virtual
+class's type is a pure function of its derivation (section 3.2 rules).
+Classification may rewire DAG edges around a class but never changes any
+class's type — that stability is what makes existing views immune to view
+evolution (the Proposition B arguments of section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import (
+    CyclicSchema,
+    DuplicateClass,
+    InvariantViolation,
+    SchemaError,
+    UnknownClass,
+)
+from repro.schema.classes import (
+    EXTENT_PRESERVING_OPS,
+    ROOT_CLASS,
+    BaseClass,
+    Derivation,
+    SchemaClass,
+    VirtualClass,
+    root_class,
+)
+from repro.schema.properties import Attribute, Property, ResolvedProperty
+from repro.schema import types as typemod
+from repro.schema.types import TypeMap
+
+
+class GlobalSchema:
+    """Registry of classes plus the is-a DAG, with cached type computation."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, SchemaClass] = {}
+        self._supers: Dict[str, Set[str]] = {}
+        self._subs: Dict[str, Set[str]] = {}
+        self._generation = 0
+        self._type_cache: Dict[str, TypeMap] = {}
+        self._type_cache_generation = -1
+        root = root_class()
+        self._classes[root.name] = root
+        self._supers[root.name] = set()
+        self._subs[root.name] = set()
+
+    # -- registry -----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __getitem__(self, name: str) -> SchemaClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClass(f"no class named {name!r} in the global schema") from None
+
+    def class_names(self) -> List[str]:
+        return sorted(self._classes)
+
+    def classes(self) -> Iterator[SchemaClass]:
+        return iter(self._classes.values())
+
+    def base_classes(self) -> List[BaseClass]:
+        return [c for c in self._classes.values() if isinstance(c, BaseClass)]
+
+    def virtual_classes(self) -> List[VirtualClass]:
+        return [c for c in self._classes.values() if isinstance(c, VirtualClass)]
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped on every structural mutation."""
+        return self._generation
+
+    def _dirty(self) -> None:
+        self._generation += 1
+
+    # -- class creation -------------------------------------------------------
+
+    def add_base_class(
+        self,
+        name: str,
+        properties: Tuple[Property, ...] = (),
+        inherits_from: Tuple[str, ...] = (ROOT_CLASS,),
+    ) -> BaseClass:
+        """Author a new base class under the given parents."""
+        if name in self._classes:
+            raise DuplicateClass(f"class {name!r} already exists")
+        for parent in inherits_from:
+            if parent not in self._classes:
+                raise UnknownClass(f"unknown superclass {parent!r} for {name!r}")
+        cls = BaseClass(name, properties=properties, inherits_from=inherits_from)
+        self._classes[name] = cls
+        self._supers[name] = set()
+        self._subs[name] = set()
+        for parent in inherits_from:
+            self.add_edge(parent, name)
+        if not inherits_from:
+            self.add_edge(ROOT_CLASS, name)
+        self._dirty()
+        return cls
+
+    def define_local_property(self, class_name: str, prop: Property) -> None:
+        """Attach a locally defined property to a base class (authoring API).
+
+        Goes through the schema so the type cache is invalidated; mutating
+        ``BaseClass.local_properties`` directly would leave stale types.
+        """
+        cls = self[class_name]
+        if not isinstance(cls, BaseClass):
+            raise SchemaError(
+                f"cannot define local properties on virtual class {class_name!r}"
+            )
+        cls.define_property(prop)
+        self._dirty()
+
+    def add_virtual_class_raw(self, name: str, derivation: Derivation) -> VirtualClass:
+        """Register a virtual class *without* positioning it in the DAG.
+
+        Only the classifier should call this; it follows up by computing the
+        class's direct supers and subs.  The class's sources must exist.
+        """
+        if name in self._classes:
+            raise DuplicateClass(f"class {name!r} already exists")
+        for source in derivation.sources:
+            if source not in self._classes:
+                raise UnknownClass(f"unknown source class {source!r} for {name!r}")
+        vc = VirtualClass(name, derivation)
+        self._classes[name] = vc
+        self._supers[name] = set()
+        self._subs[name] = set()
+        self._dirty()
+        return vc
+
+    def remove_class(self, name: str) -> None:
+        """Remove a class and all its edges (used to discard duplicates)."""
+        if name == ROOT_CLASS:
+            raise SchemaError("cannot remove ROOT")
+        self[name]  # raises UnknownClass when absent
+        for sup in list(self._supers[name]):
+            self.remove_edge(sup, name)
+        for sub in list(self._subs[name]):
+            self.remove_edge(name, sub)
+        del self._classes[name]
+        del self._supers[name]
+        del self._subs[name]
+        self._dirty()
+
+    def rename_class(self, old: str, new: str) -> None:
+        """Rename a class globally (used by version merging, section 7)."""
+        cls = self[old]
+        if new in self._classes:
+            raise DuplicateClass(f"class {new!r} already exists")
+        self._classes[new] = cls
+        del self._classes[old]
+        cls.name = new
+        self._supers[new] = self._supers.pop(old)
+        self._subs[new] = self._subs.pop(old)
+        for peers in self._supers.values():
+            if old in peers:
+                peers.discard(old)
+                peers.add(new)
+        for peers in self._subs.values():
+            if old in peers:
+                peers.discard(old)
+                peers.add(new)
+        for other in self._classes.values():
+            if isinstance(other, BaseClass) and old in other.inherits_from:
+                other.inherits_from = tuple(
+                    new if p == old else p for p in other.inherits_from
+                )
+            if isinstance(other, VirtualClass) and old in other.derivation.sources:
+                der = other.derivation
+                other.derivation = Derivation(
+                    op=der.op,
+                    sources=tuple(new if s == old else s for s in der.sources),
+                    predicate=der.predicate,
+                    hidden=der.hidden,
+                    new_properties=der.new_properties,
+                    shared_properties=der.shared_properties,
+                )
+        self._dirty()
+
+    # -- edges ------------------------------------------------------------------
+
+    def add_edge(self, sup: str, sub: str) -> None:
+        """Add a direct is-a edge making ``sup`` a direct superclass of ``sub``."""
+        if sup not in self._classes:
+            raise UnknownClass(f"unknown class {sup!r}")
+        if sub not in self._classes:
+            raise UnknownClass(f"unknown class {sub!r}")
+        if sup == sub:
+            raise CyclicSchema(f"class {sup!r} cannot be its own superclass")
+        if self.is_ancestor(sub, sup):
+            raise CyclicSchema(
+                f"edge {sup!r} -> {sub!r} would create an is-a cycle"
+            )
+        self._subs[sup].add(sub)
+        self._supers[sub].add(sup)
+        self._dirty()
+
+    def remove_edge(self, sup: str, sub: str) -> None:
+        if sub not in self._subs.get(sup, ()):  # pragma: no cover - guard
+            raise SchemaError(f"no direct edge {sup!r} -> {sub!r}")
+        self._subs[sup].discard(sub)
+        self._supers[sub].discard(sup)
+        self._dirty()
+
+    def has_edge(self, sup: str, sub: str) -> bool:
+        return sub in self._subs.get(sup, ())
+
+    def direct_supers(self, name: str) -> FrozenSet[str]:
+        self[name]
+        return frozenset(self._supers[name])
+
+    def direct_subs(self, name: str) -> FrozenSet[str]:
+        self[name]
+        return frozenset(self._subs[name])
+
+    # -- reachability --------------------------------------------------------------
+
+    def ancestors(self, name: str) -> FrozenSet[str]:
+        """All strict ancestors of ``name`` (superclasses, transitively)."""
+        self[name]
+        seen: Set[str] = set()
+        frontier = list(self._supers[name])
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._supers[current])
+        return frozenset(seen)
+
+    def descendants(self, name: str) -> FrozenSet[str]:
+        """All strict descendants of ``name`` (subclasses, transitively)."""
+        self[name]
+        seen: Set[str] = set()
+        frontier = list(self._subs[name])
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._subs[current])
+        return frozenset(seen)
+
+    def is_ancestor(self, sup: str, sub: str) -> bool:
+        """True when ``sup`` is a strict ancestor of ``sub``."""
+        return sup in self.ancestors(sub)
+
+    def is_ancestor_or_equal(self, sup: str, sub: str) -> bool:
+        return sup == sub or self.is_ancestor(sup, sub)
+
+    def topological_order(self) -> List[str]:
+        """Class names ordered supers-before-subs."""
+        order: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited:
+                return
+            visited.add(name)
+            for sup in sorted(self._supers[name]):
+                visit(sup)
+            order.append(name)
+
+        for name in sorted(self._classes):
+            visit(name)
+        return order
+
+    def transitive_reduction_over(
+        self, selected: Iterable[str]
+    ) -> List[Tuple[str, str]]:
+        """Minimal is-a edges among ``selected`` implied by the global DAG.
+
+        This is the core of the view schema generation algorithm ([21]): the
+        view's generalization hierarchy is the transitive reduction of the
+        global subsumption relation restricted to the selected classes.
+        """
+        chosen = sorted(set(selected))
+        for name in chosen:
+            self[name]
+        above: Dict[str, Set[str]] = {
+            name: set(self.ancestors(name)) & set(chosen) for name in chosen
+        }
+        edges: List[Tuple[str, str]] = []
+        for sub in chosen:
+            for sup in sorted(above[sub]):
+                # keep sup -> sub unless some intermediate selected class sits
+                # strictly between them
+                if any(
+                    sup in above[mid] and mid in above[sub]
+                    for mid in chosen
+                    if mid not in (sup, sub)
+                ):
+                    continue
+                edges.append((sup, sub))
+        return edges
+
+    # -- types ------------------------------------------------------------------
+
+    def type_of(self, name: str) -> TypeMap:
+        """The type (property library) of a class, cached per generation."""
+        if self._type_cache_generation != self._generation:
+            self._type_cache = {}
+            self._type_cache_generation = self._generation
+        cached = self._type_cache.get(name)
+        if cached is not None:
+            return cached
+        computed = self._compute_type(name, frozenset())
+        self._type_cache[name] = computed
+        return computed
+
+    def _compute_type(self, name: str, active: FrozenSet[str]) -> TypeMap:
+        if name in active:
+            raise InvariantViolation(
+                f"cyclic type dependency through class {name!r}"
+            )
+        cached = self._type_cache.get(name)
+        if cached is not None:
+            return cached
+        cls = self[name]
+        active = active | {name}
+        if isinstance(cls, BaseClass):
+            result = self._base_type(cls, active)
+        else:
+            result = self._derived_type(cls, active)
+        self._type_cache[name] = result
+        return result
+
+    def _base_type(self, cls: BaseClass, active: FrozenSet[str]) -> TypeMap:
+        inherited = typemod.merge_inherited(
+            self._compute_type(parent, active) for parent in cls.inherits_from
+        )
+        local = {
+            prop.name: ResolvedProperty(
+                prop=prop,
+                origin_class=cls.name,
+                storage_class=(
+                    cls.name
+                    if isinstance(prop, Attribute) and prop.stored
+                    else None
+                ),
+            )
+            for prop in cls.local_properties.values()
+        }
+        return typemod.apply_local(inherited, local)
+
+    def _derived_type(self, cls: VirtualClass, active: FrozenSet[str]) -> TypeMap:
+        der = cls.derivation
+        if der.op in ("select", "difference"):
+            return dict(self._compute_type(der.sources[0], active))
+        if der.op == "hide":
+            source_type = self._compute_type(der.source, active)
+            remaining = typemod.subtract(source_type, der.hidden)
+            # Promotion rule of section 6.2.3: the surviving properties of the
+            # hidden-from class are projected upward into this class and win
+            # later same-name conflicts.
+            promoted: TypeMap = {}
+            for prop_name, entry in remaining.items():
+                if isinstance(entry, ResolvedProperty) and not entry.promoted:
+                    promoted[prop_name] = ResolvedProperty(
+                        prop=entry.prop,
+                        origin_class=entry.origin_class,
+                        storage_class=entry.storage_class,
+                        promoted=True,
+                    )
+                else:
+                    promoted[prop_name] = entry
+            return promoted
+        if der.op == "refine":
+            source_type = self._compute_type(der.source, active)
+            additions: Dict[str, ResolvedProperty] = {}
+            for prop in der.new_properties:
+                additions[prop.name] = ResolvedProperty(
+                    prop=prop,
+                    origin_class=cls.name,
+                    storage_class=(
+                        cls.name
+                        if isinstance(prop, Attribute) and prop.stored
+                        else None
+                    ),
+                )
+            for shared in der.shared_properties:
+                donor_type = self._compute_type(shared.from_class, active)
+                resolved = typemod.resolve(
+                    donor_type, shared.name, class_name=shared.from_class
+                )
+                additions[shared.name] = resolved
+            return typemod.augment(source_type, additions)
+        first = self._compute_type(der.sources[0], active)
+        second = self._compute_type(der.sources[1], active)
+        if der.op == "union":
+            return typemod.common(first, second)
+        if der.op == "intersect":
+            return typemod.combined(first, second)
+        raise InvariantViolation(f"unhandled derivation op {der.op!r}")
+
+    # -- invariants ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants, raising :class:`InvariantViolation`.
+
+        * the is-a relation is acyclic (guaranteed by ``add_edge`` but
+          re-checked here as a safety net);
+        * every class other than ROOT reaches ROOT;
+        * along every edge, the superclass's property names are a subset of
+          the subclass's (type monotonicity, modulo overriding which keeps
+          names identical).
+        """
+        order = self.topological_order()
+        if len(order) != len(self._classes):  # pragma: no cover - defensive
+            raise InvariantViolation("is-a relation is cyclic")
+        for name in self._classes:
+            if name == ROOT_CLASS:
+                continue
+            if ROOT_CLASS not in self.ancestors(name):
+                raise InvariantViolation(f"class {name!r} does not reach ROOT")
+        for sup, subs in self._subs.items():
+            sup_names = set(self.type_of(sup))
+            for sub in subs:
+                sub_names = set(self.type_of(sub))
+                if not sup_names <= sub_names:
+                    missing = sorted(sup_names - sub_names)
+                    raise InvariantViolation(
+                        f"edge {sup!r} -> {sub!r} breaks type monotonicity; "
+                        f"{sub!r} lacks {missing}"
+                    )
+
+    # -- mementos ------------------------------------------------------------------
+
+    def memento(self) -> tuple:
+        """A restorable snapshot of the schema's structure.
+
+        The snapshot is shallow: it captures which classes and edges exist.
+        That suffices for rolling back a failed evolution pipeline because
+        pipelines only *add* classes (which a restore forgets) and add/remove
+        edges — they never mutate pre-existing class objects.
+        """
+        return (
+            dict(self._classes),
+            {name: set(sups) for name, sups in self._supers.items()},
+            {name: set(subs) for name, subs in self._subs.items()},
+        )
+
+    def restore(self, memento: tuple) -> None:
+        """Roll the schema structure back to a prior :meth:`memento`."""
+        classes, supers, subs = memento
+        self._classes = dict(classes)
+        self._supers = {name: set(sups) for name, sups in supers.items()}
+        self._subs = {name: set(s) for name, s in subs.items()}
+        self._dirty()
+
+    # -- convenience --------------------------------------------------------------
+
+    def subclasses_within(self, name: str, universe: Iterable[str]) -> List[str]:
+        """Descendants of ``name`` (inclusive) restricted to ``universe``.
+
+        The section 6 algorithms run "in the context of a view": they only
+        create primed classes for subclasses *within* the view (section 2.2's
+        point that the Grad class is untouched).
+        """
+        allowed = set(universe)
+        return [
+            cls
+            for cls in [name, *sorted(self.descendants(name))]
+            if cls in allowed
+        ]

@@ -1,0 +1,212 @@
+"""Types as property libraries: merging, overriding, subsumption.
+
+In the paper's model a *type* is the set of properties (attributes and
+methods) defined for a class.  This module represents a type as a mapping
+from property name to a :class:`~repro.schema.properties.ResolvedProperty`
+— or to an :class:`Ambiguity` when two genuinely distinct same-named
+properties are inherited into the same class.  The paper's rules (sections
+6.1.1 and 6.2.3) govern what happens on a clash:
+
+* the *same* definition arriving along two inheritance paths (diamond) is a
+  non-event — identity is ``(origin class, name)``;
+* a *locally defined* property overrides inherited same-named ones;
+* a property *promoted upward by a hide derivation* has priority over other
+  inherited same-named properties (the section 6.2.3 resolution rule);
+* anything else is recorded as an :class:`Ambiguity` and raises
+  :class:`~repro.errors.AmbiguousProperty` only when actually *invoked*,
+  leaving the user free to disambiguate by renaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import AmbiguousProperty, UnknownProperty
+from repro.schema.properties import Property, ResolvedProperty
+
+
+@dataclass(frozen=True)
+class Ambiguity:
+    """Two or more distinct same-named properties inherited into one class."""
+
+    candidates: Tuple[ResolvedProperty, ...]
+
+    @property
+    def name(self) -> str:
+        return self.candidates[0].name
+
+    def describe(self) -> str:
+        origins = ", ".join(sorted(c.origin_class for c in self.candidates))
+        return f"property {self.name!r} is ambiguous (defined in {origins})"
+
+
+#: One entry of a type map.
+TypeEntry = Union[ResolvedProperty, Ambiguity]
+
+#: A type: property name -> entry.
+TypeMap = Dict[str, TypeEntry]
+
+
+def _entry_candidates(entry: TypeEntry) -> Tuple[ResolvedProperty, ...]:
+    if isinstance(entry, Ambiguity):
+        return entry.candidates
+    return (entry,)
+
+
+def _combine(name: str, candidates: Iterable[ResolvedProperty]) -> TypeEntry:
+    """Collapse candidate resolutions for one name into a single entry.
+
+    Deduplicates by property identity, applies the promoted-property priority
+    rule, and produces an :class:`Ambiguity` if more than one distinct
+    definition survives.
+    """
+    by_identity: Dict[Tuple[str, str], ResolvedProperty] = {}
+    for cand in candidates:
+        key = cand.identity()
+        existing = by_identity.get(key)
+        # keep the promoted variant if either resolution carries the flag
+        if existing is None or (cand.promoted and not existing.promoted):
+            by_identity[key] = cand
+    survivors = list(by_identity.values())
+    if len(survivors) == 1:
+        return survivors[0]
+    promoted = [c for c in survivors if c.promoted]
+    if len(promoted) == 1:
+        return promoted[0]
+    return Ambiguity(tuple(sorted(survivors, key=lambda c: c.identity())))
+
+
+def merge_inherited(parent_types: Iterable[TypeMap]) -> TypeMap:
+    """Merge the types of several superclasses into one inherited map."""
+    gathered: Dict[str, List[ResolvedProperty]] = {}
+    for parent in parent_types:
+        for name, entry in parent.items():
+            gathered.setdefault(name, []).extend(_entry_candidates(entry))
+    return {name: _combine(name, cands) for name, cands in gathered.items()}
+
+
+def apply_local(inherited: TypeMap, local: Mapping[str, ResolvedProperty]) -> TypeMap:
+    """Overlay locally defined properties; local definitions override."""
+    result: TypeMap = dict(inherited)
+    result.update(local)
+    return result
+
+
+def subtract(base: TypeMap, names: Iterable[str]) -> TypeMap:
+    """Type of a hide derivation: the base type minus the hidden names."""
+    removed = set(names)
+    return {name: entry for name, entry in base.items() if name not in removed}
+
+
+def augment(base: TypeMap, additions: Mapping[str, ResolvedProperty]) -> TypeMap:
+    """Type of a refine derivation: the base type plus the new properties."""
+    result: TypeMap = dict(base)
+    result.update(additions)
+    return result
+
+
+def common(first: TypeMap, second: TypeMap) -> TypeMap:
+    """Type of a union derivation: the lowest common supertype.
+
+    Properties present in both operands survive; when both sides carry the
+    same identity it is one property, otherwise the clash rules apply (the
+    paper promotes common properties of the two source classes up to the
+    union class, section 6.5.3).
+    """
+    shared_names = set(first) & set(second)
+    result: TypeMap = {}
+    for name in shared_names:
+        candidates = _entry_candidates(first[name]) + _entry_candidates(second[name])
+        result[name] = _combine(name, candidates)
+    return result
+
+
+def combined(first: TypeMap, second: TypeMap) -> TypeMap:
+    """Type of an intersect derivation: the greatest common subtype."""
+    gathered: Dict[str, List[ResolvedProperty]] = {}
+    for source in (first, second):
+        for name, entry in source.items():
+            gathered.setdefault(name, []).extend(_entry_candidates(entry))
+    return {name: _combine(name, cands) for name, cands in gathered.items()}
+
+
+# ---------------------------------------------------------------------------
+# Lookup and comparison
+# ---------------------------------------------------------------------------
+
+def resolve(type_map: TypeMap, name: str, *, class_name: str = "?") -> ResolvedProperty:
+    """Look up a usable property, raising on absence or ambiguity."""
+    entry = type_map.get(name)
+    if entry is None:
+        raise UnknownProperty(f"class {class_name!r} has no property {name!r}")
+    if isinstance(entry, Ambiguity):
+        raise AmbiguousProperty(f"in class {class_name!r}: {entry.describe()}")
+    return entry
+
+
+def resolve_qualified(
+    type_map: TypeMap, reference: str, *, class_name: str = "?"
+) -> ResolvedProperty:
+    """Resolve a property reference that may be *origin-qualified*.
+
+    ``"Origin:name"`` picks, out of an ambiguous entry, the candidate whose
+    definition was introduced by class ``Origin`` — the mechanism behind the
+    paper's disambiguation-by-renaming (section 6.1.1): the user-facing
+    alias maps to a qualified reference, making exactly one of the clashing
+    definitions addressable again.  An unqualified reference behaves like
+    :func:`resolve`.
+    """
+    if ":" not in reference:
+        return resolve(type_map, reference, class_name=class_name)
+    origin, _, name = reference.partition(":")
+    entry = type_map.get(name)
+    if entry is None:
+        raise UnknownProperty(f"class {class_name!r} has no property {name!r}")
+    for candidate in _entry_candidates(entry):
+        if candidate.origin_class == origin:
+            return candidate
+    raise UnknownProperty(
+        f"class {class_name!r} has no {name!r} definition originating "
+        f"from {origin!r}"
+    )
+
+
+def property_names(type_map: TypeMap) -> FrozenSet[str]:
+    return frozenset(type_map)
+
+
+def is_subtype(sub: TypeMap, sup: TypeMap) -> bool:
+    """True when ``sub`` defines every property of ``sup``.
+
+    Comparison is by name (types are libraries of named functions in the
+    paper's model); overriding means a subclass may carry a different
+    definition under the same name and still be a subtype.
+    """
+    return set(sup) <= set(sub)
+
+
+def type_signature(type_map: TypeMap) -> FrozenSet[tuple]:
+    """A structural fingerprint used by duplicate-class detection.
+
+    Two classes with equal signatures define the same property identities —
+    the classifier additionally requires provably equal extents before
+    declaring a duplicate (section 7).
+    """
+    parts = []
+    for name in sorted(type_map):
+        for cand in _entry_candidates(type_map[name]):
+            parts.append((name,) + cand.identity())
+    return frozenset(parts)
+
+
+def stored_attributes(type_map: TypeMap) -> List[ResolvedProperty]:
+    """All unambiguous stored attributes of a type, sorted by name."""
+    result = []
+    for name in sorted(type_map):
+        entry = type_map[name]
+        if isinstance(entry, Ambiguity):
+            continue
+        if entry.storage_class is not None:
+            result.append(entry)
+    return result

@@ -1,0 +1,38 @@
+"""Storage substrate: the GemStone stand-in.
+
+Provides OID allocation, page-simulated slice storage with I/O accounting,
+and transactions.  See ``DESIGN.md`` section 5 for the substitution rationale.
+"""
+
+from repro.storage.oid import OID_SIZE_BYTES, POINTER_SIZE_BYTES, Oid, OidAllocator
+from repro.storage.pages import (
+    DEFAULT_CACHE_PAGES,
+    DEFAULT_SLOTS_PER_PAGE,
+    Page,
+    PageManager,
+    PageStats,
+)
+from repro.storage.store import ObjectStore
+from repro.storage.transactions import (
+    LockMode,
+    Transaction,
+    TransactionManager,
+    TxStatus,
+)
+
+__all__ = [
+    "OID_SIZE_BYTES",
+    "POINTER_SIZE_BYTES",
+    "Oid",
+    "OidAllocator",
+    "DEFAULT_CACHE_PAGES",
+    "DEFAULT_SLOTS_PER_PAGE",
+    "Page",
+    "PageManager",
+    "PageStats",
+    "ObjectStore",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "TxStatus",
+]

@@ -1,0 +1,255 @@
+"""The object store: slices, clustering, and snapshots.
+
+This is our stand-in for GemStone 3.2 (section 5 of the paper).  TSE needs
+from its platform exactly four things, all provided here:
+
+* **OID allocation** for conceptual and implementation objects;
+* **persistent slice storage** — a *slice* is the per-class chunk of state
+  that the object-slicing architecture attaches to a conceptual object;
+* **clustering** of same-class slices onto shared pages, with page-level
+  access accounting so Table 1's cost model can be measured;
+* **snapshot persistence** so a database can be saved and reloaded.
+
+The store knows nothing about schemas or views; it stores flat dictionaries
+keyed by slice id.  Higher layers (``repro.objectmodel``) give slices their
+meaning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import SliceNotFound, StorageError
+from repro.storage.oid import Oid, OidAllocator
+from repro.storage.pages import DEFAULT_CACHE_PAGES, DEFAULT_SLOTS_PER_PAGE, PageManager
+
+
+@dataclass
+class SliceRecord:
+    """Bookkeeping for one stored slice."""
+
+    slice_id: Oid
+    cluster_key: str
+    page_id: int
+    slot: int
+
+
+class ObjectStore:
+    """Flat slice storage with class-keyed clustering.
+
+    A slice is addressed by an :class:`~repro.storage.oid.Oid` and holds a
+    ``dict`` of attribute values.  All reads and writes are routed through the
+    page manager so the benchmarks can observe simulated I/O.
+    """
+
+    def __init__(
+        self,
+        slots_per_page: int = DEFAULT_SLOTS_PER_PAGE,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
+    ) -> None:
+        self._oids = OidAllocator()
+        self._pages = PageManager(slots_per_page=slots_per_page, cache_pages=cache_pages)
+        self._slices: Dict[Oid, SliceRecord] = {}
+        self._by_key: Dict[str, List[Oid]] = {}
+
+    # -- OIDs ----------------------------------------------------------------
+
+    def allocate_oid(self) -> Oid:
+        """Hand out a fresh OID (also used for conceptual objects, which own
+        an OID but no storage of their own)."""
+        return self._oids.allocate()
+
+    @property
+    def oids_allocated(self) -> int:
+        return self._oids.allocated_count
+
+    # -- slices ----------------------------------------------------------------
+
+    def create_slice(self, cluster_key: str, values: Optional[dict] = None) -> Oid:
+        """Create a new slice clustered under ``cluster_key``.
+
+        Returns the slice's OID.  ``values`` seeds the slice contents.
+        """
+        slice_id = self._oids.allocate()
+        payload = dict(values) if values else {}
+        page_id, slot = self._pages.place(cluster_key, payload)
+        record = SliceRecord(slice_id, cluster_key, page_id, slot)
+        self._slices[slice_id] = record
+        self._by_key.setdefault(cluster_key, []).append(slice_id)
+        return slice_id
+
+    def _record(self, slice_id: Oid) -> SliceRecord:
+        try:
+            return self._slices[slice_id]
+        except KeyError:
+            raise SliceNotFound(f"no slice with id {slice_id}") from None
+
+    def read_slice(self, slice_id: Oid) -> dict:
+        """Return a copy of the slice's value dictionary (one page read)."""
+        record = self._record(slice_id)
+        payload = self._pages.read(record.page_id, record.slot)
+        return dict(payload)  # copies protect page contents from aliasing
+
+    def get_value(self, slice_id: Oid, key: str, default: object = None) -> object:
+        """Read one attribute value from a slice."""
+        record = self._record(slice_id)
+        payload = self._pages.read(record.page_id, record.slot)
+        return payload.get(key, default)
+
+    def has_value(self, slice_id: Oid, key: str) -> bool:
+        record = self._record(slice_id)
+        payload = self._pages.read(record.page_id, record.slot)
+        return key in payload
+
+    def put_value(self, slice_id: Oid, key: str, value: object) -> None:
+        """Write one attribute value into a slice."""
+        record = self._record(slice_id)
+        payload = self._pages.read(record.page_id, record.slot)
+        payload = dict(payload)
+        payload[key] = value
+        self._pages.write(record.page_id, record.slot, payload)
+
+    def remove_value(self, slice_id: Oid, key: str) -> None:
+        """Delete one attribute value from a slice (no-op if absent)."""
+        record = self._record(slice_id)
+        payload = dict(self._pages.read(record.page_id, record.slot))
+        payload.pop(key, None)
+        self._pages.write(record.page_id, record.slot, payload)
+
+    def drop_slice(self, slice_id: Oid) -> None:
+        """Destroy a slice and free its slot."""
+        record = self._record(slice_id)
+        self._pages.delete(record.page_id, record.slot)
+        del self._slices[slice_id]
+        bucket = self._by_key.get(record.cluster_key)
+        if bucket is not None:
+            try:
+                bucket.remove(slice_id)
+            except ValueError:
+                pass
+
+    def slice_exists(self, slice_id: Oid) -> bool:
+        return slice_id in self._slices
+
+    def cluster_key_of(self, slice_id: Oid) -> str:
+        return self._record(slice_id).cluster_key
+
+    # -- scans ------------------------------------------------------------------
+
+    def scan_cluster(self, cluster_key: str) -> Iterator[Tuple[Oid, dict]]:
+        """Iterate ``(slice_id, values)`` over all slices of a cluster.
+
+        Reads are charged through the page manager, so a scan over a densely
+        clustered class costs roughly ``ceil(n / slots_per_page)`` page reads
+        — the behaviour Table 1 credits to the object-slicing architecture.
+        """
+        for slice_id in list(self._by_key.get(cluster_key, ())):
+            yield slice_id, self.read_slice(slice_id)
+
+    def cluster_sizes(self) -> Dict[str, int]:
+        """Live slice count per cluster key."""
+        return {key: len(ids) for key, ids in self._by_key.items() if ids}
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Page-level access statistics (reads/writes/hits/pages)."""
+        return self._pages.stats
+
+    def reset_stats(self) -> None:
+        self._pages.stats.reset()
+
+    def drop_cache(self) -> None:
+        self._pages.drop_cache()
+
+    @property
+    def live_slice_count(self) -> int:
+        return len(self._slices)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Return a JSON-serialisable snapshot of all live slices.
+
+        Only JSON-representable attribute values survive a snapshot; this is
+        adequate for the workloads in this repository (numbers, strings,
+        OID references stored as ints).
+        """
+        slices = []
+        for slice_id, record in sorted(self._slices.items()):
+            payload = self._pages.read(record.page_id, record.slot)
+            slices.append(
+                {
+                    "slice_id": slice_id.value,
+                    "cluster_key": record.cluster_key,
+                    "values": _encode_values(payload),
+                }
+            )
+        return {"oids": self._oids.snapshot(), "slices": slices}
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        state: dict,
+        slots_per_page: int = DEFAULT_SLOTS_PER_PAGE,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
+    ) -> "ObjectStore":
+        """Rebuild a store from :meth:`snapshot` output."""
+        store = cls(slots_per_page=slots_per_page, cache_pages=cache_pages)
+        store._oids = OidAllocator.from_snapshot(state["oids"])
+        for entry in state["slices"]:
+            slice_id = Oid(int(entry["slice_id"]))
+            key = entry["cluster_key"]
+            payload = _decode_values(entry["values"])
+            page_id, slot = store._pages.place(key, payload)
+            store._slices[slice_id] = SliceRecord(slice_id, key, page_id, slot)
+            store._by_key.setdefault(key, []).append(slice_id)
+        return store
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Restore the store *in place* from :meth:`snapshot` output.
+
+        In-place restoration keeps every component that holds a reference to
+        this store (pool, transactions, indexes) valid — the foundation of
+        database-level savepoints.
+        """
+        fresh = ObjectStore.from_snapshot(state)
+        self._oids = fresh._oids
+        self._pages = fresh._pages
+        self._slices = fresh._slices
+        self._by_key = fresh._by_key
+
+    def save(self, path: "Path | str") -> None:
+        """Persist the store to a JSON file."""
+        Path(path).write_text(json.dumps(self.snapshot(), indent=1))
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "ObjectStore":
+        """Load a store previously written by :meth:`save`."""
+        return cls.from_snapshot(json.loads(Path(path).read_text()))
+
+
+def _encode_values(payload: dict) -> dict:
+    """Encode a slice payload for JSON, tagging OID-valued attributes."""
+    encoded = {}
+    for key, value in payload.items():
+        if isinstance(value, Oid):
+            encoded[key] = {"__oid__": value.value}
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def _decode_values(payload: dict) -> dict:
+    """Inverse of :func:`_encode_values`."""
+    decoded = {}
+    for key, value in payload.items():
+        if isinstance(value, dict) and set(value) == {"__oid__"}:
+            decoded[key] = Oid(int(value["__oid__"]))
+        else:
+            decoded[key] = value
+    return decoded

@@ -1,0 +1,209 @@
+"""Transactions over the object store.
+
+GemStone provided TSE with concurrency control (section 5).  We reproduce the
+minimum a single-process reproduction needs: strict two-phase locking at
+slice granularity with an undo journal, giving atomic commit/abort.  The TSE
+layer wraps every schema-change pipeline in a transaction so that a failure
+midway (e.g. a rejected algebra statement) rolls the database back to a
+consistent state — exercised by the failure-injection tests.
+
+Locks are per-transaction-manager, not per-thread: the reproduction is
+single-process, so "concurrency control" here means protecting one logical
+unit of work against another that is interleaved programmatically, which is
+what the tests do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import LockConflict, TransactionStateError
+from repro.storage.oid import Oid
+from repro.storage.store import ObjectStore
+
+
+class TxStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class _UndoEntry:
+    """A closure that reverses one store mutation."""
+
+    description: str
+    undo: Callable[[], None]
+
+
+class Transaction:
+    """One atomic unit of work against an :class:`ObjectStore`.
+
+    Obtain instances from :meth:`TransactionManager.begin`.  All mutations
+    must go through the transaction's methods (``create_slice``,
+    ``put_value`` ...) for the undo journal to cover them.
+    """
+
+    def __init__(self, manager: "TransactionManager", tx_id: int) -> None:
+        self._manager = manager
+        self._store = manager.store
+        self.tx_id = tx_id
+        self.status = TxStatus.ACTIVE
+        self._journal: List[_UndoEntry] = []
+        self._locks: Set[Oid] = set()
+
+    # -- state guards -----------------------------------------------------
+
+    def _require_active(self) -> None:
+        if self.status is not TxStatus.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.tx_id} is {self.status.value}, not active"
+            )
+
+    # -- locking ------------------------------------------------------------
+
+    def _lock(self, slice_id: Oid, mode: LockMode) -> None:
+        self._manager._acquire(self, slice_id, mode)
+        self._locks.add(slice_id)
+
+    # -- journalled store operations ----------------------------------------
+
+    def create_slice(self, cluster_key: str, values: Optional[dict] = None) -> Oid:
+        """Create a slice; it is dropped again if the transaction aborts."""
+        self._require_active()
+        slice_id = self._store.create_slice(cluster_key, values)
+        self._lock(slice_id, LockMode.EXCLUSIVE)
+        self._journal.append(
+            _UndoEntry(
+                f"drop created slice {slice_id}",
+                lambda sid=slice_id: self._store.drop_slice(sid),
+            )
+        )
+        return slice_id
+
+    def get_value(self, slice_id: Oid, key: str, default: object = None) -> object:
+        self._require_active()
+        self._lock(slice_id, LockMode.SHARED)
+        return self._store.get_value(slice_id, key, default)
+
+    def put_value(self, slice_id: Oid, key: str, value: object) -> None:
+        self._require_active()
+        self._lock(slice_id, LockMode.EXCLUSIVE)
+        had_value = self._store.has_value(slice_id, key)
+        old = self._store.get_value(slice_id, key) if had_value else None
+
+        def undo(sid=slice_id, k=key, existed=had_value, previous=old) -> None:
+            if existed:
+                self._store.put_value(sid, k, previous)
+            else:
+                self._store.remove_value(sid, k)
+
+        self._journal.append(_UndoEntry(f"restore {key} of {slice_id}", undo))
+        self._store.put_value(slice_id, key, value)
+
+    def drop_slice(self, slice_id: Oid) -> None:
+        self._require_active()
+        self._lock(slice_id, LockMode.EXCLUSIVE)
+        cluster_key = self._store.cluster_key_of(slice_id)
+        values = self._store.read_slice(slice_id)
+
+        def undo(key=cluster_key, payload=values) -> None:
+            # The slice is recreated with a *new* id on undo; callers that
+            # need id-stable aborts should not drop slices mid-transaction.
+            self._store.create_slice(key, payload)
+
+        self._journal.append(_UndoEntry(f"recreate dropped slice {slice_id}", undo))
+        self._store.drop_slice(slice_id)
+
+    def run_undoable(self, description: str, do: Callable[[], None],
+                     undo: Callable[[], None]) -> None:
+        """Run an arbitrary mutation with a caller-supplied compensator.
+
+        Higher layers (schema mutations, view registration) use this to bring
+        non-store state under the same atomicity umbrella.
+        """
+        self._require_active()
+        do()
+        self._journal.append(_UndoEntry(description, undo))
+
+    # -- outcome -----------------------------------------------------------
+
+    def commit(self) -> None:
+        self._require_active()
+        self._journal.clear()
+        self.status = TxStatus.COMMITTED
+        self._manager._release_all(self)
+
+    def abort(self) -> None:
+        self._require_active()
+        for entry in reversed(self._journal):
+            entry.undo()
+        self._journal.clear()
+        self.status = TxStatus.ABORTED
+        self._manager._release_all(self)
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.status is TxStatus.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False
+
+
+class TransactionManager:
+    """Issues transactions and arbitrates slice locks between them."""
+
+    def __init__(self, store: ObjectStore) -> None:
+        self.store = store
+        self._next_tx_id = 1
+        self._lock_table: Dict[Oid, Tuple[LockMode, Set[int]]] = {}
+
+    def begin(self) -> Transaction:
+        tx = Transaction(self, self._next_tx_id)
+        self._next_tx_id += 1
+        return tx
+
+    # -- lock table ---------------------------------------------------------
+
+    def _acquire(self, tx: Transaction, slice_id: Oid, mode: LockMode) -> None:
+        entry = self._lock_table.get(slice_id)
+        if entry is None:
+            self._lock_table[slice_id] = (mode, {tx.tx_id})
+            return
+        held_mode, holders = entry
+        if holders == {tx.tx_id}:
+            # lock upgrade by the sole holder is always allowed
+            if mode is LockMode.EXCLUSIVE and held_mode is LockMode.SHARED:
+                self._lock_table[slice_id] = (LockMode.EXCLUSIVE, holders)
+            return
+        if mode is LockMode.SHARED and held_mode is LockMode.SHARED:
+            holders.add(tx.tx_id)
+            return
+        raise LockConflict(
+            f"transaction {tx.tx_id} cannot take {mode.value} lock on "
+            f"{slice_id}: held {held_mode.value} by {sorted(holders)}"
+        )
+
+    def _release_all(self, tx: Transaction) -> None:
+        for slice_id in list(self._lock_table):
+            mode, holders = self._lock_table[slice_id]
+            holders.discard(tx.tx_id)
+            if not holders:
+                del self._lock_table[slice_id]
+
+    @property
+    def locked_slice_count(self) -> int:
+        return len(self._lock_table)

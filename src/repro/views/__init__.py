@@ -1,0 +1,17 @@
+"""View system: view schemas, generation, closure, history, manager."""
+
+from repro.views.closure import is_type_closed, missing_for_closure, referenced_classes
+from repro.views.generation import ViewSchemaGenerator
+from repro.views.history import ViewSchemaHistory
+from repro.views.manager import ViewManager
+from repro.views.schema import ViewSchema
+
+__all__ = [
+    "is_type_closed",
+    "missing_for_closure",
+    "referenced_classes",
+    "ViewSchemaGenerator",
+    "ViewSchemaHistory",
+    "ViewManager",
+    "ViewSchema",
+]

@@ -1,0 +1,51 @@
+"""Type-closure checking for view schemas.
+
+A view schema is *type-closed* when every class reachable through the
+object-valued attributes of its classes is itself part of the view.  The
+paper's View Manager "can check the type-closure of a view schema and
+incorporate necessary classes for the type-closure" (section 5); this module
+implements both the check and the completion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import PRIMITIVE_DOMAINS, Attribute
+from repro.schema.types import Ambiguity
+
+
+def referenced_classes(schema: GlobalSchema, class_name: str) -> Set[str]:
+    """Classes referenced by the object-valued attributes of one class."""
+    referenced: Set[str] = set()
+    for entry in schema.type_of(class_name).values():
+        candidates = entry.candidates if isinstance(entry, Ambiguity) else (entry,)
+        for resolved in candidates:
+            prop = resolved.prop
+            if isinstance(prop, Attribute) and prop.domain not in PRIMITIVE_DOMAINS:
+                if prop.domain in schema:
+                    referenced.add(prop.domain)
+    return referenced
+
+
+def missing_for_closure(schema: GlobalSchema, selected: Iterable[str]) -> Set[str]:
+    """Classes that must be added to make the selection type-closed.
+
+    The closure is transitive: a class pulled in for closure may itself
+    reference further classes.
+    """
+    chosen = set(selected)
+    missing: Set[str] = set()
+    frontier = list(chosen)
+    while frontier:
+        current = frontier.pop()
+        for ref in referenced_classes(schema, current):
+            if ref not in chosen and ref not in missing:
+                missing.add(ref)
+                frontier.append(ref)
+    return missing
+
+
+def is_type_closed(schema: GlobalSchema, selected: Iterable[str]) -> bool:
+    return not missing_for_closure(schema, selected)

@@ -1,0 +1,89 @@
+"""The View Schema History (section 5).
+
+"The dictionary keeps track of the history of each view schema, allowing for
+the substitution of the old view by the newly created one."  Substitution is
+what makes evolution *transparent*: user-level handles resolve the current
+version through the history on every access, so replacing the version is
+invisible to the running application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import StaleViewVersion, UnknownView, ViewError
+from repro.views.schema import ViewSchema
+
+
+class ViewSchemaHistory:
+    """Versioned registry of every view schema in the database."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[str, List[ViewSchema]] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register_initial(self, view: ViewSchema) -> None:
+        """Register version 1 of a brand-new view."""
+        if view.name in self._versions:
+            raise ViewError(f"view {view.name!r} already exists")
+        if view.version != 1:
+            raise ViewError(
+                f"initial registration must be version 1, got {view.version}"
+            )
+        self._versions[view.name] = [view]
+
+    def substitute(self, view: ViewSchema) -> None:
+        """Register a successor version, replacing the current one.
+
+        Old versions remain in the history — the paper keeps them "as long
+        as other application programs continue to operate" on them; we keep
+        them forever and let callers pin a version explicitly if needed.
+        """
+        chain = self._chain(view.name)
+        expected = chain[-1].version + 1
+        if view.version != expected:
+            raise ViewError(
+                f"view {view.name!r}: expected successor version {expected}, "
+                f"got {view.version}"
+            )
+        chain.append(view)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _chain(self, name: str) -> List[ViewSchema]:
+        try:
+            return self._versions[name]
+        except KeyError:
+            raise UnknownView(f"no view named {name!r}") from None
+
+    def current(self, name: str) -> ViewSchema:
+        """The latest version of a view — what user handles resolve to."""
+        return self._chain(name)[-1]
+
+    def version(self, name: str, version: int) -> ViewSchema:
+        """A specific historical version (1-based)."""
+        chain = self._chain(name)
+        for view in chain:
+            if view.version == version:
+                return view
+        raise StaleViewVersion(
+            f"view {name!r} has no version {version} "
+            f"(history holds 1..{chain[-1].version})"
+        )
+
+    def versions_of(self, name: str) -> List[ViewSchema]:
+        return list(self._chain(name))
+
+    def view_names(self) -> List[str]:
+        return sorted(self._versions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._versions
+
+    def __iter__(self) -> Iterator[ViewSchema]:
+        for name in self.view_names():
+            yield self.current(name)
+
+    def total_versions(self) -> int:
+        return sum(len(chain) for chain in self._versions.values())

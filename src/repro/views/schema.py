@@ -1,0 +1,147 @@
+"""View schemas: a selected, renamed slice of the global schema.
+
+A view schema (paper glossary) "contains a subset of both base and virtual
+classes as required by a particular user" — plus its own generalization
+hierarchy, generated automatically, and per-view renames.  Renames are the
+mechanism behind transparency: after an ``add_attribute`` the new view
+contains the primed class ``Student'`` *renamed to* ``Student``, so the user
+never learns the change was virtual (section 6.1.3).
+
+View schema versions are immutable once registered; evolution always creates
+a successor version (that is the whole point of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import UnknownClass, ViewError
+
+
+@dataclass(frozen=True)
+class ViewSchema:
+    """One immutable version of one user's view.
+
+    ``selected`` holds *global* class names; ``renames`` maps global name to
+    the name shown inside the view (identity when absent).  ``edges`` is the
+    generated is-a hierarchy over the selected classes, in global names.
+    ``property_renames`` supports the paper's disambiguation-by-renaming:
+    per view-class, a map of view-visible property name to the underlying
+    property name.
+    """
+
+    name: str
+    version: int
+    selected: FrozenSet[str]
+    renames: Mapping[str, str] = field(default_factory=dict)
+    edges: Tuple[Tuple[str, str], ...] = ()
+    property_renames: Mapping[str, Mapping[str, str]] = field(default_factory=dict)
+    #: free-form provenance: which schema change produced this version
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "selected", frozenset(self.selected))
+        unknown = set(self.renames) - set(self.selected)
+        if unknown:
+            raise ViewError(
+                f"renames refer to classes outside the view: {sorted(unknown)}"
+            )
+        view_names = [self.renames.get(g, g) for g in self.selected]
+        dupes = {n for n in view_names if view_names.count(n) > 1}
+        if dupes:
+            raise ViewError(f"duplicate view class names: {sorted(dupes)}")
+
+    # -- name translation ----------------------------------------------------
+
+    def view_name_of(self, global_name: str) -> str:
+        """The name a global class is shown under inside this view."""
+        if global_name not in self.selected:
+            raise UnknownClass(
+                f"class {global_name!r} is not part of view {self.label}"
+            )
+        return self.renames.get(global_name, global_name)
+
+    def global_name_of(self, view_name: str) -> str:
+        """The global class behind a view-visible class name."""
+        for global_name in self.selected:
+            if self.renames.get(global_name, global_name) == view_name:
+                return global_name
+        raise UnknownClass(f"view {self.label} has no class {view_name!r}")
+
+    def has_class(self, view_name: str) -> bool:
+        try:
+            self.global_name_of(view_name)
+        except UnknownClass:
+            return False
+        return True
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}.v{self.version}"
+
+    def class_names(self) -> List[str]:
+        """View-visible class names, sorted."""
+        return sorted(self.renames.get(g, g) for g in self.selected)
+
+    def view_edges(self) -> List[Tuple[str, str]]:
+        """The generated is-a edges in view-visible names."""
+        return sorted(
+            (self.renames.get(sup, sup), self.renames.get(sub, sub))
+            for sup, sub in self.edges
+        )
+
+    def direct_subs_of(self, view_name: str) -> List[str]:
+        global_name = self.global_name_of(view_name)
+        return sorted(
+            self.renames.get(sub, sub)
+            for sup, sub in self.edges
+            if sup == global_name
+        )
+
+    def direct_supers_of(self, view_name: str) -> List[str]:
+        global_name = self.global_name_of(view_name)
+        return sorted(
+            self.renames.get(sup, sup)
+            for sup, sub in self.edges
+            if sub == global_name
+        )
+
+    def roots(self) -> List[str]:
+        """View classes with no superclass inside the view."""
+        subs = {sub for _, sub in self.edges}
+        return sorted(
+            self.renames.get(g, g) for g in self.selected if g not in subs
+        )
+
+    # -- property renames --------------------------------------------------------
+
+    def visible_property(self, view_class: str, view_prop: str) -> str:
+        """Translate a view-visible property name to the underlying name."""
+        per_class = self.property_renames.get(view_class, {})
+        return per_class.get(view_prop, view_prop)
+
+    def property_alias(self, view_class: str, underlying: str) -> str:
+        """Inverse of :meth:`visible_property` (identity when unaliased)."""
+        per_class = self.property_renames.get(view_class, {})
+        for alias, original in per_class.items():
+            if original == underlying:
+                return alias
+        return underlying
+
+    # -- evolution helpers ----------------------------------------------------------
+
+    def successor_parts(self) -> Tuple[set, dict]:
+        """Mutable copies of selection and renames for building a successor."""
+        return set(self.selected), dict(self.renames)
+
+    def describe(self) -> str:
+        """A stable, human-readable rendering (used by tests and examples)."""
+        lines = [f"view {self.label}"]
+        for cls in self.class_names():
+            supers = self.direct_supers_of(cls)
+            arrow = f" isa {', '.join(supers)}" if supers else ""
+            lines.append(f"  {cls}{arrow}")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Graphviz (dot) export for schemas and views.
+
+The paper communicates through schema diagrams (figures 2-16); this module
+renders the same pictures from live state so a reproduction run can be
+inspected visually.  Output is plain ``dot`` text — no graphviz dependency;
+pipe it through ``dot -Tsvg`` if the binary is available.
+
+Conventions follow the paper: base classes are solid boxes, virtual classes
+dashed ellipses; is-a edges are solid arrows from superclass to subclass;
+derivation edges (source class → virtual class) are dotted, matching the
+dotted derivation arrows of figure 12.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.schema.classes import ROOT_CLASS, BaseClass, VirtualClass
+from repro.schema.graph import GlobalSchema
+from repro.views.schema import ViewSchema
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def _class_label(schema: GlobalSchema, name: str, shown_as: Optional[str] = None) -> str:
+    type_names = ", ".join(sorted(schema.type_of(name)))
+    title = shown_as or name
+    return f"{title}|{type_names}" if type_names else title
+
+
+def schema_to_dot(
+    schema: GlobalSchema,
+    include_root: bool = False,
+    include_internal: bool = False,
+    show_derivations: bool = True,
+) -> str:
+    """Render the global schema as a dot digraph.
+
+    ``include_internal`` also shows the helper classes evolution creates
+    (names starting with ``_``, e.g. the diff/union temporaries of the
+    delete-edge algorithm); they are hidden by default, like in the paper's
+    figures.
+    """
+    lines: List[str] = [
+        "digraph global_schema {",
+        "  rankdir=BT;",
+        '  node [fontsize=10, fontname="Helvetica"];',
+    ]
+    visible = []
+    for name in schema.class_names():
+        if name == ROOT_CLASS and not include_root:
+            continue
+        if name.startswith("_") and not include_internal:
+            continue
+        visible.append(name)
+        cls = schema[name]
+        if isinstance(cls, BaseClass):
+            shape = "shape=box, style=solid"
+        else:
+            shape = "shape=ellipse, style=dashed"
+        lines.append(
+            f"  {_quote(name)} [{shape}, label={_quote(_class_label(schema, name))}];"
+        )
+    shown = set(visible)
+    for sup in visible:
+        for sub in schema.direct_subs(sup):
+            if sub in shown:
+                # is-a arrows point from subclass up to superclass (rankdir=BT)
+                lines.append(f"  {_quote(sub)} -> {_quote(sup)};")
+    if show_derivations:
+        for name in visible:
+            cls = schema[name]
+            if isinstance(cls, VirtualClass):
+                for source in cls.derivation.sources:
+                    if source in shown:
+                        lines.append(
+                            f"  {_quote(source)} -> {_quote(name)} "
+                            f'[style=dotted, arrowhead=open, label="{cls.derivation.op}"];'
+                        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def view_to_dot(schema: GlobalSchema, view: ViewSchema) -> str:
+    """Render one view schema as a dot digraph, in view-visible names."""
+    lines: List[str] = [
+        f"digraph {_quote(view.label.replace('.', '_'))} {{",
+        "  rankdir=BT;",
+        '  node [fontsize=10, fontname="Helvetica"];',
+        f'  label="view {view.label}"; labelloc=t;',
+    ]
+    for global_name in sorted(view.selected):
+        shown_as = view.view_name_of(global_name)
+        cls = schema[global_name]
+        shape = "shape=box, style=solid" if cls.is_base else "shape=ellipse, style=dashed"
+        lines.append(
+            f"  {_quote(shown_as)} "
+            f"[{shape}, label={_quote(_class_label(schema, global_name, shown_as))}];"
+        )
+    for sup, sub in view.edges:
+        lines.append(
+            f"  {_quote(view.view_name_of(sub))} -> {_quote(view.view_name_of(sup))};"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Workload builders: the paper's example schemas and synthetic evolution traces."""
+
+from repro.workloads.university import (
+    build_core_schema,
+    build_figure3_database,
+    build_figure9_database,
+    build_figure10_database,
+    populate_students,
+)
+
+__all__ = [
+    "build_core_schema",
+    "build_figure3_database",
+    "build_figure9_database",
+    "build_figure10_database",
+    "populate_students",
+]
+
+from repro.workloads.generator import AppliedChange, WorkloadGenerator
+from repro.workloads.sjoberg import SjobergTrace, TraceStats
+
+__all__ += ["AppliedChange", "WorkloadGenerator", "SjobergTrace", "TraceStats"]

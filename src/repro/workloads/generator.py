@@ -1,0 +1,190 @@
+"""Randomized schema-evolution workloads.
+
+Produces seeded-random databases, populations, and *valid* sequences of
+primitive schema changes against a view — the raw material for the
+updatability (Theorem 1) and transparency property tests and for the
+chain-propagation benchmarks.  All randomness flows from an explicit seed so
+every run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ChangeRejected, TseError
+from repro.core.database import TseDatabase
+from repro.core.handles import ViewHandle
+from repro.schema.properties import Attribute
+
+
+@dataclass
+class AppliedChange:
+    """One schema change the generator applied successfully."""
+
+    operation: str
+    detail: str
+
+
+class WorkloadGenerator:
+    """Seeded generator of databases and evolution traces."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self._name_counter = 0
+
+    # -- naming -----------------------------------------------------------------
+
+    def fresh_name(self, prefix: str) -> str:
+        self._name_counter += 1
+        return f"{prefix}{self._name_counter}"
+
+    # -- database construction --------------------------------------------------------
+
+    def build_database(
+        self,
+        n_classes: int = 6,
+        max_attrs: int = 3,
+        n_objects: int = 20,
+    ) -> Tuple[TseDatabase, ViewHandle]:
+        """A random tree-shaped base schema, fully selected into one view."""
+        db = TseDatabase()
+        class_names: List[str] = []
+        for index in range(n_classes):
+            name = self.fresh_name("C")
+            attrs = tuple(
+                Attribute(self.fresh_name("a"), domain="int")
+                for _ in range(self.rng.randint(1, max_attrs))
+            )
+            if class_names:
+                parent = self.rng.choice(class_names)
+                db.define_class(name, attrs, inherits_from=(parent,))
+            else:
+                db.define_class(name, attrs)
+            class_names.append(name)
+        view = db.create_view("main", class_names, closure="ignore")
+        for _ in range(n_objects):
+            target = self.rng.choice(class_names)
+            assignments = {
+                attr: self.rng.randint(0, 100)
+                for attr in self._assignable_attrs(db, target)
+            }
+            db.engine.create(target, assignments)
+        return db, view
+
+    @staticmethod
+    def _assignable_attrs(db: TseDatabase, class_name: str) -> List[str]:
+        from repro.schema.types import stored_attributes
+
+        return [
+            entry.name for entry in stored_attributes(db.schema.type_of(class_name))
+        ]
+
+    # -- random changes ----------------------------------------------------------------
+
+    _OPERATIONS = (
+        "add_attribute",
+        "delete_attribute",
+        "add_edge",
+        "delete_edge",
+        "add_class",
+        "delete_class",
+    )
+
+    def random_change(
+        self, db: TseDatabase, view: ViewHandle, attempts: int = 12
+    ) -> Optional[AppliedChange]:
+        """Apply one random valid primitive change; ``None`` when none of the
+        sampled candidates was applicable."""
+        for _ in range(attempts):
+            operation = self.rng.choice(self._OPERATIONS)
+            try:
+                applied = self._try_operation(db, view, operation)
+            except TseError:
+                continue
+            if applied is not None:
+                return applied
+        return None
+
+    def _try_operation(
+        self, db: TseDatabase, view: ViewHandle, operation: str
+    ) -> Optional[AppliedChange]:
+        classes = view.class_names()
+        if operation == "add_attribute":
+            target = self.rng.choice(classes)
+            name = self.fresh_name("x")
+            view.add_attribute(name, to=target, domain="int")
+            return AppliedChange(operation, f"{name} to {target}")
+        if operation == "delete_attribute":
+            target = self.rng.choice(classes)
+            candidates = self._locally_deletable(db, view, target)
+            if not candidates:
+                return None
+            name = self.rng.choice(candidates)
+            view.delete_attribute(name, from_=target)
+            return AppliedChange(operation, f"{name} from {target}")
+        if operation == "add_edge":
+            if len(classes) < 2:
+                return None
+            sup, sub = self.rng.sample(classes, 2)
+            view.add_edge(sup, sub)
+            return AppliedChange(operation, f"{sup}-{sub}")
+        if operation == "delete_edge":
+            edges = view.edges()
+            if not edges:
+                return None
+            sup, sub = self.rng.choice(edges)
+            view.delete_edge(sup, sub)
+            return AppliedChange(operation, f"{sup}-{sub}")
+        if operation == "add_class":
+            connected = self.rng.choice(classes + [None])
+            name = self.fresh_name("N")
+            view.add_class(name, connected_to=connected)
+            return AppliedChange(operation, f"{name} under {connected}")
+        if operation == "delete_class":
+            if len(classes) < 3:
+                return None
+            target = self.rng.choice(classes)
+            view.delete_class(target)
+            return AppliedChange(operation, target)
+        return None  # pragma: no cover - operations tuple is exhaustive
+
+    def _locally_deletable(
+        self, db: TseDatabase, view: ViewHandle, view_class: str
+    ) -> List[str]:
+        """Attributes that the delete-attribute locality rule permits."""
+        schema = view.schema
+        global_name = schema.global_name_of(view_class)
+        own = set(db.schema.type_of(global_name))
+        above = set()
+        for other in schema.selected:
+            if other != global_name and self._is_view_ancestor(schema, other, global_name):
+                above |= set(db.schema.type_of(other))
+        return sorted(own - above)
+
+    @staticmethod
+    def _is_view_ancestor(schema, candidate: str, target: str) -> bool:
+        frontier = [target]
+        seen = set()
+        while frontier:
+            current = frontier.pop()
+            for sup, sub in schema.edges:
+                if sub == current and sup not in seen:
+                    if sup == candidate:
+                        return True
+                    seen.add(sup)
+                    frontier.append(sup)
+        return False
+
+    def run_trace(
+        self, db: TseDatabase, view: ViewHandle, n_changes: int
+    ) -> List[AppliedChange]:
+        """Apply up to ``n_changes`` random changes; returns those applied."""
+        applied = []
+        for _ in range(n_changes):
+            change = self.random_change(db, view)
+            if change is not None:
+                applied.append(change)
+        return applied

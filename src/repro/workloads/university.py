@@ -1,0 +1,158 @@
+"""The university database of figure 2, plus the example populations used by
+the figures of section 6.
+
+The paper's running example schema::
+
+    Person(name, age, address, SS#)
+      ├── Student(major, advisor)
+      │     ├── TA(salary)
+      │     └── Grad(thesis)
+      ├── TeachingStaff(lecture)   ── TA (also under TeachingStaff, fig. 10)
+      └── SupportStaff(boss)       (fig. 9 variant)
+
+The exact class/attribute roster varies slightly between figures; builders
+below construct the variant each experiment needs, and populate extents with
+the labelled objects (``o1`` .. ``o6``) the paper's figures annotate so the
+tests can assert identical sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.database import TseDatabase
+from repro.core.handles import ViewHandle
+from repro.schema.properties import Attribute
+from repro.storage.oid import Oid
+
+
+def build_core_schema(db: TseDatabase) -> None:
+    """The figure 2 global schema (content changes variant)."""
+    db.define_class(
+        "Person",
+        [
+            Attribute("name", domain="str"),
+            Attribute("age", domain="int"),
+            Attribute("address", domain="str"),
+            Attribute("ssn", domain="str"),
+        ],
+    )
+    db.define_class(
+        "Student",
+        [Attribute("major", domain="str"), Attribute("advisor", domain="str")],
+        inherits_from=("Person",),
+    )
+    db.define_class(
+        "TA", [Attribute("salary", domain="int")], inherits_from=("Student",)
+    )
+    db.define_class(
+        "Grad", [Attribute("thesis", domain="str")], inherits_from=("Student",)
+    )
+
+
+def build_figure3_database() -> Tuple[TseDatabase, ViewHandle]:
+    """Figure 3's setting: the VS1 view {Person, Student, TA} over figure 2."""
+    db = TseDatabase()
+    build_core_schema(db)
+    view = db.create_view("VS1", ["Person", "Student", "TA"], closure="ignore")
+    return db, view
+
+
+def build_figure9_database() -> Tuple[TseDatabase, ViewHandle, Dict[str, Oid]]:
+    """Figure 9's setting: staff hierarchy with the labelled objects.
+
+    Extents drawn in the figure (global extents)::
+
+        Person       { o1 o2 o3 o4 o5 o6 }
+        SupportStaff { o2 o3 }
+        TA           { o4 o5 }
+        Grader       { o6 }        (subclass of TA)
+    """
+    db = TseDatabase()
+    db.define_class("Person", [Attribute("name", domain="str")])
+    db.define_class(
+        "SupportStaff", [Attribute("boss", domain="str")], inherits_from=("Person",)
+    )
+    db.define_class(
+        "TA", [Attribute("salary", domain="int")], inherits_from=("Person",)
+    )
+    db.define_class(
+        "Grader", [Attribute("course", domain="str")], inherits_from=("TA",)
+    )
+    view = db.create_view(
+        "VS1", ["Person", "SupportStaff", "TA", "Grader"], closure="ignore"
+    )
+    objects = {
+        "o1": db.engine.create("Person", {"name": "o1"}),
+        "o2": db.engine.create("SupportStaff", {"name": "o2", "boss": "b"}),
+        "o3": db.engine.create("SupportStaff", {"name": "o3", "boss": "b"}),
+        "o4": db.engine.create("TA", {"name": "o4", "salary": 10}),
+        "o5": db.engine.create("TA", {"name": "o5", "salary": 11}),
+        "o6": db.engine.create("Grader", {"name": "o6", "course": "db"}),
+    }
+    return db, view, objects
+
+
+def build_figure10_database() -> Tuple[TseDatabase, ViewHandle, Dict[str, Oid]]:
+    """Figure 10's setting: TeachingStaff above TA, with labelled objects.
+
+    Extents drawn in the figure::
+
+        Person        { o1 o2 o3 o4 o5 }
+        TeachingStaff { o2 o3 o4 o5 }
+        TA            { o4 o5 }
+    """
+    db = TseDatabase()
+    db.define_class("Person", [Attribute("name", domain="str")])
+    db.define_class(
+        "TeachingStaff",
+        [Attribute("lecture", domain="str")],
+        inherits_from=("Person",),
+    )
+    db.define_class(
+        "TA", [Attribute("salary", domain="int")], inherits_from=("TeachingStaff",)
+    )
+    view = db.create_view(
+        "VS1", ["Person", "TeachingStaff", "TA"], closure="ignore"
+    )
+    objects = {
+        "o1": db.engine.create("Person", {"name": "o1"}),
+        "o2": db.engine.create("TeachingStaff", {"name": "o2", "lecture": "ai"}),
+        "o3": db.engine.create("TeachingStaff", {"name": "o3", "lecture": "db"}),
+        "o4": db.engine.create("TA", {"name": "o4", "salary": 10}),
+        "o5": db.engine.create("TA", {"name": "o5", "salary": 11}),
+    }
+    return db, view, objects
+
+
+def populate_students(db: TseDatabase, count: int = 10) -> Dict[str, Oid]:
+    """A generic population over the figure 2 schema (figure 3 experiments)."""
+    objects: Dict[str, Oid] = {}
+    for index in range(count):
+        if index % 3 == 0:
+            oid = db.engine.create(
+                "TA",
+                {
+                    "name": f"ta{index}",
+                    "age": 20 + index,
+                    "major": "cs",
+                    "salary": 1000 + index,
+                },
+            )
+        elif index % 3 == 1:
+            oid = db.engine.create(
+                "Grad",
+                {
+                    "name": f"grad{index}",
+                    "age": 24 + index,
+                    "major": "ee",
+                    "thesis": f"t{index}",
+                },
+            )
+        else:
+            oid = db.engine.create(
+                "Student",
+                {"name": f"s{index}", "age": 18 + index, "major": "math"},
+            )
+        objects[f"obj{index}"] = oid
+    return objects

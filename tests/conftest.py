@@ -1,0 +1,30 @@
+"""Shared fixtures: the paper's example databases."""
+
+import pytest
+
+from repro.workloads.university import (
+    build_figure3_database,
+    build_figure9_database,
+    build_figure10_database,
+    populate_students,
+)
+
+
+@pytest.fixture()
+def fig3():
+    """Figure 3's setting: university schema, view VS1 = {Person, Student, TA}."""
+    db, view = build_figure3_database()
+    objects = populate_students(db, 9)
+    return db, view, objects
+
+
+@pytest.fixture()
+def fig9():
+    """Figure 9's setting: staff hierarchy with labelled objects o1..o6."""
+    return build_figure9_database()
+
+
+@pytest.fixture()
+def fig10():
+    """Figure 10's setting: TeachingStaff above TA with objects o1..o5."""
+    return build_figure10_database()

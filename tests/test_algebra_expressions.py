@@ -1,0 +1,104 @@
+"""Unit tests for selection predicates."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.algebra.expressions import (
+    And,
+    Compare,
+    IsIn,
+    IsSet,
+    Not,
+    Or,
+    TruePredicate,
+    predicate_from_dict,
+)
+
+
+def reader_for(values):
+    return lambda attr: values.get(attr)
+
+
+class TestCompare:
+    def test_equality(self):
+        assert Compare("age", "==", 21).matches(reader_for({"age": 21}))
+        assert not Compare("age", "==", 21).matches(reader_for({"age": 22}))
+
+    def test_orderings(self):
+        read = reader_for({"age": 30})
+        assert Compare("age", ">", 21).matches(read)
+        assert Compare("age", ">=", 30).matches(read)
+        assert not Compare("age", "<", 30).matches(read)
+        assert Compare("age", "<=", 30).matches(read)
+        assert Compare("age", "!=", 21).matches(read)
+
+    def test_none_never_satisfies_ordering(self):
+        assert not Compare("age", ">", 21).matches(reader_for({}))
+
+    def test_none_equality_works(self):
+        assert Compare("age", "==", None).matches(reader_for({}))
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            Compare("age", "~~", 1)
+
+
+class TestOtherAtoms:
+    def test_isin(self):
+        pred = IsIn("major", ("cs", "ee"))
+        assert pred.matches(reader_for({"major": "cs"}))
+        assert not pred.matches(reader_for({"major": "math"}))
+
+    def test_isset(self):
+        assert IsSet("name").matches(reader_for({"name": "x"}))
+        assert not IsSet("name").matches(reader_for({}))
+
+    def test_true_predicate(self):
+        assert TruePredicate().matches(reader_for({}))
+
+
+class TestConnectives:
+    def test_and_or_not(self):
+        read = reader_for({"age": 30, "major": "cs"})
+        pred = And(Compare("age", ">", 18), Compare("major", "==", "cs"))
+        assert pred.matches(read)
+        assert Or(Compare("age", "<", 18), Compare("major", "==", "cs")).matches(read)
+        assert not Not(Compare("age", ">", 18)).matches(read)
+
+    def test_operator_sugar(self):
+        read = reader_for({"a": 1, "b": 2})
+        pred = (Compare("a", "==", 1) & Compare("b", "==", 2)) | Compare("a", "==", 9)
+        assert pred.matches(read)
+        assert (~Compare("a", "==", 9)).matches(read)
+
+
+class TestSignaturesAndSerialisation:
+    def test_equal_predicates_equal_signatures(self):
+        first = And(Compare("a", ">", 1), IsIn("b", (1, 2)))
+        second = And(Compare("a", ">", 1), IsIn("b", (1, 2)))
+        assert first.signature() == second.signature()
+
+    def test_different_predicates_differ(self):
+        assert Compare("a", ">", 1).signature() != Compare("a", ">", 2).signature()
+
+    @pytest.mark.parametrize(
+        "pred",
+        [
+            Compare("age", ">=", 21),
+            IsIn("major", ("cs", "ee")),
+            IsSet("name"),
+            TruePredicate(),
+            And(Compare("a", "==", 1), Or(IsSet("b"), Not(Compare("c", "<", 0)))),
+        ],
+    )
+    def test_dict_round_trip(self, pred):
+        rebuilt = predicate_from_dict(pred.to_dict())
+        assert rebuilt.signature() == pred.signature()
+
+    def test_from_dict_unknown_kind(self):
+        with pytest.raises(PredicateError):
+            predicate_from_dict({"kind": "mystery"})
+
+    def test_str_renders(self):
+        text = str(And(Compare("a", "==", 1), Not(IsSet("b"))))
+        assert "a == 1" in text and "not" in text

@@ -1,0 +1,165 @@
+"""Unit tests for algebra operator constructors and defineVC execution."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateProperty,
+    InvalidDerivation,
+    UnknownClass,
+    UnknownProperty,
+)
+from repro.algebra import operators
+from repro.algebra.define import AlgebraProcessor, DefineStatement
+from repro.algebra.expressions import Compare, TruePredicate
+from repro.schema.classes import Derivation, SharedProperty
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute, Method
+
+
+@pytest.fixture()
+def schema():
+    s = GlobalSchema()
+    s.add_base_class("Person", (Attribute("name"), Attribute("age", domain="int")))
+    s.add_base_class("Student", (Attribute("major"),), inherits_from=("Person",))
+    return s
+
+
+class TestConstructors:
+    def test_select(self, schema):
+        der = operators.select(schema, "Person", Compare("age", ">", 18))
+        assert der.op == "select" and der.sources == ("Person",)
+
+    def test_select_requires_predicate_instance(self, schema):
+        with pytest.raises(InvalidDerivation):
+            operators.select(schema, "Person", "age > 18")  # type: ignore[arg-type]
+
+    def test_select_unknown_class(self, schema):
+        with pytest.raises(UnknownClass):
+            operators.select(schema, "Ghost", TruePredicate())
+
+    def test_hide_checks_properties_exist(self, schema):
+        with pytest.raises(UnknownProperty):
+            operators.hide(schema, ["ghost"], "Person")
+
+    def test_hide_everything_rejected(self, schema):
+        with pytest.raises(InvalidDerivation):
+            operators.hide(schema, ["name", "age"], "Person")
+
+    def test_hide_ok(self, schema):
+        der = operators.hide(schema, ["age"], "Person")
+        assert der.hidden == ("age",)
+
+    def test_refine_rejects_existing_name(self, schema):
+        """Section 3.2: property names must differ from all existing ones."""
+        with pytest.raises(DuplicateProperty):
+            operators.refine(schema, [Attribute("name")], "Person")
+
+    def test_refine_rejects_double_listing(self, schema):
+        with pytest.raises(DuplicateProperty):
+            operators.refine(schema, [Attribute("x"), Attribute("x")], "Person")
+
+    def test_refine_with_stored_attribute_and_method(self, schema):
+        der = operators.refine(
+            schema,
+            [Attribute("register"), Method("enrol", body=lambda h: None)],
+            "Student",
+        )
+        assert len(der.new_properties) == 2
+
+    def test_refine_shared_property_checks_donor(self, schema):
+        with pytest.raises(UnknownProperty):
+            operators.refine(
+                schema, [SharedProperty("Person", "ghost")], "Student"
+            )
+
+    def test_refine_shared_ok(self, schema):
+        schema.add_base_class("Tagged", (Attribute("tag"),))
+        der = operators.refine(schema, [SharedProperty("Tagged", "tag")], "Person")
+        assert der.shared_properties == (SharedProperty("Tagged", "tag"),)
+
+    def test_set_operators(self, schema):
+        schema.add_base_class("Staff")
+        for ctor in (operators.union, operators.difference, operators.intersect):
+            der = ctor(schema, "Student", "Staff")
+            assert der.sources == ("Student", "Staff")
+
+
+class TestDerivationValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(InvalidDerivation):
+            Derivation(op="teleport", sources=("A",))
+
+    def test_arity_checked(self):
+        with pytest.raises(InvalidDerivation):
+            Derivation(op="union", sources=("A",))
+        with pytest.raises(InvalidDerivation):
+            Derivation(op="hide", sources=("A", "B"), hidden=("x",))
+
+    def test_parameters_required(self):
+        with pytest.raises(InvalidDerivation):
+            Derivation(op="select", sources=("A",))
+        with pytest.raises(InvalidDerivation):
+            Derivation(op="hide", sources=("A",))
+        with pytest.raises(InvalidDerivation):
+            Derivation(op="refine", sources=("A",))
+
+    def test_describe_renders_paper_syntax(self, schema):
+        der = operators.hide(schema, ["age"], "Person")
+        assert der.describe() == "hide age from Person"
+        der = operators.refine(schema, [Attribute("register")], "Student")
+        assert der.describe() == "refine register for Student"
+
+
+class TestDefineVc:
+    def test_execute_registers_and_classifies(self, schema):
+        processor = AlgebraProcessor(schema)
+        outcome = processor.execute(
+            DefineStatement(
+                "AgelessPerson", operators.hide(schema, ["age"], "Person")
+            )
+        )
+        assert outcome.created
+        assert "AgelessPerson" in schema
+        # hide classes sit *above* their source (figure 4)
+        assert schema.is_ancestor("AgelessPerson", "Person")
+
+    def test_duplicate_definition_reuses_class(self, schema):
+        processor = AlgebraProcessor(schema)
+        first = processor.execute(
+            DefineStatement("A1", operators.hide(schema, ["age"], "Person"))
+        )
+        second = processor.execute(
+            DefineStatement("A2", operators.hide(schema, ["age"], "Person"))
+        )
+        assert first.created and not second.created
+        assert second.class_name == "A1"
+        assert "A2" not in schema
+
+    def test_execute_all_substitutes_duplicates_downstream(self, schema):
+        processor = AlgebraProcessor(schema)
+        processor.execute(
+            DefineStatement("A1", operators.hide(schema, ["age"], "Person"))
+        )
+        outcomes = processor.execute_all(
+            [
+                DefineStatement("A2", operators.hide(schema, ["age"], "Person")),
+                DefineStatement(
+                    "Sel",
+                    Derivation(
+                        op="select",
+                        sources=("A2",),
+                        predicate=Compare("name", "==", "x"),
+                    ),
+                ),
+            ]
+        )
+        assert outcomes[0].class_name == "A1"
+        assert outcomes[1].created
+        assert schema["Sel"].derivation.sources == ("A1",)
+
+    def test_statement_renders(self, schema):
+        stmt = DefineStatement(
+            "Student'",
+            operators.refine(schema, [Attribute("register")], "Student"),
+        )
+        assert stmt.render() == "defineVC Student' as (refine register for Student)"

@@ -1,0 +1,358 @@
+"""Unit tests for the generic update operators and section 3.4 propagation."""
+
+import pytest
+
+from repro.errors import NotAMember, NotUpdatable, UpdateRejected
+from repro.algebra.define import AlgebraProcessor, DefineStatement
+from repro.algebra.expressions import Compare
+from repro.algebra.updates import UpdateEngine, ValueClosurePolicy
+from repro.objectmodel.slicing import InstancePool
+from repro.schema.classes import Derivation, SharedProperty
+from repro.schema.extents import ExtentEvaluator
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute
+from repro.storage.store import ObjectStore
+
+
+def build_world(value_closure=ValueClosurePolicy.REJECT):
+    schema = GlobalSchema()
+    schema.add_base_class(
+        "Person", (Attribute("name"), Attribute("age", domain="int"))
+    )
+    schema.add_base_class("Student", (Attribute("major"),), inherits_from=("Person",))
+    schema.add_base_class("Staff", (Attribute("office"),))
+    pool = InstancePool(ObjectStore())
+    evaluator = ExtentEvaluator(schema, pool)
+    engine = UpdateEngine(schema, pool, evaluator, value_closure=value_closure)
+    processor = AlgebraProcessor(schema)
+    return schema, pool, evaluator, engine, processor
+
+
+def define(processor, name, derivation):
+    return processor.execute(DefineStatement(name, derivation)).class_name
+
+
+class TestBaseClassUpdates:
+    def test_create_with_assignments(self):
+        schema, pool, evaluator, engine, _ = build_world()
+        oid = engine.create("Student", {"name": "Ada", "major": "cs"})
+        assert oid in evaluator.extent("Student")
+        assert oid in evaluator.extent("Person")
+        assert pool.get_value(oid, "Person", "name") == "Ada"
+        assert pool.get_value(oid, "Student", "major") == "cs"
+
+    def test_create_rejects_unknown_attribute(self):
+        *_, engine, _ = build_world()
+        with pytest.raises(Exception):
+            engine.create("Person", {"ghost": 1})
+
+    def test_required_attribute_enforced(self):
+        schema, pool, evaluator, engine, _ = build_world()
+        schema.add_base_class("Strict", (Attribute("must", required=True),))
+        with pytest.raises(UpdateRejected):
+            engine.create("Strict", {})
+        assert evaluator.extent("Strict") == frozenset()  # no debris
+
+    def test_required_attribute_default_applied(self):
+        schema, pool, evaluator, engine, _ = build_world()
+        schema.add_base_class(
+            "Lenient", (Attribute("level", required=True, default=1),)
+        )
+        oid = engine.create("Lenient", {})
+        assert pool.get_value(oid, "Lenient", "level") == 1
+
+    def test_delete_destroys_everywhere(self):
+        schema, pool, evaluator, engine, _ = build_world()
+        oid = engine.create("Student", {})
+        engine.delete([oid])
+        assert evaluator.extent("Person") == frozenset()
+        assert not pool.exists(oid)
+
+    def test_set_values(self):
+        schema, pool, evaluator, engine, _ = build_world()
+        oid = engine.create("Person", {"age": 10})
+        engine.set_values([oid], "Person", {"age": 11})
+        assert pool.get_value(oid, "Person", "age") == 11
+
+    def test_set_nonmember_rejected(self):
+        schema, pool, evaluator, engine, _ = build_world()
+        oid = engine.create("Staff", {})
+        with pytest.raises(NotAMember):
+            engine.set_values([oid], "Student", {"major": "cs"})
+
+    def test_add_and_remove_membership(self):
+        schema, pool, evaluator, engine, _ = build_world()
+        oid = engine.create("Person", {})
+        engine.add([oid], "Staff")
+        assert oid in evaluator.extent("Staff")
+        engine.remove([oid], "Staff")
+        assert oid not in evaluator.extent("Staff")
+        assert oid in evaluator.extent("Person")
+
+
+class TestSelectPropagation:
+    def _select_world(self, policy=ValueClosurePolicy.REJECT):
+        schema, pool, evaluator, engine, processor = build_world(policy)
+        define(
+            processor,
+            "Adults",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">=", 18)
+            ),
+        )
+        return schema, pool, evaluator, engine
+
+    def test_create_through_select_lands_in_source(self):
+        schema, pool, evaluator, engine = self._select_world()
+        oid = engine.create("Adults", {"age": 30})
+        assert oid in evaluator.extent("Person")
+        assert oid in evaluator.extent("Adults")
+
+    def test_value_closure_reject_policy(self):
+        """Section 3.4 solution (1): reject a creation the class can't see."""
+        schema, pool, evaluator, engine = self._select_world()
+        with pytest.raises(UpdateRejected):
+            engine.create("Adults", {"age": 10})
+        assert evaluator.extent("Person") == frozenset()  # rolled back
+
+    def test_value_closure_allow_policy(self):
+        """Section 3.4 solution (2): allow it; it lands in the source only."""
+        schema, pool, evaluator, engine = self._select_world(
+            ValueClosurePolicy.ALLOW
+        )
+        oid = engine.create("Adults", {"age": 10})
+        assert oid in evaluator.extent("Person")
+        assert oid not in evaluator.extent("Adults")
+
+    def test_set_escaping_select_rejected_and_rolled_back(self):
+        schema, pool, evaluator, engine = self._select_world()
+        oid = engine.create("Adults", {"age": 30})
+        with pytest.raises(UpdateRejected):
+            engine.set_values([oid], "Adults", {"age": 5})
+        assert pool.get_value(oid, "Person", "age") == 30
+
+    def test_remove_through_select_works_on_source(self):
+        schema, pool, evaluator, engine = self._select_world()
+        oid = engine.create("Adults", {"age": 30})
+        engine.remove([oid], "Adults")
+        assert not pool.exists(oid) or oid not in evaluator.extent("Person")
+
+
+class TestRefinePropagation:
+    def test_set_of_refining_attribute_stays_at_virtual_class(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        primed = define(
+            processor,
+            "Student'",
+            Derivation(
+                op="refine",
+                sources=("Student",),
+                new_properties=(Attribute("register"),),
+            ),
+        )
+        oid = engine.create("Student", {"name": "Ada"})
+        engine.set_values([oid], primed, {"register": "full"})
+        assert pool.get_value(oid, primed, "register") == "full"
+        # the base slice knows nothing about it
+        assert pool.get_value(oid, "Student", "register") is None
+
+    def test_create_through_refine_accepts_refining_attrs(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        primed = define(
+            processor,
+            "Student'",
+            Derivation(
+                op="refine",
+                sources=("Student",),
+                new_properties=(Attribute("register"),),
+            ),
+        )
+        oid = engine.create(primed, {"name": "Bob", "register": "half"})
+        assert oid in evaluator.extent("Student")
+        assert pool.get_value(oid, primed, "register") == "half"
+
+    def test_shared_refine_attribute_stored_once(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        schema.add_base_class("TA", (Attribute("salary"),), inherits_from=("Student",))
+        top = define(
+            processor,
+            "Student'",
+            Derivation(
+                op="refine",
+                sources=("Student",),
+                new_properties=(Attribute("register"),),
+            ),
+        )
+        sub = define(
+            processor,
+            "TA'",
+            Derivation(
+                op="refine",
+                sources=("TA",),
+                shared_properties=(SharedProperty(top, "register"),),
+            ),
+        )
+        oid = engine.create("TA", {})
+        engine.set_values([oid], sub, {"register": "x"})
+        # stored in the Student' slice, readable through both primed classes
+        assert pool.get_value(oid, top, "register") == "x"
+
+
+class TestHidePropagation:
+    def test_hidden_attribute_not_assignable(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        hidden = define(
+            processor,
+            "NoAge",
+            Derivation(op="hide", sources=("Person",), hidden=("age",)),
+        )
+        with pytest.raises(Exception):
+            engine.create(hidden, {"age": 5})
+        oid = engine.create(hidden, {"name": "x"})
+        assert oid in evaluator.extent("Person")
+
+    def test_hidden_required_attribute_without_default_rejects(self):
+        """Footnote 4: defaults can't save a hidden REQUIRED attribute."""
+        schema, pool, evaluator, engine, processor = build_world()
+        schema.add_base_class("Strict", (Attribute("must", required=True),))
+        hidden = define(
+            processor,
+            "Relaxed",
+            Derivation(op="hide", sources=("Strict",), hidden=("must",)),
+        )
+        with pytest.raises(UpdateRejected):
+            engine.create(hidden, {})
+
+    def test_hidden_required_with_default_applies(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        schema.add_base_class(
+            "Strict2", (Attribute("must", required=True, default=9),)
+        )
+        hidden = define(
+            processor,
+            "Relaxed2",
+            Derivation(op="hide", sources=("Strict2",), hidden=("must",)),
+        )
+        oid = engine.create(hidden, {})
+        assert pool.get_value(oid, "Strict2", "must") == 9
+
+
+class TestSetOperatorPropagation:
+    def _union_world(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        name = define(
+            processor, "U", Derivation(op="union", sources=("Student", "Staff"))
+        )
+        return schema, pool, evaluator, engine, name
+
+    def test_union_create_defaults_to_first_source(self):
+        schema, pool, evaluator, engine, union_name = self._union_world()
+        oid = engine.create(union_name, {})
+        assert oid in evaluator.extent("Student")
+        assert oid not in evaluator.extent("Staff")
+
+    def test_union_create_with_explicit_target(self):
+        schema, pool, evaluator, engine, union_name = self._union_world()
+        oid = engine.create(union_name, {}, union_target="Staff")
+        assert oid in evaluator.extent("Staff")
+
+    def test_union_create_both(self):
+        schema, pool, evaluator, engine, union_name = self._union_world()
+        oid = engine.create(union_name, {}, union_target="both")
+        assert oid in evaluator.extent("Staff")
+        assert oid in evaluator.extent("Student")
+
+    def test_union_propagation_source_routes_create(self):
+        schema, pool, evaluator, engine, union_name = self._union_world()
+        schema[union_name].propagation_source = "Staff"
+        oid = engine.create(union_name, {})
+        assert oid in evaluator.extent("Staff")
+        assert oid not in evaluator.extent("Student")
+
+    def test_union_invalid_target_rejected(self):
+        schema, pool, evaluator, engine, union_name = self._union_world()
+        with pytest.raises(UpdateRejected):
+            engine.create(union_name, {}, union_target="Person")
+
+    def test_union_remove_propagates_to_members(self):
+        schema, pool, evaluator, engine, union_name = self._union_world()
+        oid = engine.create("Student", {})
+        engine.add([oid], "Staff")
+        engine.remove([oid], union_name)
+        assert oid not in evaluator.extent("Student")
+        assert oid not in evaluator.extent("Staff")
+
+    def test_intersect_create_propagates_to_both(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        name = define(
+            processor, "I", Derivation(op="intersect", sources=("Student", "Staff"))
+        )
+        oid = engine.create(name, {})
+        assert oid in evaluator.extent("Student")
+        assert oid in evaluator.extent("Staff")
+        assert oid in evaluator.extent(name)
+
+    def test_intersect_remove_single_target(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        name = define(
+            processor, "I2", Derivation(op="intersect", sources=("Student", "Staff"))
+        )
+        oid = engine.create(name, {})
+        engine.remove([oid], name, target="Staff")
+        assert oid in evaluator.extent("Student")
+        assert oid not in evaluator.extent("Staff")
+
+    def test_difference_routes_to_first_argument(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        name = define(
+            processor, "D", Derivation(op="difference", sources=("Student", "Staff"))
+        )
+        oid = engine.create(name, {})
+        assert oid in evaluator.extent("Student")
+        assert oid not in evaluator.extent("Staff")
+
+
+class TestTheorem1:
+    def test_origin_classes_chase_sources(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        define(
+            processor,
+            "Adults",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">", 17)
+            ),
+        )
+        name = define(
+            processor, "Mix", Derivation(op="union", sources=("Adults", "Staff"))
+        )
+        assert engine.origin_classes(name) == {"Person", "Staff"}
+
+    def test_every_algebra_class_updatable(self):
+        """Theorem 1: classes derived by the object-preserving algebra are
+        updatable whenever their sources are."""
+        schema, pool, evaluator, engine, processor = build_world()
+        define(
+            processor,
+            "Adults",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">", 17)
+            ),
+        )
+        define(processor, "U", Derivation(op="union", sources=("Adults", "Staff")))
+        define(
+            processor,
+            "R",
+            Derivation(op="refine", sources=("U",), new_properties=(Attribute("x"),)),
+        )
+        for name in schema.class_names():
+            assert engine.is_updatable(name), name
+
+    def test_non_updatable_flag_blocks_generic_updates(self):
+        schema, pool, evaluator, engine, processor = build_world()
+        name = define(
+            processor, "Frozen", Derivation(op="union", sources=("Student", "Staff"))
+        )
+        schema[name].updatable = False
+        with pytest.raises(NotUpdatable):
+            engine.create(name, {})
+        assert not engine.is_updatable(name)

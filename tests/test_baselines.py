@@ -1,0 +1,190 @@
+"""Tests for the section 8 baseline systems and the Table 2 harness."""
+
+import pytest
+
+from repro.baselines import ALL_ADAPTERS, render_table
+from repro.baselines.base import UserEffort
+from repro.baselines.closql import ClosqlSystem
+from repro.baselines.encore import EncoreSystem, UndefinedFieldError
+from repro.baselines.goose import GooseSystem
+from repro.baselines.orion import OrionSystem
+from repro.baselines.rose import RoseSystem
+from repro.errors import SchemaError
+
+
+class TestOrion:
+    def test_schema_versioning_copies_instances(self):
+        system = OrionSystem()
+        system.define_initial_schema({"Person": ("name",)})
+        alice = system.create(1, "Person", {"name": "alice"})
+        system.add_attribute("Person", "email")
+        assert system.instance_copies == 1
+        # both versions hold a copy of alice's lineage
+        assert any(i.lineage == alice for i in system.visible_instances(1, "Person"))
+        assert any(i.lineage == alice for i in system.visible_instances(2, "Person"))
+
+    def test_old_copies_frozen(self):
+        system = OrionSystem()
+        system.define_initial_schema({"Person": ("name",)})
+        system.create(1, "Person", {"name": "alice"})
+        system.add_attribute("Person", "email")
+        old = system.visible_instances(1, "Person")[0]
+        assert old.frozen
+
+    def test_no_backward_propagation(self):
+        """The section 8 anomaly: delete under v2, still visible under v1."""
+        system = OrionSystem()
+        system.define_initial_schema({"Person": ("name",)})
+        alice = system.create(1, "Person", {"name": "alice"})
+        system.add_attribute("Person", "email")
+        system.delete(2, alice)
+        assert any(i.lineage == alice for i in system.visible_instances(1, "Person"))
+        assert not any(
+            i.lineage == alice for i in system.visible_instances(2, "Person")
+        )
+
+    def test_new_objects_invisible_to_old_version(self):
+        system = OrionSystem()
+        system.define_initial_schema({"Person": ("name",)})
+        system.add_attribute("Person", "email")
+        bob = system.create(2, "Person", {"name": "bob", "email": "x"})
+        assert not any(
+            i.lineage == bob for i in system.visible_instances(1, "Person")
+        )
+
+
+class TestEncore:
+    def test_undefined_field_raises_without_handler(self):
+        system = EncoreSystem()
+        system.define_type("Person", ("name",))
+        alice = system.create("Person", 1, {"name": "alice"})
+        system.add_attribute("Person", "email")
+        with pytest.raises(UndefinedFieldError):
+            system.read(alice, "email")
+
+    def test_handler_resolves_access(self):
+        system = EncoreSystem()
+        system.define_type("Person", ("name",))
+        alice = system.create("Person", 1, {"name": "alice"})
+        system.add_attribute("Person", "email")
+        system.register_handler(
+            "Person", 1, "email", lambda obj, attr: f"{obj.values['name']}@default"
+        )
+        assert system.read(alice, "email") == "alice@default"
+
+    def test_shared_object_space(self):
+        system = EncoreSystem()
+        system.define_type("Person", ("name",))
+        alice = system.create("Person", 1, {"name": "alice"})
+        v2 = system.add_attribute("Person", "email")
+        bob = system.create("Person", v2, {"name": "bob", "email": "x"})
+        ids = {o.object_id for o in system.instances_of("Person")}
+        assert ids == {alice, bob}
+
+
+class TestGoose:
+    def test_composition_consistency_checked(self):
+        system = GooseSystem()
+        system.define_class("A", ("x",))
+        system.define_class("B", ("y",))
+        system.add_attribute("A", "x2")  # A v2 consistent with A v1 only
+        # mixing A v2 with B v1 is fine (v2 declares consistency with A v1;
+        # B v1 never conflicts) — but fabricate a conflict: B v2 vs A v1
+        system.add_attribute("B", "y2")
+        with pytest.raises(SchemaError):
+            system.compose_schema({"A": 1, "B": 2})
+
+    def test_reads_through_composed_schema(self):
+        system = GooseSystem()
+        system.define_class("Person", ("name",))
+        v2 = system.add_attribute("Person", "email")
+        alice = system.create("Person", 1, {"name": "alice"})
+        schema = system.compose_schema({"Person": v2})
+        assert system.read(schema, alice, "email") is None
+        with pytest.raises(SchemaError):
+            system.read({"Person": 1}, alice, "email")
+
+
+class TestClosql:
+    def test_conversion_functions_required_and_counted(self):
+        system = ClosqlSystem()
+        system.define_class("Person", ("name",))
+        alice = system.create("Person", 1, {"name": "alice"})
+        v2 = system.add_attribute("Person", "email")
+        with pytest.raises(SchemaError):
+            system.read_as(alice, v2, "email")
+        system.register_update_function(
+            "Person", 1, v2, lambda values: {**values, "email": None}
+        )
+        assert system.read_as(alice, v2, "email") is None
+        assert system.conversions_performed == 1
+
+    def test_backdate_direction(self):
+        system = ClosqlSystem()
+        system.define_class("Person", ("name",))
+        v2 = system.add_attribute("Person", "email")
+        bob = system.create("Person", v2, {"name": "bob", "email": "x"})
+        system.register_update_function(
+            "Person", v2, 1, lambda values: {"name": values["name"]}
+        )
+        assert system.read_as(bob, 1, "name") == "bob"
+
+
+class TestRose:
+    def test_automatic_mismatch_resolution(self):
+        system = RoseSystem()
+        system.define_type("Person", ("name",))
+        alice = system.create("Person", 1, {"name": "alice"})
+        v2 = system.add_attribute("Person", "email")
+        assert system.read_as(alice, v2, "email") is None
+        assert system.mismatches_resolved == 1
+
+
+class TestTable2Harness:
+    def test_all_adapters_consistent_with_declared_rows(self):
+        for adapter_cls in ALL_ADAPTERS:
+            adapter = adapter_cls()
+            assert adapter.consistent(), adapter.name
+
+    def test_table2_matches_paper(self):
+        """The reproduced Table 2, cell for cell."""
+        rows = {a().feature_row().system: a().feature_row() for a in ALL_ADAPTERS}
+        paper = {
+            "Encore": (True, UserEffort.EXCEPTION_HANDLERS, True, False, False),
+            "Orion": (False, UserEffort.NOTHING, False, False, False),
+            "Goose": (True, UserEffort.TRACK_CLASS_VERSIONS, True, False, False),
+            "CLOSQL": (True, UserEffort.CONVERSION_FUNCTIONS, True, False, False),
+            "Rose": (True, UserEffort.NOTHING, True, False, False),
+            "TSE system": (True, UserEffort.NOTHING, False, True, True),
+        }
+        for system, expected in paper.items():
+            row = rows[system]
+            actual = (
+                row.sharing,
+                row.effort,
+                row.flexibility,
+                row.subschema_evolution,
+                row.views_with_change,
+            )
+            assert actual == expected, system
+
+    def test_only_tse_merges_versions(self):
+        rows = [a().feature_row() for a in ALL_ADAPTERS]
+        mergers = [r.system for r in rows if r.version_merging]
+        assert mergers == ["TSE system"]
+
+    def test_render_table_contains_all_systems(self):
+        text = render_table([a().feature_row() for a in ALL_ADAPTERS])
+        for adapter_cls in ALL_ADAPTERS:
+            assert adapter_cls.name in text
+
+    def test_tse_scenario_observations(self):
+        from repro.baselines.tse_adapter import TseAdapter
+
+        obs = TseAdapter().run_scenario()
+        assert obs.old_app_sees_new_object
+        assert obs.new_app_sees_old_object
+        assert obs.old_object_email_readable
+        assert not obs.email_read_needed_user_code
+        assert obs.delete_propagates_backwards
+        assert obs.instance_copies == 0

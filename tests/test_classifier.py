@@ -1,0 +1,187 @@
+"""Unit tests for the classification algorithm ([17])."""
+
+import pytest
+
+from repro.algebra.expressions import Compare
+from repro.classifier.classify import Classifier
+from repro.schema.classes import Derivation, ROOT_CLASS, SharedProperty
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute
+
+
+@pytest.fixture()
+def schema():
+    s = GlobalSchema()
+    s.add_base_class("Person", (Attribute("name"), Attribute("age", domain="int")))
+    s.add_base_class("Student", (Attribute("major"),), inherits_from=("Person",))
+    s.add_base_class("TA", (Attribute("salary"),), inherits_from=("Student",))
+    return s
+
+
+class TestPositioning:
+    def test_refine_goes_directly_below_source(self, schema):
+        classifier = Classifier(schema)
+        result = classifier.classify_new(
+            "Student'",
+            Derivation(
+                op="refine",
+                sources=("Student",),
+                new_properties=(Attribute("register"),),
+            ),
+        )
+        assert result.created
+        assert "Student" in result.direct_supers
+
+    def test_hide_goes_directly_above_source(self, schema):
+        """Figure 4: AgelessPerson classified as superclass of Person."""
+        classifier = Classifier(schema)
+        result = classifier.classify_new(
+            "AgelessPerson",
+            Derivation(op="hide", sources=("Person",), hidden=("age",)),
+        )
+        assert "Person" in result.direct_subs
+        assert result.direct_supers == (ROOT_CLASS,)
+        # the old ROOT -> Person edge became transitive and was removed
+        assert not schema.has_edge(ROOT_CLASS, "Person")
+        schema.validate()
+
+    def test_select_below_source(self, schema):
+        classifier = Classifier(schema)
+        result = classifier.classify_new(
+            "Adults",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">", 17)
+            ),
+        )
+        assert "Person" in result.direct_supers
+
+    def test_figure3_shape_refined_subclass_under_both(self, schema):
+        """TA' must sit under both TA and Student' (figure 3 (c))."""
+        classifier = Classifier(schema)
+        classifier.classify_new(
+            "Student'",
+            Derivation(
+                op="refine",
+                sources=("Student",),
+                new_properties=(Attribute("register"),),
+            ),
+        )
+        result = classifier.classify_new(
+            "TA'",
+            Derivation(
+                op="refine",
+                sources=("TA",),
+                shared_properties=(SharedProperty("Student'", "register"),),
+            ),
+        )
+        assert set(result.direct_supers) == {"TA", "Student'"}
+
+    def test_union_between_common_super_and_sources(self, schema):
+        schema.add_base_class("Staff", (Attribute("office"),), inherits_from=("Person",))
+        classifier = Classifier(schema)
+        result = classifier.classify_new(
+            "U", Derivation(op="union", sources=("Student", "Staff"))
+        )
+        assert "Person" in result.direct_supers
+        assert set(result.direct_subs) == {"Student", "Staff"}
+        # transitive edges Person->Student / Person->Staff removed
+        assert not schema.has_edge("Person", "Student")
+        assert not schema.has_edge("Person", "Staff")
+        schema.validate()
+
+    def test_intersect_below_both_sources(self, schema):
+        schema.add_base_class("Staff", (Attribute("office"),), inherits_from=("Person",))
+        classifier = Classifier(schema)
+        result = classifier.classify_new(
+            "I", Derivation(op="intersect", sources=("Student", "Staff"))
+        )
+        assert set(result.direct_supers) == {"Student", "Staff"}
+
+
+class TestDuplicateDetection:
+    def test_identical_derivation_discarded(self, schema):
+        classifier = Classifier(schema)
+        first = classifier.classify_new(
+            "H1", Derivation(op="hide", sources=("Person",), hidden=("age",))
+        )
+        second = classifier.classify_new(
+            "H2", Derivation(op="hide", sources=("Person",), hidden=("age",))
+        )
+        assert first.created and not second.created
+        assert second.duplicate_of == "H1"
+        assert "H2" not in schema
+
+    def test_same_predicate_same_source_duplicate(self, schema):
+        classifier = Classifier(schema)
+        predicate = Compare("age", ">", 17)
+        classifier.classify_new(
+            "S1", Derivation(op="select", sources=("Person",), predicate=predicate)
+        )
+        result = classifier.classify_new(
+            "S2",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">", 17)
+            ),
+        )
+        assert not result.created and result.duplicate_of == "S1"
+
+    def test_different_predicate_not_duplicate(self, schema):
+        classifier = Classifier(schema)
+        classifier.classify_new(
+            "S1",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">", 17)
+            ),
+        )
+        result = classifier.classify_new(
+            "S2",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">", 30)
+            ),
+        )
+        assert result.created
+
+    def test_union_symmetric_sources_not_misdetected(self, schema):
+        schema.add_base_class("Staff")
+        classifier = Classifier(schema)
+        first = classifier.classify_new(
+            "U1", Derivation(op="union", sources=("Student", "Staff"))
+        )
+        # flipped sources: a genuinely equal extent; the prover sees it
+        second = classifier.classify_new(
+            "U2", Derivation(op="union", sources=("Staff", "Student"))
+        )
+        assert first.created
+        assert not second.created and second.duplicate_of == "U1"
+
+
+class TestInvariants:
+    def test_schema_valid_after_many_classifications(self, schema):
+        classifier = Classifier(schema)
+        classifier.classify_new(
+            "A", Derivation(op="hide", sources=("TA",), hidden=("salary",))
+        )
+        classifier.classify_new(
+            "B",
+            Derivation(
+                op="refine", sources=("TA",), new_properties=(Attribute("b"),)
+            ),
+        )
+        classifier.classify_new(
+            "C",
+            Derivation(
+                op="select", sources=("Student",), predicate=Compare("age", ">", 0)
+            ),
+        )
+        classifier.classify_new("D", Derivation(op="union", sources=("B", "C")))
+        schema.validate()
+
+    def test_every_class_reaches_root(self, schema):
+        classifier = Classifier(schema)
+        classifier.classify_new(
+            "Lonely",
+            Derivation(op="hide", sources=("Person",), hidden=("age",)),
+        )
+        for name in schema.class_names():
+            if name != ROOT_CLASS:
+                assert ROOT_CLASS in schema.ancestors(name)

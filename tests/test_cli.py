@@ -1,0 +1,122 @@
+"""Tests for the interactive shell (repro.cli)."""
+
+import pytest
+
+from repro.cli import main, run_shell
+from repro.core.database import TseDatabase
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+@pytest.fixture()
+def session():
+    db, view = build_figure3_database()
+    populate_students(db, 3)
+    output = []
+    return db, output, lambda lines: run_shell(db, "VS1", lines, emit=output.append)
+
+
+class TestMetaCommands:
+    def test_views_lists_and_marks_current(self, session):
+        db, output, shell = session
+        shell([".views"])
+        assert any("VS1.v1" in line and "*" in line for line in output)
+
+    def test_show_and_classes(self, session):
+        db, output, shell = session
+        shell([".show", ".classes"])
+        text = "\n".join(output)
+        assert "VS1.v1" in text
+        assert "Student(" in text
+
+    def test_extent(self, session):
+        db, output, shell = session
+        shell([".extent TA"])
+        assert any("oid:" in line for line in output)
+
+    def test_use_switches_views(self, session):
+        db, output, shell = session
+        db.create_view("alt", ["Person"], closure="ignore")
+        state = shell([".use alt", ".show"])
+        assert state["view"] == "alt"
+        assert any("alt.v1" in line for line in output)
+
+    def test_use_unknown_view_is_error(self, session):
+        db, output, shell = session
+        state = shell([".use nope"])
+        assert state["errors"] == 1
+
+    def test_quit_stops_processing(self, session):
+        db, output, shell = session
+        state = shell([".quit", "create Student [name = \"never\"]"])
+        assert state["executed"] == 0
+
+    def test_help_and_unknown_meta(self, session):
+        db, output, shell = session
+        shell([".help", ".bogus"])
+        text = "\n".join(output)
+        assert ".views" in text
+        assert "unknown meta-command" in text
+
+    def test_save_writes_file(self, session, tmp_path):
+        db, output, shell = session
+        target = tmp_path / "dump.json"
+        shell([f".save {target}"])
+        assert target.exists()
+        loaded = TseDatabase.load(target)
+        assert "VS1" in loaded.view_names()
+
+    def test_history(self, session):
+        db, output, shell = session
+        shell(["add_attribute x : int to Student", ".history"])
+        assert any("add_attribute x to Student" in line for line in output)
+
+
+class TestLanguagePassthrough:
+    def test_full_session(self, session):
+        db, output, shell = session
+        state = shell(
+            [
+                "# a comment line",
+                "",
+                'create Student [name = "Shelly", age = 30]',
+                "add_attribute register : str to Student",
+                'set Student where name == "Shelly" [register = "full"]',
+            ]
+        )
+        assert state["executed"] == 3
+        assert state["errors"] == 0
+        view = db.view("VS1")
+        from repro.algebra.expressions import Compare
+
+        shelly = view["Student"].select_where(Compare("name", "==", "Shelly"))[0]
+        assert shelly["register"] == "full"
+
+    def test_errors_are_reported_not_fatal(self, session):
+        db, output, shell = session
+        state = shell(
+            [
+                "add_attribute major to Student",  # duplicate: rejected
+                'create Student [name = "still works"]',
+            ]
+        )
+        assert state["errors"] == 1
+        assert state["executed"] == 1
+        assert any("error:" in line for line in output)
+
+
+class TestMain:
+    def test_main_without_database_bootstraps(self, monkeypatch, capsys):
+        monkeypatch.setattr("builtins.input", lambda prompt="": ".quit")
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "TSE shell" in out
+
+    def test_main_loads_database(self, tmp_path, monkeypatch, capsys):
+        db, view = build_figure3_database()
+        path = tmp_path / "db.json"
+        db.save(path)
+        answers = iter([".classes", ".quit"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(answers))
+        assert main([str(path), "--view", "VS1"]) == 0
+        out = capsys.readouterr().out
+        assert "Student(" in out

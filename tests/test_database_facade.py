@@ -1,0 +1,107 @@
+"""Tests for the TseDatabase facade and cross-cutting behaviours."""
+
+import pytest
+
+from repro.errors import UnknownClass, UnknownView
+from repro.core.database import TseDatabase
+from repro.schema.classes import Derivation
+from repro.schema.properties import Attribute, Method
+from repro.algebra.expressions import Compare
+
+
+class TestAuthoring:
+    def test_define_class_and_view(self):
+        db = TseDatabase()
+        db.define_class("Doc", [Attribute("title")])
+        view = db.create_view("V", ["Doc"])
+        assert view.class_names() == ["Doc"]
+
+    def test_define_virtual_class(self):
+        db = TseDatabase()
+        db.define_class("Doc", [Attribute("size", domain="int")])
+        name = db.define_virtual_class(
+            "Big",
+            Derivation(
+                op="select", sources=("Doc",), predicate=Compare("size", ">", 10)
+            ),
+        )
+        assert name == "Big"
+        assert "Big" in db.schema
+
+    def test_view_closure_completion_by_default(self):
+        db = TseDatabase()
+        db.define_class("Person", [Attribute("name")])
+        db.define_class("Dog", [Attribute("owner", domain="Person")])
+        view = db.create_view("V", ["Dog"])  # closure='complete' by default
+        assert "Person" in view.class_names()
+
+    def test_methods_on_base_classes(self):
+        db = TseDatabase()
+        db.define_class(
+            "Greeter",
+            [Attribute("name"), Method("hello", body=lambda h: f"hi {h['name']}")],
+        )
+        view = db.create_view("V", ["Greeter"])
+        obj = view["Greeter"].create(name="Ada")
+        assert obj.call("hello") == "hi Ada"
+
+
+class TestStats:
+    def test_stats_bundle(self):
+        db = TseDatabase()
+        db.define_class("A", [Attribute("x")])
+        view = db.create_view("V", ["A"])
+        view["A"].create(x=1)
+        stats = db.stats()
+        assert stats["classes_base"] == 2  # ROOT + A
+        assert stats["objects"] == 1
+        assert stats["views"] == 1
+        assert stats["oids_used"] >= 1
+        assert "page_reads" in stats["pages"]
+
+    def test_evolution_log_is_copy(self):
+        db = TseDatabase()
+        db.define_class("A", [Attribute("x")])
+        view = db.create_view("V", ["A"])
+        view.add_attribute("y", to="A", domain="int")
+        log = db.evolution_log()
+        log.clear()
+        assert len(db.evolution_log()) == 1
+
+
+class TestErrorSurfaces:
+    def test_unknown_view(self):
+        db = TseDatabase()
+        with pytest.raises(UnknownView):
+            db.view("nope")
+
+    def test_unknown_class_in_view_creation(self):
+        db = TseDatabase()
+        with pytest.raises(UnknownClass):
+            db.create_view("V", ["Ghost"])
+
+    def test_exception_hierarchy_is_catchable(self):
+        """Every library error derives from TseError."""
+        from repro import errors
+
+        exception_types = [
+            getattr(errors, name)
+            for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), Exception)
+        ]
+        for exc_type in exception_types:
+            assert issubclass(exc_type, errors.TseError) or exc_type is errors.TseError
+
+
+class TestPublicApiSurface:
+    def test_star_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

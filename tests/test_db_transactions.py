@@ -1,0 +1,109 @@
+"""Tests for database-level savepoint transactions (db.transaction())."""
+
+import pytest
+
+from repro.algebra.expressions import Compare
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+class TestCommit:
+    def test_successful_block_keeps_everything(self, fig3):
+        db, view, _ = fig3
+        with db.transaction():
+            view.add_attribute("register", to="Student", domain="str")
+            fresh = view["Student"].create(name="tx", register="r")
+        assert view.version == 2
+        assert fresh.oid in {h.oid for h in view["Student"].extent()}
+
+    def test_nested_work_and_queries_inside(self, fig3):
+        db, view, _ = fig3
+        with db.transaction():
+            view.add_attribute("flag", to="TA", domain="bool")
+            view["TA"].set_where(Compare("salary", ">=", 0), flag=True)
+            assert all(h["flag"] for h in view["TA"].extent())
+
+
+class TestRollback:
+    def test_schema_and_data_rolled_back_together(self, fig3):
+        db, view, objects = fig3
+        count_before = view["Student"].count()
+        classes_before = db.schema.class_names()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                view.add_attribute("register", to="Student", domain="str")
+                view["Student"].create(name="doomed", register="x")
+                view["Student"].extent()[0]["name"] = "mangled"
+                raise RuntimeError("abort")
+        assert view.version == 1
+        assert view["Student"].count() == count_before
+        assert db.schema.class_names() == classes_before
+        assert all(h["name"] != "mangled" for h in view["Student"].extent())
+
+    def test_view_history_rolled_back(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(ValueError):
+            with db.transaction():
+                view.add_attribute("a", to="Student", domain="int")
+                view.add_attribute("b", to="Student", domain="int")
+                raise ValueError("no")
+        assert db.views.history.total_versions() == 1
+        assert len(db.evolution_log()) == 0
+
+    def test_deletion_undone(self, fig3):
+        db, view, _ = fig3
+        victim = view["Student"].extent()[0]
+        values_before = victim.values()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                victim.delete()
+                raise RuntimeError("abort")
+        assert victim.oid in {h.oid for h in view["Student"].extent()}
+        assert view["Student"].get_object(victim.oid).values() == values_before
+
+    def test_new_view_creation_undone(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.create_view("scratch", ["Person"], closure="ignore")
+                raise RuntimeError("abort")
+        assert "scratch" not in db.view_names()
+
+    def test_indexes_rebuilt_after_rollback(self, fig3):
+        db, view, _ = fig3
+        db.create_index("Person", "name")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                view["Student"].create(name="ghost")
+                raise RuntimeError("abort")
+        hits = view["Person"].select_where(Compare("name", "==", "ghost"))
+        assert hits == []
+        # index created inside an aborted transaction disappears
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.create_index("Person", "age")
+                raise RuntimeError("abort")
+        assert db.indexes.get("Person", "age") is None
+
+    def test_database_fully_usable_after_rollback(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                view.add_attribute("x", to="Student", domain="int")
+                raise RuntimeError("abort")
+        # the same change applies cleanly afterwards
+        view.add_attribute("x", to="Student", domain="int")
+        assert "x" in view["Student"].property_names()
+        db.schema.validate()
+
+    def test_sequential_transactions_isolated(self, fig3):
+        db, view, _ = fig3
+        with db.transaction():
+            view["Student"].create(name="first")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                view["Student"].create(name="second")
+                raise RuntimeError("abort")
+        names = {h["name"] for h in view["Student"].extent()}
+        assert "first" in names and "second" not in names

@@ -1,0 +1,87 @@
+"""Tests for derived (computed) attributes — MultiView's original refine."""
+
+import pytest
+
+from repro.errors import InvalidDerivation, UpdateRejected
+from repro.algebra.expressions import Compare
+from repro.core.database import TseDatabase
+from repro.schema.classes import Derivation
+from repro.schema.properties import Attribute
+
+
+@pytest.fixture()
+def rectangles():
+    db = TseDatabase()
+    db.define_class(
+        "Rect", [Attribute("w", domain="int"), Attribute("h", domain="int")]
+    )
+    view = db.create_view("V", ["Rect"])
+    view["Rect"].create(w=3, h=4)
+    view["Rect"].create(w=10, h=10)
+    area = Attribute(
+        "area", domain="int", stored=False,
+        compute=lambda read: (read("w") or 0) * (read("h") or 0),
+    )
+    name = db.define_virtual_class(
+        "RectPlus", Derivation(op="refine", sources=("Rect",), new_properties=(area,))
+    )
+    selected = set(db.views.current("V").selected) | {name}
+    db.views.register_successor("V", selected, closure="ignore")
+    return db, db.view("V")
+
+
+class TestDerivedAttributes:
+    def test_computed_on_read(self, rectangles):
+        db, view = rectangles
+        areas = sorted(h["area"] for h in view["RectPlus"].extent())
+        assert areas == [12, 100]
+
+    def test_usable_in_predicates(self, rectangles):
+        db, view = rectangles
+        big = view["RectPlus"].select_where(Compare("area", ">", 50))
+        assert len(big) == 1 and big[0]["w"] == 10
+
+    def test_recomputed_after_source_change(self, rectangles):
+        db, view = rectangles
+        handle = view["RectPlus"].select_where(Compare("area", "==", 12))[0]
+        handle["w"] = 5
+        assert handle["area"] == 20
+
+    def test_not_assignable(self, rectangles):
+        db, view = rectangles
+        handle = view["RectPlus"].extent()[0]
+        with pytest.raises(UpdateRejected):
+            handle["area"] = 999
+
+    def test_occupies_no_storage(self, rectangles):
+        db, view = rectangles
+        for obj in db.pool.objects():
+            assert "RectPlus" not in obj.implementations
+
+    def test_usable_in_order_by_and_aggregate(self, rectangles):
+        db, view = rectangles
+        ordered = view["RectPlus"].order_by("area")
+        assert [h["area"] for h in ordered] == [12, 100]
+        stats = view["RectPlus"].aggregate("area")
+        assert stats[None]["sum"] == 112
+
+    def test_declared_stored_and_computed_rejected(self):
+        with pytest.raises(InvalidDerivation):
+            Attribute("bad", compute=lambda read: 1)  # stored defaults True
+
+    def test_compute_can_reference_other_derived(self, rectangles):
+        """Derived attributes compose (the reader resolves recursively)."""
+        db, view = rectangles
+        doubled = Attribute(
+            "doubled", domain="int", stored=False,
+            compute=lambda read: read("area") * 2,
+        )
+        name = db.define_virtual_class(
+            "RectPlusPlus",
+            Derivation(op="refine", sources=("RectPlus",), new_properties=(doubled,)),
+        )
+        selected = set(db.views.current("V").selected) | {name}
+        db.views.register_successor("V", selected, closure="ignore")
+        view = db.view("V")
+        values = sorted(h["doubled"] for h in view["RectPlusPlus"].extent())
+        assert values == [24, 200]

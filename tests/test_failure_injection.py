@@ -1,0 +1,159 @@
+"""Failure injection: rejected or crashing changes must leave no debris."""
+
+import pytest
+
+from repro.errors import ChangeRejected, EvolutionError, TseError
+from repro.baselines.direct import view_snapshot
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+def full_state(db):
+    return (
+        sorted(db.schema.class_names()),
+        {
+            name: (
+                frozenset(db.schema.type_of(name)),
+                db.schema.direct_supers(name),
+                db.schema.direct_subs(name),
+            )
+            for name in db.schema.class_names()
+        },
+        db.views.history.total_versions(),
+    )
+
+
+class TestRejectedChangesLeaveNoDebris:
+    def test_rejected_add_attribute(self, fig3):
+        db, view, _ = fig3
+        before = full_state(db)
+        with pytest.raises(ChangeRejected):
+            view.add_attribute("major", to="Student")  # duplicate name
+        assert full_state(db) == before
+
+    def test_rejected_delete_attribute(self, fig3):
+        db, view, _ = fig3
+        before = full_state(db)
+        with pytest.raises(ChangeRejected):
+            view.delete_attribute("name", from_="TA")  # not local
+        assert full_state(db) == before
+
+    def test_rejected_add_edge(self, fig3):
+        db, view, _ = fig3
+        before = full_state(db)
+        with pytest.raises(ChangeRejected):
+            view.add_edge("TA", "Person")  # cycle
+        assert full_state(db) == before
+
+    def test_rejected_delete_edge(self, fig3):
+        db, view, _ = fig3
+        before = full_state(db)
+        with pytest.raises(ChangeRejected):
+            view.delete_edge("Person", "TA")  # not a direct view edge
+        assert full_state(db) == before
+
+    def test_rejected_add_class(self, fig3):
+        db, view, _ = fig3
+        before = full_state(db)
+        with pytest.raises(ChangeRejected):
+            view.add_class("Student", connected_to="Person")
+        assert full_state(db) == before
+
+
+class TestMidPipelineFailureRollsBack:
+    def test_crash_during_classification_restores_schema(self, fig3, monkeypatch):
+        """Force the classifier to blow up after some statements executed;
+        the memento must restore the pre-change structure."""
+        db, view, _ = fig3
+        before = full_state(db)
+        from repro.classifier.classify import Classifier
+
+        original = Classifier.classify_new
+        calls = {"n": 0}
+
+        def flaky(self, name, derivation, meta=None):
+            calls["n"] += 1
+            if calls["n"] >= 2:  # first statement lands, second explodes
+                raise EvolutionError("injected classifier crash")
+            return original(self, name, derivation, meta)
+
+        monkeypatch.setattr(Classifier, "classify_new", flaky)
+        with pytest.raises(TseError):
+            view.add_attribute("register", to="Student", domain="str")
+        monkeypatch.undo()
+        assert full_state(db) == before
+        # and the pipeline works fine afterwards
+        view.add_attribute("register", to="Student", domain="str")
+        assert "register" in view["Student"].property_names()
+
+    def test_crash_during_view_generation_restores_schema(self, fig3, monkeypatch):
+        db, view, _ = fig3
+        before = full_state(db)
+        from repro.views.manager import ViewManager
+
+        def exploding(self, *args, **kwargs):
+            raise EvolutionError("injected view-generation crash")
+
+        monkeypatch.setattr(ViewManager, "register_successor", exploding)
+        with pytest.raises(TseError):
+            view.add_attribute("register", to="Student", domain="str")
+        monkeypatch.undo()
+        assert full_state(db) == before
+
+    def test_view_version_not_bumped_on_failure(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(ChangeRejected):
+            view.add_attribute("major", to="Student")
+        assert view.version == 1
+
+
+class TestUpdateFailuresRollBack:
+    def test_failed_create_leaves_no_object(self, fig3):
+        db, view, _ = fig3
+        db.define_class("Strict", [Attribute("must", required=True)])
+        count_before = db.pool.object_count
+        from repro.errors import UpdateRejected
+
+        with pytest.raises(UpdateRejected):
+            db.engine.create("Strict", {})
+        assert db.pool.object_count == count_before
+        assert db.pool.store.live_slice_count >= 0  # no dangling slices
+
+    def test_failed_set_restores_values(self, fig3):
+        db, view, _ = fig3
+        from repro.algebra.expressions import Compare
+        from repro.schema.classes import Derivation
+        from repro.errors import UpdateRejected
+
+        db.define_virtual_class(
+            "Adults",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">=", 18)
+            ),
+        )
+        oid = db.engine.create("Adults", {"age": 30, "name": "x"})
+        with pytest.raises(UpdateRejected):
+            db.engine.set_values([oid], "Adults", {"age": 3})
+        assert db.pool.get_value(oid, "Person", "age") == 30
+
+    def test_failed_multi_object_set_restores_all(self, fig3):
+        db, view, _ = fig3
+        from repro.algebra.expressions import Compare
+        from repro.schema.classes import Derivation
+        from repro.errors import UpdateRejected
+
+        db.define_virtual_class(
+            "Named",
+            Derivation(
+                op="select",
+                sources=("Person",),
+                predicate=Compare("name", "!=", "bad"),
+            ),
+        )
+        first = db.engine.create("Named", {"name": "a"})
+        second = db.engine.create("Named", {"name": "b"})
+        with pytest.raises(UpdateRejected):
+            db.engine.set_values([first, second], "Named", {"name": "bad"})
+        assert db.pool.get_value(first, "Person", "name") == "a"
+        assert db.pool.get_value(second, "Person", "name") == "b"

@@ -1,0 +1,234 @@
+"""Unit tests for the command language: lexer, parser, interpreter."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.algebra.expressions import And, Compare, IsIn, IsSet, Not, Or
+from repro.lang.interpreter import Interpreter
+from repro.lang.lexer import tokenize
+from repro.lang.parser import (
+    DefineVcCmd,
+    MergeCmd,
+    SchemaChangeCmd,
+    UpdateCmd,
+    parse_command,
+    parse_script,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("Add_Attribute x TO Student")
+        assert [t.kind for t in tokens] == ["keyword", "ident", "keyword", "ident"]
+        assert tokens[0].text == "add_attribute"
+
+    def test_primed_identifiers(self):
+        tokens = tokenize("Student''")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].text == "Student''"
+
+    def test_strings_and_numbers(self):
+        tokens = tokenize('x = "hello world" 3.5 42')
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["ident", "op", "string", "number", "number"]
+
+    def test_comparison_operators(self):
+        tokens = tokenize("a >= 1 b != 2 c == 3")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == [">=", "!=", "=="]
+
+    def test_bad_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("add_attribute @ to C")
+
+
+class TestParserSchemaChanges:
+    def test_add_attribute_with_domain(self):
+        cmd = parse_command("add_attribute register : str to Student")
+        assert cmd == SchemaChangeCmd(
+            "add_attribute", ("register", "Student"), domain="str"
+        )
+
+    def test_add_attribute_without_domain(self):
+        cmd = parse_command("add_attribute register to Student")
+        assert cmd.domain is None
+
+    def test_delete_attribute(self):
+        cmd = parse_command("delete_attribute major from Student")
+        assert cmd.op == "delete_attribute"
+        assert cmd.args == ("major", "Student")
+
+    def test_edges(self):
+        assert parse_command("add_edge A - B").args == ("A", "B")
+        cmd = parse_command("delete_edge A - B connected_to C")
+        assert cmd.args == ("A", "B")
+        assert cmd.connected_to == "C"
+
+    def test_classes(self):
+        assert parse_command("add_class X connected_to Y").connected_to == "Y"
+        assert parse_command("delete_class X").args == ("X",)
+        assert parse_command("insert_class M between A - B").args == ("M", "A", "B")
+        assert parse_command("delete_class_2 C").op == "delete_class_2"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command("delete_class X Y")
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command("   ")
+
+
+class TestParserDefineVc:
+    def test_select(self):
+        cmd = parse_command(
+            'defineVC Adults as (select from Person where age >= 18)'
+        )
+        assert isinstance(cmd, DefineVcCmd)
+        assert cmd.query.op == "select"
+        assert cmd.query.predicate == Compare("age", ">=", 18)
+
+    def test_hide_multiple(self):
+        cmd = parse_command("defineVC V as (hide age, ssn from Person)")
+        assert cmd.query.hidden == ("age", "ssn")
+
+    def test_refine_mixed(self):
+        cmd = parse_command(
+            "defineVC Student' as (refine register : str, Tagged:tag for Student)"
+        )
+        refinements = cmd.query.refinements
+        assert len(refinements) == 2
+        assert refinements[0].first == "register"
+        assert refinements[1].first == "Tagged" and refinements[1].second == "tag"
+
+    def test_set_operators(self):
+        for op in ("union", "difference", "intersect"):
+            cmd = parse_command(f"defineVC V as ({op} A and B)")
+            assert cmd.query.op == op
+            assert cmd.query.sources == ("A", "B")
+
+
+class TestParserPredicates:
+    def test_connective_precedence(self):
+        cmd = parse_command(
+            "defineVC V as (select from P where a == 1 or b == 2 and c == 3)"
+        )
+        pred = cmd.query.predicate
+        # 'and' binds tighter than 'or'
+        assert isinstance(pred, Or)
+        assert isinstance(pred.right, And)
+
+    def test_parentheses_override(self):
+        cmd = parse_command(
+            "defineVC V as (select from P where (a == 1 or b == 2) and c == 3)"
+        )
+        assert isinstance(cmd.query.predicate, And)
+
+    def test_not_in_isset(self):
+        cmd = parse_command(
+            'defineVC V as (select from P where not x in {1, 2} and y is set)'
+        )
+        pred = cmd.query.predicate
+        assert isinstance(pred, And)
+        assert isinstance(pred.left, Not)
+        assert isinstance(pred.left.inner, IsIn)
+        assert isinstance(pred.right, IsSet)
+
+    def test_negative_literal(self):
+        cmd = parse_command("defineVC V as (select from P where t > -5)")
+        assert cmd.query.predicate == Compare("t", ">", -5)
+
+
+class TestParserUpdates:
+    def test_create_with_assignments(self):
+        cmd = parse_command('create Student [name = "Ada", age = 20]')
+        assert isinstance(cmd, UpdateCmd)
+        assert cmd.assigns == (("name", "Ada"), ("age", 20))
+
+    def test_create_bare(self):
+        assert parse_command("create Student").assigns == ()
+
+    def test_set_requires_assignments(self):
+        with pytest.raises(ParseError):
+            parse_command("set Student where age > 5")
+
+    def test_set_with_predicate(self):
+        cmd = parse_command('set Student where age > 5 [major = "cs"]')
+        assert cmd.predicate == Compare("age", ">", 5)
+
+    def test_delete_add_remove(self):
+        assert parse_command("delete from Student where age < 0").op == "delete"
+        cmd = parse_command("add to TA from Student where age > 20")
+        assert cmd.target == "TA" and cmd.source == "Student"
+        assert parse_command("remove from TA").op == "remove"
+
+    def test_boolean_and_none_literals(self):
+        cmd = parse_command("create Flagged [on = true, off = false, gone = none]")
+        assert cmd.assigns == (("on", True), ("off", False), ("gone", None))
+
+    def test_merge(self):
+        cmd = parse_command("merge VS1 and VS2 into VS3")
+        assert cmd == MergeCmd("VS1", "VS2", "VS3")
+
+
+class TestScripts:
+    def test_script_skips_blank_and_comments(self):
+        commands = parse_script(
+            """
+            # a comment
+            create Student
+
+            delete_class X
+            """
+        )
+        assert len(commands) == 2
+
+
+class TestInterpreter:
+    def test_full_session(self, fig3):
+        db, view, _ = fig3
+        interp = Interpreter(db, "VS1")
+        results = interp.run_script(
+            """
+            create Student [name = "Zed", age = 30, major = "cs"]
+            add_attribute register : str to Student
+            set Student where name == "Zed" [register = "full"]
+            """
+        )
+        assert [r.kind for r in results] == ["create", "schema_change", "set"]
+        zed = view["Student"].select_where(Compare("name", "==", "Zed"))[0]
+        assert zed["register"] == "full"
+
+    def test_definevc_and_updates(self, fig3):
+        db, view, _ = fig3
+        interp = Interpreter(db, "VS1")
+        result = interp.execute(
+            "defineVC Adults as (select from Person where age >= 21)"
+        )
+        assert result.kind == "definevc"
+        assert "Adults" in db.schema
+
+    def test_add_and_remove_membership(self, fig3):
+        db, view, _ = fig3
+        interp = Interpreter(db, "VS1")
+        interp.execute('create Student [name = "Mover", age = 30]')
+        before = view["TA"].count()
+        interp.execute('add to TA from Student where name == "Mover"')
+        assert view["TA"].count() == before + 1
+        interp.execute('remove from TA where name == "Mover"')
+        assert view["TA"].count() == before
+
+    def test_delete_where(self, fig3):
+        db, view, _ = fig3
+        interp = Interpreter(db, "VS1")
+        interp.execute('create Student [name = "Doomed", age = 5]')
+        result = interp.execute('delete from Student where name == "Doomed"')
+        assert result.count == 1
+
+    def test_merge_command(self, fig3):
+        db, view, _ = fig3
+        db.create_view("A1", ["Person"], closure="ignore")
+        db.create_view("A2", ["Person", "Student"], closure="ignore")
+        interp = Interpreter(db, "VS1")
+        interp.execute("merge A1 and A2 into A3")
+        assert "A3" in db.view_names()

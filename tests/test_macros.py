@@ -1,0 +1,198 @@
+"""Section 6.9 composed operators (figures 14-15) and the section 9 macros."""
+
+import pytest
+
+from repro.errors import ChangeRejected, NotUpdatable
+from repro.algebra.expressions import Compare
+from repro.core.database import TseDatabase
+from repro.core.macros import (
+    coalesce_classes,
+    delete_class_2,
+    insert_class,
+    partition_class,
+)
+from repro.schema.properties import Attribute
+
+
+@pytest.fixture()
+def chain():
+    """A three-deep chain A > B for figure 14."""
+    db = TseDatabase()
+    db.define_class("A", [Attribute("a")])
+    db.define_class("B", [Attribute("b")], inherits_from=("A",))
+    view = db.create_view("V", ["A", "B"], closure="ignore")
+    db.engine.create("B", {"a": 1, "b": 2})
+    return db, view
+
+
+@pytest.fixture()
+def diamond():
+    """Figure 15's shape: C between S1,S2 (above) and C1,C2 (below)."""
+    db = TseDatabase()
+    db.define_class("S1", [Attribute("s1")])
+    db.define_class("S2", [Attribute("s2")])
+    db.define_class("C", [Attribute("c")], inherits_from=("S1", "S2"))
+    db.define_class("C1", [Attribute("c1")], inherits_from=("C",))
+    db.define_class("C2", [Attribute("c2")], inherits_from=("C",))
+    view = db.create_view("W", ["S1", "S2", "C", "C1", "C2"], closure="ignore")
+    return db, view
+
+
+class TestInsertClass:
+    def test_figure14_insert_between(self, chain):
+        db, view = chain
+        view.insert_class("M", between=("A", "B"))
+        edges = view.edges()
+        assert ("A", "M") in edges
+        assert ("M", "B") in edges
+        # the old A-B edge became redundant and is gone (figure 14 (c))
+        assert ("A", "B") not in edges
+
+    def test_inserted_class_type_is_sup_type(self, chain):
+        db, view = chain
+        view.insert_class("M", between=("A", "B"))
+        assert set(view["M"].property_names()) == {"a"}
+
+    def test_inserted_class_initially_empty_locally(self, chain):
+        """Global extent equals C_sup's subtree below it: B's members show
+        through M (section 6.9.1: global extent equals C_sup's)."""
+        db, view = chain
+        b_members = {h.oid for h in view["B"].extent()}
+        view.insert_class("M", between=("A", "B"))
+        assert {h.oid for h in view["M"].extent()} == b_members
+
+    def test_b_inherits_through_m(self, chain):
+        db, view = chain
+        view.insert_class("M", between=("A", "B"))
+        assert {"a", "b"} <= set(view["B"].property_names())
+        obj = view["B"].extent()[0]
+        assert obj["a"] == 1
+
+    def test_requires_both_endpoints_in_view(self, chain):
+        db, view = chain
+        with pytest.raises(ChangeRejected):
+            view.insert_class("M", between=("A", "Ghost"))
+
+
+class TestDeleteClass2:
+    def test_figure15_rewiring(self, diamond):
+        db, view = diamond
+        view.delete_class_2("C")
+        edges = set(view.edges())
+        assert "C" not in view.class_names()
+        for sub in ("C1", "C2"):
+            assert ("S1", sub) in edges
+            assert ("S2", sub) in edges
+
+    def test_local_properties_no_longer_inherited(self, diamond):
+        db, view = diamond
+        view.delete_class_2("C")
+        assert "c" not in view["C1"].property_names()
+        assert {"s1", "s2", "c1"} <= set(view["C1"].property_names())
+
+    def test_local_extent_hidden_from_superclasses(self, diamond):
+        db, view = diamond
+        oc = db.engine.create("C", {})
+        oc1 = db.engine.create("C1", {})
+        view.delete_class_2("C")
+        s1_extent = {h.oid for h in view["S1"].extent()}
+        assert oc not in s1_extent
+        assert oc1 in s1_extent
+
+    def test_subclass_objects_survive_with_values(self, diamond):
+        db, view = diamond
+        oc1 = db.engine.create("C1", {"s1": 5, "c1": 7})
+        view.delete_class_2("C")
+        handle = view["C1"].get_object(oc1)
+        assert handle["s1"] == 5
+        assert handle["c1"] == 7
+
+    def test_unknown_class_rejected(self, diamond):
+        db, view = diamond
+        with pytest.raises(ChangeRejected):
+            view.delete_class_2("Ghost")
+
+    def test_leaf_delete_class_2(self, diamond):
+        """No subclasses: reduces to edge deletions plus removeFromView."""
+        db, view = diamond
+        view.delete_class_2("C1")
+        assert "C1" not in view.class_names()
+        assert "C" in view.class_names()
+
+
+class TestSection9Macros:
+    def test_partition_creates_two_select_subclasses(self, fig3):
+        db, view, _ = fig3
+        partition_class(
+            db.tsem,
+            "VS1",
+            "Student",
+            Compare("age", ">=", 24),
+            into=("Senior", "Junior"),
+        )
+        view = db.view("VS1")
+        assert {"Senior", "Junior"} <= set(view.class_names())
+        seniors = {h.oid for h in view["Senior"].extent()}
+        juniors = {h.oid for h in view["Junior"].extent()}
+        students = {h.oid for h in view["Student"].extent()}
+        assert seniors | juniors == students
+        assert seniors & juniors == set()
+
+    def test_partitions_are_updatable(self, fig3):
+        db, view, _ = fig3
+        partition_class(
+            db.tsem, "VS1", "Student", Compare("age", ">=", 24), into=("Old", "Young")
+        )
+        view = db.view("VS1")
+        fresh = view["Old"].create(name="elder", age=50)
+        assert fresh.oid in {h.oid for h in view["Old"].extent()}
+
+    def test_partition_name_collision_rejected(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(ChangeRejected):
+            partition_class(
+                db.tsem,
+                "VS1",
+                "Student",
+                Compare("age", ">", 0),
+                into=("Person", "Rest"),
+            )
+
+    @staticmethod
+    def _with_staff(db):
+        db.define_class("Staff", [Attribute("office")], inherits_from=("Person",))
+        successor_selected = set(db.views.current("VS1").selected) | {"Staff"}
+        db.views.register_successor(
+            "VS1", successor_selected, closure="ignore", provenance="test setup"
+        )
+
+    def test_coalesce_without_target_is_non_updatable(self, fig3):
+        """The section 9 open problem, made concrete: a coalesced class
+        without a propagation decision rejects generic creations."""
+        db, view, _ = fig3
+        self._with_staff(db)
+        coalesce_classes(db.tsem, "VS1", "Student", "Staff", into="Anybody")
+        view = db.view("VS1")
+        with pytest.raises(NotUpdatable):
+            view["Anybody"].create(name="x")
+
+    def test_coalesce_with_target_is_updatable(self, fig3):
+        db, view, _ = fig3
+        self._with_staff(db)
+        coalesce_classes(
+            db.tsem, "VS1", "Student", "Staff", into="Anybody2",
+            propagation_source="Student",
+        )
+        view = db.view("VS1")
+        fresh = view["Anybody2"].create(name="x")
+        assert fresh.oid in {h.oid for h in view["Student"].extent()}
+
+    def test_coalesce_with_subclass_collapses_onto_existing(self, fig3):
+        """Coalescing a class with its own subclass provably equals the
+        class itself; the classifier deduplicates and the view is unchanged
+        structurally."""
+        db, view, _ = fig3
+        before = set(view.class_names())
+        coalesce_classes(db.tsem, "VS1", "Student", "TA", into="Anybody3")
+        view = db.view("VS1")
+        assert set(view.class_names()) == before

@@ -1,0 +1,92 @@
+"""Method code sharing through view evolution (sections 3.2 and 6.3).
+
+"The object instances of class C2 then share the code block of the new
+property (when it is a method) defined in class C1" — the ``refine C1:m``
+form must not duplicate method bodies, and invocation must dispatch to the
+single shared definition from every primed class.
+"""
+
+import pytest
+
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+
+
+class TestMethodSharing:
+    def test_added_method_callable_from_class_and_subclasses(self, fig3):
+        db, view, _ = fig3
+        calls = []
+
+        def describe(handle):
+            calls.append(handle.oid)
+            return f"{handle['name']} ({handle['age']})"
+
+        view.add_method("describe", to="Student", body=describe)
+        student = view["Student"].extent()[0]
+        ta = view["TA"].extent()[0]
+        assert student.call("describe") == f"{student['name']} ({student['age']})"
+        assert ta.call("describe") == f"{ta['name']} ({ta['age']})"
+        assert len(calls) == 2
+
+    def test_single_shared_body_across_primed_classes(self, fig3):
+        """The Student' and TA' primed classes resolve to the *same*
+        function object — no code duplication (section 3.1's benefit of
+        global integration: 'sharing methods without code duplication')."""
+        db, view, _ = fig3
+        body = lambda handle: 42  # noqa: E731
+        view.add_method("answer", to="Student", body=body)
+        from repro.schema.types import resolve
+
+        student_global = view.schema.global_name_of("Student")
+        ta_global = view.schema.global_name_of("TA")
+        student_entry = resolve(db.schema.type_of(student_global), "answer")
+        ta_entry = resolve(db.schema.type_of(ta_global), "answer")
+        assert student_entry.prop.body is body
+        assert ta_entry.prop.body is body
+        assert student_entry.identity() == ta_entry.identity()
+
+    def test_method_can_use_attributes_added_in_same_view(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        view.add_method(
+            "is_enrolled", to="Student", body=lambda h: h["register"] == "yes"
+        )
+        student = view["Student"].extent()[0]
+        assert student.call("is_enrolled") is False
+        student["register"] = "yes"
+        assert student.call("is_enrolled") is True
+
+    def test_method_invisible_to_other_views(self, fig3):
+        db, view, _ = fig3
+        other = db.create_view("other", ["Person", "Student"], closure="ignore")
+        view.add_method("only_here", to="Student", body=lambda h: 1)
+        assert "only_here" not in other["Student"].property_names()
+
+    def test_deleted_method_unreachable_but_shared_definition_survives(self, fig3):
+        db, view, _ = fig3
+        other = db.create_view("other", ["Person", "Student", "TA"], closure="ignore")
+        view.add_method("gone", to="Student", body=lambda h: "x")
+        primed_student = view.schema.global_name_of("Student")
+        other_after_add = db.create_view(
+            "adopter", list(db.views.current("VS1").selected), closure="ignore"
+        )
+        view.delete_method("gone", from_="Student")
+        assert "gone" not in view["Student"].property_names()
+        # the adopter view selected the primed classes (under their global
+        # names) and still calls the shared definition
+        handle = other_after_add[primed_student].extent()[0]
+        assert handle.call("gone") == "x"
+
+    def test_methods_with_state_changes(self, fig3):
+        """Method bodies may perform updates through their handle."""
+        db, view, _ = fig3
+
+        def birthday(handle):
+            handle["age"] = handle["age"] + 1
+            return handle["age"]
+
+        view.add_method("birthday", to="Person", body=birthday)
+        person = view["Person"].extent()[0]
+        before = person["age"]
+        assert person.call("birthday") == before + 1
+        assert person["age"] == before + 1

@@ -1,0 +1,138 @@
+"""Unit tests for the intersection-class baseline (section 4.1, figure 5)."""
+
+import pytest
+
+from repro.errors import NotAMember, UnknownClass
+from repro.objectmodel.intersection import IntersectionModel
+
+
+@pytest.fixture()
+def cars():
+    """The figure 5 schema: Car above Jeep and Imported."""
+    model = IntersectionModel()
+    model.define_class("Car", ["wheels"])
+    model.define_class("Jeep", ["clearance"], parents=["Car"])
+    model.define_class("Imported", ["nation"], parents=["Car"])
+    return model
+
+
+class TestSchema:
+    def test_all_attributes_include_inherited(self, cars):
+        assert set(cars.all_attributes("Jeep")) == {"wheels", "clearance"}
+
+    def test_duplicate_class_rejected(self, cars):
+        with pytest.raises(UnknownClass):
+            cars.define_class("Car")
+
+    def test_ancestors(self, cars):
+        assert cars.ancestors("Jeep") == {"Car"}
+
+
+class TestIntersectionFabrication:
+    def test_figure5_jeep_and_imported(self, cars):
+        """Creating o1 as both Jeep and Imported fabricates Jeep&Imported."""
+        o1 = cars.create_object({"Jeep", "Imported"})
+        assert cars.class_of(o1) == "Imported&Jeep"
+        combo = cars._class("Imported&Jeep")
+        assert combo.hidden
+        assert set(combo.parents) == {"Jeep", "Imported"}
+        assert cars.is_member(o1, "Jeep")
+        assert cars.is_member(o1, "Imported")
+        assert cars.is_member(o1, "Car")
+
+    def test_single_class_needs_no_fabrication(self, cars):
+        o1 = cars.create_object({"Jeep"})
+        assert cars.class_of(o1) == "Jeep"
+        assert cars.hidden_class_count() == 0
+
+    def test_combination_reused(self, cars):
+        cars.create_object({"Jeep", "Imported"})
+        cars.create_object({"Jeep", "Imported"})
+        assert cars.hidden_class_count() == 1
+
+    def test_combination_count_grows_with_distinct_sets(self):
+        """The class-explosion of Table 1: each distinct membership set in
+        use costs one fabricated class."""
+        model = IntersectionModel()
+        names = [f"T{i}" for i in range(4)]
+        for name in names:
+            model.define_class(name, [name.lower()])
+        import itertools
+
+        combos = 0
+        for size in (2, 3, 4):
+            for subset in itertools.combinations(names, size):
+                model.create_object(set(subset))
+                combos += 1
+        assert model.hidden_class_count() == combos  # 6 + 4 + 1 = 11
+
+
+class TestValuesAndLayout:
+    def test_contiguous_chunk_holds_inherited_attributes(self, cars):
+        o1 = cars.create_object({"Jeep"}, {"wheels": 4, "clearance": 9})
+        assert cars.get_value(o1, "wheels") == 4
+        assert cars.get_value(o1, "clearance") == 9
+
+    def test_unknown_attribute_rejected(self, cars):
+        o1 = cars.create_object({"Jeep"})
+        with pytest.raises(NotAMember):
+            cars.set_value(o1, "nation", "JP")
+
+    def test_one_oid_per_object(self, cars):
+        for _ in range(5):
+            cars.create_object({"Jeep"})
+        assert cars.total_oids_used() == 5
+
+
+class TestDynamicClassification:
+    def test_add_membership_copies_and_swaps(self, cars):
+        """The reclassification cost Table 1 charges: copy + identity swap."""
+        o1 = cars.create_object({"Jeep"}, {"wheels": 4, "clearance": 9})
+        cars.add_membership(o1, "Imported")
+        assert cars.class_of(o1) == "Imported&Jeep"
+        assert cars.get_value(o1, "wheels") == 4
+        assert cars.get_value(o1, "clearance") == 9
+        assert cars.get_value(o1, "nation") is None
+        assert cars.copies_performed == 1
+        assert cars.identity_swaps == 1
+
+    def test_add_existing_membership_is_noop(self, cars):
+        o1 = cars.create_object({"Jeep"})
+        cars.add_membership(o1, "Jeep")
+        assert cars.copies_performed == 0
+
+    def test_remove_membership(self, cars):
+        o1 = cars.create_object({"Jeep", "Imported"}, {"nation": "JP"})
+        cars.remove_membership(o1, "Imported")
+        assert cars.class_of(o1) == "Jeep"
+        assert not cars.is_member(o1, "Imported")
+        # the nation value is gone with the narrowing copy
+        with pytest.raises(NotAMember):
+            cars.set_value(o1, "nation", "DE")
+
+    def test_cannot_remove_last_membership(self, cars):
+        o1 = cars.create_object({"Jeep"})
+        with pytest.raises(NotAMember):
+            cars.remove_membership(o1, "Jeep")
+
+
+class TestExtents:
+    def test_extent_includes_combination_members(self, cars):
+        plain = cars.create_object({"Jeep"})
+        both = cars.create_object({"Jeep", "Imported"})
+        other = cars.create_object({"Imported"})
+        assert cars.extent("Jeep") == {plain, both}
+        assert cars.extent("Imported") == {both, other}
+        assert cars.extent("Car") == {plain, both, other}
+
+    def test_scan_members(self, cars):
+        cars.create_object({"Jeep"}, {"wheels": 4})
+        cars.create_object({"Jeep", "Imported"}, {"wheels": 6})
+        wheels = sorted(values["wheels"] for _, values in cars.scan_members("Jeep"))
+        assert wheels == [4, 6]
+
+    def test_destroy(self, cars):
+        o1 = cars.create_object({"Jeep"})
+        cars.destroy_object(o1)
+        assert cars.extent("Jeep") == frozenset()
+        assert cars.object_count == 0

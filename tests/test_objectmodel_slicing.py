@@ -1,0 +1,148 @@
+"""Unit tests for the object-slicing model (section 4)."""
+
+import pytest
+
+from repro.errors import InvalidCast, NotAMember, ObjectNotFound
+from repro.objectmodel.slicing import InstancePool
+from repro.storage.oid import OID_SIZE_BYTES, POINTER_SIZE_BYTES
+from repro.storage.store import ObjectStore
+
+
+@pytest.fixture()
+def pool():
+    return InstancePool(ObjectStore())
+
+
+class TestLifecycle:
+    def test_create_object_with_memberships(self, pool):
+        obj = pool.create_object({"Jeep", "Imported"})
+        assert obj.direct_classes == {"Jeep", "Imported"}
+        assert pool.members_direct("Jeep") == {obj.oid}
+        assert pool.members_direct("Imported") == {obj.oid}
+
+    def test_destroy_removes_everything(self, pool):
+        obj = pool.create_object({"Car"})
+        pool.set_value(obj.oid, "Car", "wheels", 4)
+        pool.destroy_object(obj.oid)
+        assert not pool.exists(obj.oid)
+        assert pool.members_direct("Car") == frozenset()
+        assert pool.store.live_slice_count == 0
+
+    def test_get_unknown_raises(self, pool):
+        obj = pool.create_object({"Car"})
+        pool.destroy_object(obj.oid)
+        with pytest.raises(ObjectNotFound):
+            pool.get(obj.oid)
+
+
+class TestMultipleClassification:
+    def test_add_membership_is_cheap_no_slice(self, pool):
+        obj = pool.create_object({"Car"})
+        pool.add_membership(obj.oid, "Imported")
+        assert obj.direct_classes == {"Car", "Imported"}
+        assert obj.n_impl == 0  # slices appear only when attributes land
+
+    def test_remove_membership_drops_slice(self, pool):
+        obj = pool.create_object({"Car", "Imported"})
+        pool.set_value(obj.oid, "Imported", "nation", "JP")
+        pool.remove_membership(obj.oid, "Imported")
+        assert obj.direct_classes == {"Car"}
+        assert "Imported" not in obj.implementations
+        assert pool.get_value(obj.oid, "Imported", "nation") is None
+
+    def test_remove_nonmember_raises(self, pool):
+        obj = pool.create_object({"Car"})
+        with pytest.raises(NotAMember):
+            pool.remove_membership(obj.oid, "Imported")
+
+    def test_reclassify_swaps_slices_without_copying(self, pool):
+        """Dynamic classification per Table 1: slice add/drop, values in
+        other slices untouched, identity stable."""
+        obj = pool.create_object({"Car", "Jeep"})
+        pool.set_value(obj.oid, "Car", "wheels", 4)
+        pool.set_value(obj.oid, "Jeep", "clearance", 9)
+        pool.reclassify(obj.oid, "Jeep", "Imported")
+        assert obj.direct_classes == {"Car", "Imported"}
+        assert pool.get_value(obj.oid, "Car", "wheels") == 4
+        assert pool.get_value(obj.oid, "Jeep", "clearance") is None
+
+
+class TestSlicesAndValues:
+    def test_lazy_slice_creation_on_write(self, pool):
+        obj = pool.create_object({"Car"})
+        assert obj.n_impl == 0
+        pool.set_value(obj.oid, "Imported", "nation", "DE")
+        assert obj.n_impl == 1
+        assert pool.get_value(obj.oid, "Imported", "nation") == "DE"
+
+    def test_read_without_slice_returns_default(self, pool):
+        obj = pool.create_object({"Car"})
+        assert pool.get_value(obj.oid, "Imported", "nation", default="?") == "?"
+        assert obj.n_impl == 0  # reads never materialise slices
+
+    def test_has_value(self, pool):
+        obj = pool.create_object({"Car"})
+        assert not pool.has_value(obj.oid, "Car", "wheels")
+        pool.set_value(obj.oid, "Car", "wheels", 4)
+        assert pool.has_value(obj.oid, "Car", "wheels")
+
+    def test_slices_cluster_by_class(self, pool):
+        for _ in range(4):
+            obj = pool.create_object({"Car"})
+            pool.set_value(obj.oid, "Car", "wheels", 4)
+        assert pool.store.cluster_sizes() == {"Car": 4}
+
+    def test_implementation_links(self, pool):
+        obj = pool.create_object({"Car"})
+        impl = pool.ensure_slice(obj.oid, "Car")
+        assert impl.conceptual_oid == obj.oid
+        assert impl.class_name == "Car"
+        assert impl.oid != obj.oid
+
+
+class TestCasting:
+    def test_cast_to_member_class(self, pool):
+        obj = pool.create_object({"Jeep"})
+        pool.cast(obj.oid, "Jeep", member_of={"Jeep", "Car"})
+        assert obj.current_class == "Jeep"
+
+    def test_cast_outside_membership_raises(self, pool):
+        obj = pool.create_object({"Jeep"})
+        with pytest.raises(InvalidCast):
+            pool.cast(obj.oid, "Boat", member_of={"Jeep", "Car"})
+
+    def test_removal_clears_current_class(self, pool):
+        obj = pool.create_object({"Jeep", "Car"})
+        pool.cast(obj.oid, "Jeep", member_of={"Jeep", "Car"})
+        pool.remove_membership(obj.oid, "Jeep")
+        assert obj.current_class is None
+
+
+class TestTable1Accounting:
+    def test_oid_formula_one_plus_n_impl(self, pool):
+        obj = pool.create_object({"Car"})
+        pool.set_value(obj.oid, "Car", "wheels", 4)
+        pool.set_value(obj.oid, "Imported", "nation", "JP")
+        assert obj.n_impl == 2
+        assert pool.total_oids_used() == 1 + 2
+
+    def test_managerial_storage_formula(self, pool):
+        obj = pool.create_object({"Car"})
+        pool.set_value(obj.oid, "Car", "wheels", 4)
+        expected = (1 + 1) * OID_SIZE_BYTES + 1 * 2 * POINTER_SIZE_BYTES
+        assert obj.managerial_storage_bytes() == expected
+        assert pool.total_managerial_bytes() == expected
+
+    def test_average_n_impl(self, pool):
+        first = pool.create_object({"A"})
+        pool.set_value(first.oid, "A", "x", 1)
+        pool.create_object({"A"})
+        assert pool.average_n_impl() == 0.5
+
+    def test_generation_bumps_on_membership_changes(self, pool):
+        start = pool.generation
+        obj = pool.create_object({"A"})
+        pool.add_membership(obj.oid, "B")
+        pool.remove_membership(obj.oid, "B")
+        pool.destroy_object(obj.oid)
+        assert pool.generation >= start + 4

@@ -1,0 +1,146 @@
+"""Tests for whole-database persistence (save/load round trips)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.core.database import TseDatabase
+from repro.persistence import database_from_dict, database_to_dict
+from repro.schema.classes import Derivation
+from repro.schema.properties import Attribute, Method
+from repro.algebra.expressions import Compare
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+@pytest.fixture()
+def evolved(tmp_path):
+    db, view = build_figure3_database()
+    populate_students(db, 6)
+    view.add_attribute("register", to="Student", domain="str")
+    view["Student"].extent()[0]["register"] = "full"
+    path = tmp_path / "db.json"
+    db.save(path)
+    return db, TseDatabase.load(path)
+
+
+class TestRoundTrip:
+    def test_schema_survives(self, evolved):
+        original, loaded = evolved
+        assert loaded.schema.class_names() == original.schema.class_names()
+        for name in original.schema.class_names():
+            assert set(loaded.schema.type_of(name)) == set(
+                original.schema.type_of(name)
+            )
+            assert loaded.schema.direct_supers(name) == original.schema.direct_supers(
+                name
+            )
+
+    def test_views_and_history_survive(self, evolved):
+        original, loaded = evolved
+        assert loaded.view_names() == original.view_names()
+        view = loaded.view("VS1")
+        assert view.version == 2
+        assert view.schema.global_name_of("Student") == "Student'"
+        # historical version 1 is still there
+        old = loaded.views.history.version("VS1", 1)
+        assert old.global_name_of("Student") == "Student"
+
+    def test_objects_and_values_survive(self, evolved):
+        original, loaded = evolved
+        assert loaded.pool.object_count == original.pool.object_count
+        view = loaded.view("VS1")
+        registers = sorted(
+            str(h["register"]) for h in view["Student"].extent()
+        )
+        assert "full" in registers
+
+    def test_oid_continuity_after_load(self, evolved):
+        _, loaded = evolved
+        existing = set(loaded.pool.all_oids())
+        fresh = loaded.view("VS1")["Student"].create(name="post-load")
+        assert fresh.oid not in existing
+
+    def test_loaded_database_can_keep_evolving(self, evolved):
+        _, loaded = evolved
+        view = loaded.view("VS1")
+        view.add_attribute("gpa", to="Student", domain="float")
+        assert view.version == 3
+        assert "gpa" in view["Student"].property_names()
+        loaded.schema.validate()
+
+    def test_derivations_survive_including_predicates(self, tmp_path):
+        db, _ = build_figure3_database()
+        populate_students(db, 6)
+        db.define_virtual_class(
+            "Adults",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">=", 21)
+            ),
+        )
+        adults_before = db.extent("Adults")
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = TseDatabase.load(path)
+        assert loaded.extent("Adults") == adults_before
+
+    def test_propagation_source_survives(self, tmp_path):
+        from repro.workloads.university import build_figure9_database
+
+        db, view, objects = build_figure9_database()
+        view.add_edge("SupportStaff", "TA")
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = TseDatabase.load(path)
+        lv = loaded.view("VS1")
+        fresh = lv["SupportStaff"].create(name="post-load", boss="b")
+        assert fresh.oid not in {h.oid for h in lv["TA"].extent()}
+
+
+class TestMethods:
+    def test_method_bodies_rebound_via_registry(self, tmp_path):
+        db = TseDatabase()
+        db.define_class(
+            "Greeter",
+            [Attribute("name"), Method("hello", body=lambda h: f"hi {h['name']}")],
+        )
+        view = db.create_view("V", ["Greeter"])
+        view["Greeter"].create(name="Ada")
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = TseDatabase.load(
+            path, methods={"Greeter.hello": lambda h: f"hi {h['name']}!"}
+        )
+        obj = loaded.view("V")["Greeter"].extent()[0]
+        assert obj.call("hello") == "hi Ada!"
+
+    def test_unbound_method_visible_but_not_callable(self, tmp_path):
+        db = TseDatabase()
+        db.define_class("Greeter", [Method("hello", body=lambda h: "hi")])
+        db.create_view("V", ["Greeter"])
+        db.view("V")["Greeter"].create()
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = TseDatabase.load(path)
+        view = loaded.view("V")
+        assert "hello" in view["Greeter"].method_names()
+        from repro.errors import UnknownProperty
+
+        with pytest.raises(UnknownProperty):
+            view["Greeter"].extent()[0].call("hello")
+
+
+class TestFormat:
+    def test_unsupported_format_rejected(self):
+        with pytest.raises(StorageError):
+            database_from_dict({"format": 999})
+
+    def test_dict_is_json_serialisable(self, evolved):
+        import json
+
+        original, _ = evolved
+        json.dumps(database_to_dict(original))
+
+    def test_double_round_trip_is_stable(self, evolved):
+        original, loaded = evolved
+        once = database_to_dict(loaded)
+        twice = database_to_dict(database_from_dict(once))
+        assert once == twice

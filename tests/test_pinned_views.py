@@ -1,0 +1,88 @@
+"""Tests for pinned view handles: applications that never upgrade.
+
+The paper keeps old view versions alive "as long as other application
+programs continue to operate on it".  A pinned handle is such a program: it
+sees the historical schema forever, keeps reading and writing the shared
+objects, and only schema *evolution* is off limits through it.
+"""
+
+import pytest
+
+from repro.errors import StaleViewVersion, UnknownProperty
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+@pytest.fixture()
+def pinned_world():
+    db, view = build_figure3_database()
+    populate_students(db, 6)
+    legacy = db.view("VS1").pin()  # pins to v1
+    view.add_attribute("register", to="Student", domain="str")
+    return db, view, legacy
+
+
+class TestPinnedResolution:
+    def test_pinned_handle_keeps_old_schema(self, pinned_world):
+        db, view, legacy = pinned_world
+        assert view.version == 2
+        assert legacy.version == 1
+        assert "register" in view["Student"].property_names()
+        assert "register" not in legacy["Student"].property_names()
+
+    def test_pinned_attribute_access_respects_old_type(self, pinned_world):
+        db, view, legacy = pinned_world
+        obj = legacy["Student"].extent()[0]
+        with pytest.raises(UnknownProperty):
+            obj["register"]
+
+    def test_pin_specific_version(self, pinned_world):
+        db, view, legacy = pinned_world
+        view.add_attribute("more", to="Student", domain="int")  # v3
+        middle = db.view("VS1").pin(2)
+        assert middle.version == 2
+        assert "register" in middle["Student"].property_names()
+        assert "more" not in middle["Student"].property_names()
+
+    def test_pin_unknown_version_rejected(self, pinned_world):
+        db, view, legacy = pinned_world
+        with pytest.raises(StaleViewVersion):
+            db.view("VS1").pin(99)
+
+
+class TestPinnedInteroperability:
+    def test_pinned_handle_sees_new_objects(self, pinned_world):
+        """Shared data flows both ways regardless of pinning."""
+        db, view, legacy = pinned_world
+        fresh = view["Student"].create(name="new-era", register="yes")
+        assert fresh.oid in {h.oid for h in legacy["Student"].extent()}
+
+    def test_pinned_handle_can_update_shared_objects(self, pinned_world):
+        """Old views stay updatable (the paper's interoperability claim)."""
+        db, view, legacy = pinned_world
+        obj = legacy["Student"].extent()[0]
+        obj["name"] = "written-via-v1"
+        via_current = view["Student"].get_object(obj.oid)
+        assert via_current["name"] == "written-via-v1"
+
+    def test_pinned_handle_can_create(self, pinned_world):
+        db, view, legacy = pinned_world
+        fresh = legacy["Student"].create(name="old-style")
+        # visible through the evolved view, with the new attribute unset
+        assert view["Student"].get_object(fresh.oid)["register"] is None
+
+
+class TestPinnedGuards:
+    def test_evolution_rejected_on_pinned_handle(self, pinned_world):
+        db, view, legacy = pinned_world
+        with pytest.raises(StaleViewVersion):
+            legacy.add_attribute("nope", to="Student")
+        with pytest.raises(StaleViewVersion):
+            legacy.delete_class("TA")
+        with pytest.raises(StaleViewVersion):
+            legacy.rename_class("TA", "X")
+
+    def test_unpinned_handle_to_same_view_still_evolves(self, pinned_world):
+        db, view, legacy = pinned_world
+        db.view("VS1").add_attribute("fine", to="Student", domain="int")
+        assert db.view("VS1").version == 3
+        assert legacy.version == 1

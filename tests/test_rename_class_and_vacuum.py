@@ -1,0 +1,152 @@
+"""Tests for view-level class renaming (§7) and virtual-class vacuuming."""
+
+import pytest
+
+from repro.errors import ChangeRejected, UnknownClass
+from repro.algebra.expressions import Compare
+from repro.core.database import TseDatabase
+from repro.schema.classes import Derivation
+from repro.schema.properties import Attribute
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+class TestRenameClass:
+    def test_rename_creates_new_version(self, fig3):
+        db, view, _ = fig3
+        view.rename_class("TA", "TeachingAssistant")
+        assert view.version == 2
+        assert "TeachingAssistant" in view.class_names()
+        assert "TA" not in view.class_names()
+        # the global class is untouched
+        assert "TA" in db.schema
+
+    def test_rename_is_view_local(self, fig3):
+        db, view, _ = fig3
+        other = db.create_view("other", ["Person", "Student", "TA"], closure="ignore")
+        view.rename_class("TA", "TeachingAssistant")
+        assert "TA" in other.class_names()
+
+    def test_objects_reachable_under_new_name(self, fig3):
+        db, view, _ = fig3
+        count_before = view["TA"].count()
+        view.rename_class("TA", "TeachingAssistant")
+        assert view["TeachingAssistant"].count() == count_before
+        fresh = view["TeachingAssistant"].create(name="n", salary=1)
+        assert fresh.oid in {h.oid for h in view["TeachingAssistant"].extent()}
+
+    def test_collision_rejected(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(ChangeRejected):
+            view.rename_class("TA", "Person")
+
+    def test_unknown_class_rejected(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(UnknownClass):
+            view.rename_class("Ghost", "Whatever")
+
+    def test_property_renames_follow_the_class(self, fig3):
+        db, view, _ = fig3
+        view.rename_property("TA", "salary", "pay")
+        view.rename_class("TA", "TeachingAssistant")
+        handle = view["TeachingAssistant"].extent()[0]
+        handle["pay"] = 777
+        assert handle["pay"] == 777
+
+    def test_evolution_still_works_after_rename(self, fig3):
+        db, view, _ = fig3
+        view.rename_class("TA", "TeachingAssistant")
+        view.add_attribute("office", to="TeachingAssistant", domain="str")
+        assert "office" in view["TeachingAssistant"].property_names()
+        # the underlying primed class derives from the real global TA
+        global_name = view.schema.global_name_of("TeachingAssistant")
+        assert db.schema[global_name].derivation.sources == ("TA",)
+
+
+class TestVacuum:
+    def test_unreferenced_virtual_class_removed(self, fig3):
+        db, view, _ = fig3
+        db.define_virtual_class(
+            "Orphan",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">", 0)
+            ),
+        )
+        assert db.vacuum() == ["Orphan"]
+        assert "Orphan" not in db.schema
+        db.schema.validate()
+
+    def test_referenced_classes_survive(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        assert db.vacuum() == []
+        assert "Student'" in db.schema  # referenced by the current view
+
+    def test_historic_versions_protect_their_classes(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("a", to="Student", domain="int")  # v2: Student'
+        view.delete_attribute("a", from_="Student")  # v3: Student''/Student'''
+        # Student' is no longer in the *current* view but v2 still holds it
+        assert db.vacuum() == []
+        assert "Student'" in db.schema
+
+    def test_chain_of_orphans_removed_in_order(self, fig3):
+        db, view, _ = fig3
+        db.define_virtual_class(
+            "O1",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">", 0)
+            ),
+        )
+        db.define_virtual_class(
+            "O2",
+            Derivation(
+                op="select", sources=("O1",), predicate=Compare("age", ">", 10)
+            ),
+        )
+        removed = db.vacuum()
+        assert removed == ["O1", "O2"]
+        db.schema.validate()
+
+    def test_orphan_feeding_retained_class_survives(self, fig3):
+        db, view, _ = fig3
+        db.define_virtual_class(
+            "Feeder",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">", 0)
+            ),
+        )
+        kept = db.define_virtual_class(
+            "Kept",
+            Derivation(
+                op="select", sources=("Feeder",), predicate=Compare("age", ">", 5)
+            ),
+        )
+        selected = set(db.views.current("VS1").selected) | {kept}
+        db.views.register_successor("VS1", selected, closure="ignore")
+        assert db.vacuum() == []
+        assert "Feeder" in db.schema
+
+    def test_vacuum_after_heavy_evolution_keeps_all_views_working(self):
+        db, view = build_figure3_database()
+        populate_students(db, 6)
+        snapshotter = db.create_view(
+            "snap", ["Person", "Student", "TA"], closure="ignore"
+        )
+        view.add_attribute("x", to="Student", domain="int")
+        view.delete_edge("Student", "TA")
+        view.add_class("Fresh", connected_to="Person")
+        before = {
+            name: {
+                cls: db.view(name)[cls].count() for cls in db.view(name).class_names()
+            }
+            for name in db.view_names()
+        }
+        db.vacuum()
+        after = {
+            name: {
+                cls: db.view(name)[cls].count() for cls in db.view(name).class_names()
+            }
+            for name in db.view_names()
+        }
+        assert before == after
+        db.schema.validate()

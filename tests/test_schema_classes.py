@@ -1,0 +1,108 @@
+"""Unit tests for schema class constructs (classes.py)."""
+
+import pytest
+
+from repro.errors import DuplicateProperty, InvalidDerivation
+from repro.algebra.expressions import Compare, TruePredicate
+from repro.schema.classes import (
+    DERIVATION_OPS,
+    EXTENT_PRESERVING_OPS,
+    ROOT_CLASS,
+    UNARY_OPS,
+    BaseClass,
+    Derivation,
+    SharedProperty,
+    VirtualClass,
+    root_class,
+)
+from repro.schema.properties import Attribute, Method
+
+
+class TestBaseClass:
+    def test_defaults_inherit_from_root(self):
+        cls = BaseClass("Thing")
+        assert cls.inherits_from == (ROOT_CLASS,)
+        assert cls.is_base
+
+    def test_define_property_rejects_duplicates(self):
+        cls = BaseClass("Thing", (Attribute("a"),))
+        with pytest.raises(DuplicateProperty):
+            cls.define_property(Attribute("a"))
+        with pytest.raises(DuplicateProperty):
+            cls.define_property(Method("a", body=None))
+
+    def test_invalid_class_name_rejected(self):
+        with pytest.raises(InvalidDerivation):
+            BaseClass("")
+        with pytest.raises(InvalidDerivation):
+            BaseClass("9lives")
+
+    def test_primed_names_allowed(self):
+        assert VirtualClass(
+            "Student''",
+            Derivation(op="hide", sources=("Student",), hidden=("x",)),
+        ).name == "Student''"
+
+    def test_root_class_has_no_parents(self):
+        root = root_class()
+        assert root.inherits_from == ()
+        assert root.name == ROOT_CLASS
+
+
+class TestDerivation:
+    def test_op_universe(self):
+        assert UNARY_OPS <= DERIVATION_OPS
+        assert EXTENT_PRESERVING_OPS == {"hide", "refine"}
+
+    def test_source_accessor_for_unary(self):
+        der = Derivation(op="hide", sources=("A",), hidden=("x",))
+        assert der.source == "A"
+
+    def test_source_accessor_rejected_for_binary(self):
+        der = Derivation(op="union", sources=("A", "B"))
+        with pytest.raises(InvalidDerivation):
+            der.source
+
+    def test_signature_stable_under_param_order(self):
+        first = Derivation(op="hide", sources=("A",), hidden=("x", "y"))
+        second = Derivation(op="hide", sources=("A",), hidden=("y", "x"))
+        assert first.signature() == second.signature()
+
+    def test_signature_distinguishes_predicates(self):
+        first = Derivation(
+            op="select", sources=("A",), predicate=Compare("v", ">", 1)
+        )
+        second = Derivation(
+            op="select", sources=("A",), predicate=Compare("v", ">", 2)
+        )
+        assert first.signature() != second.signature()
+
+    def test_signature_covers_shared_properties(self):
+        first = Derivation(
+            op="refine",
+            sources=("A",),
+            shared_properties=(SharedProperty("B", "x"),),
+        )
+        second = Derivation(
+            op="refine",
+            sources=("A",),
+            shared_properties=(SharedProperty("C", "x"),),
+        )
+        assert first.signature() != second.signature()
+
+    def test_describe_set_operators(self):
+        assert (
+            Derivation(op="union", sources=("A", "B")).describe() == "union(A, B)"
+        )
+        assert (
+            Derivation(
+                op="select", sources=("A",), predicate=TruePredicate()
+            ).describe()
+            == "select from A where true"
+        )
+
+    def test_virtual_class_defaults(self):
+        vc = VirtualClass("V", Derivation(op="union", sources=("A", "B")))
+        assert vc.updatable
+        assert vc.propagation_source is None
+        assert not vc.is_base

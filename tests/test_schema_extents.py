@@ -1,0 +1,236 @@
+"""Unit tests for extent evaluation and the definitional extent prover."""
+
+import pytest
+
+from repro.algebra.expressions import Compare, TruePredicate
+from repro.objectmodel.slicing import InstancePool
+from repro.schema.classes import Derivation
+from repro.schema.extents import ExtentEvaluator, ExtentRelations, read_attribute
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute
+from repro.storage.store import ObjectStore
+
+
+@pytest.fixture()
+def world():
+    schema = GlobalSchema()
+    schema.add_base_class("Person", (Attribute("name"), Attribute("age", domain="int")))
+    schema.add_base_class("Student", (Attribute("major"),), inherits_from=("Person",))
+    schema.add_base_class("TA", (Attribute("salary"),), inherits_from=("Student",))
+    pool = InstancePool(ObjectStore())
+    evaluator = ExtentEvaluator(schema, pool)
+
+    def make(cls, **values):
+        obj = pool.create_object({cls})
+        for attr, value in values.items():
+            entry = schema.type_of(cls)[attr]
+            pool.set_value(obj.oid, entry.storage_class, attr, value)
+        return obj.oid
+
+    return schema, pool, evaluator, make
+
+
+class TestBaseExtents:
+    def test_membership_rolls_up_the_hierarchy(self, world):
+        schema, pool, evaluator, make = world
+        person = make("Person", age=40)
+        student = make("Student", age=20)
+        ta = make("TA", age=25)
+        assert evaluator.extent("TA") == {ta}
+        assert evaluator.extent("Student") == {student, ta}
+        assert evaluator.extent("Person") == {person, student, ta}
+
+    def test_extent_tracks_membership_changes(self, world):
+        schema, pool, evaluator, make = world
+        student = make("Student")
+        assert evaluator.extent("TA") == frozenset()
+        pool.add_membership(student, "TA")
+        assert evaluator.extent("TA") == {student}
+        pool.remove_membership(student, "TA")
+        assert evaluator.extent("TA") == frozenset()
+
+    def test_extent_cache_invalidates_on_schema_change(self, world):
+        schema, pool, evaluator, make = world
+        make("Student")
+        assert len(evaluator.extent("Person")) == 1
+        schema.add_base_class("Grad", inherits_from=("Student",))
+        grad = pool.create_object({"Grad"})
+        assert grad.oid in evaluator.extent("Person")
+
+
+class TestDerivedExtents:
+    def test_select_filters(self, world):
+        schema, pool, evaluator, make = world
+        young = make("Person", age=10)
+        adult = make("Person", age=30)
+        schema.add_virtual_class_raw(
+            "Adults",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">=", 18)
+            ),
+        )
+        assert evaluator.extent("Adults") == {adult}
+
+    def test_hide_and_refine_preserve_extent(self, world):
+        schema, pool, evaluator, make = world
+        person = make("Person")
+        schema.add_virtual_class_raw(
+            "NoAge", Derivation(op="hide", sources=("Person",), hidden=("age",))
+        )
+        schema.add_virtual_class_raw(
+            "Plus",
+            Derivation(
+                op="refine", sources=("Person",), new_properties=(Attribute("x"),)
+            ),
+        )
+        assert evaluator.extent("NoAge") == {person}
+        assert evaluator.extent("Plus") == {person}
+
+    def test_set_operator_extents(self, world):
+        schema, pool, evaluator, make = world
+        schema.add_base_class("Staff", (Attribute("office"),))
+        student = make("Student")
+        staff = pool.create_object({"Staff"}).oid
+        both = pool.create_object({"Student", "Staff"}).oid
+        schema.add_virtual_class_raw(
+            "U", Derivation(op="union", sources=("Student", "Staff"))
+        )
+        schema.add_virtual_class_raw(
+            "I", Derivation(op="intersect", sources=("Student", "Staff"))
+        )
+        schema.add_virtual_class_raw(
+            "D", Derivation(op="difference", sources=("Student", "Staff"))
+        )
+        assert evaluator.extent("U") == {student, staff, both}
+        assert evaluator.extent("I") == {both}
+        assert evaluator.extent("D") == {student}
+
+    def test_nested_derivations(self, world):
+        schema, pool, evaluator, make = world
+        adult_student = make("Student", age=30)
+        make("Student", age=10)
+        schema.add_virtual_class_raw(
+            "Adults",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">=", 18)
+            ),
+        )
+        schema.add_virtual_class_raw(
+            "AdultStudents",
+            Derivation(op="intersect", sources=("Adults", "Student")),
+        )
+        assert evaluator.extent("AdultStudents") == {adult_student}
+
+
+class TestReadAttribute:
+    def test_reads_through_defining_slice(self, world):
+        schema, pool, evaluator, make = world
+        ta = make("TA", name="Tim", salary=900)
+        assert read_attribute(schema, pool, "TA", ta, "name") == "Tim"
+        assert read_attribute(schema, pool, "TA", ta, "salary") == 900
+
+    def test_unset_attribute_reads_declared_default(self, world):
+        schema, pool, evaluator, make = world
+        schema.add_base_class("Conf", (Attribute("level", default=3),))
+        obj = pool.create_object({"Conf"})
+        assert read_attribute(schema, pool, "Conf", obj.oid, "level") == 3
+
+
+class TestExtentProver:
+    def test_dag_edges_prove_subset(self, world):
+        schema, *_ = world
+        relations = ExtentRelations(schema)
+        assert relations.subset("TA", "Person")
+        assert not relations.subset("Person", "TA")
+
+    def test_extent_preserving_normalisation(self, world):
+        schema, *_ = world
+        schema.add_virtual_class_raw(
+            "Student'",
+            Derivation(
+                op="refine", sources=("Student",), new_properties=(Attribute("r"),)
+            ),
+        )
+        relations = ExtentRelations(schema)
+        assert relations.equal("Student'", "Student")
+        assert relations.subset("TA", "Student'")
+        assert relations.subset("Student'", "Person")
+
+    def test_select_subset_of_source(self, world):
+        schema, *_ = world
+        schema.add_virtual_class_raw(
+            "Sel",
+            Derivation(
+                op="select", sources=("Student",), predicate=TruePredicate()
+            ),
+        )
+        relations = ExtentRelations(schema)
+        assert relations.subset("Sel", "Student")
+        assert relations.subset("Sel", "Person")
+        assert not relations.subset("Student", "Sel")  # unknowable, not false
+
+    def test_union_rules(self, world):
+        schema, *_ = world
+        schema.add_base_class("Staff")
+        schema.add_virtual_class_raw(
+            "U", Derivation(op="union", sources=("Student", "Staff"))
+        )
+        relations = ExtentRelations(schema)
+        assert relations.subset("Student", "U")
+        assert relations.subset("Staff", "U")
+        assert relations.subset("TA", "U")
+        assert not relations.subset("U", "Person")  # Staff not below Person
+
+    def test_intersect_rules(self, world):
+        schema, *_ = world
+        schema.add_base_class("Staff")
+        schema.add_virtual_class_raw(
+            "I", Derivation(op="intersect", sources=("Student", "Staff"))
+        )
+        relations = ExtentRelations(schema)
+        assert relations.subset("I", "Student")
+        assert relations.subset("I", "Staff")
+        assert relations.subset("I", "Person")
+
+    def test_congruence_on_select(self, world):
+        """Same predicate over a smaller source proves subset — the rule the
+        add-class replay relies on (figure 13 (e))."""
+        schema, *_ = world
+        predicate = Compare("age", ">=", 18)
+        schema.add_base_class("Frosh", inherits_from=("Student",))
+        schema.add_virtual_class_raw(
+            "AdultStudents",
+            Derivation(op="select", sources=("Student",), predicate=predicate),
+        )
+        schema.add_virtual_class_raw(
+            "AdultFrosh",
+            Derivation(op="select", sources=("Frosh",), predicate=predicate),
+        )
+        relations = ExtentRelations(schema)
+        assert relations.subset("AdultFrosh", "AdultStudents")
+        assert not relations.subset("AdultStudents", "AdultFrosh")
+
+    def test_prover_sound_against_evaluator(self, world):
+        """Soundness spot-check: everything proven must hold on instances."""
+        schema, pool, evaluator, make = world
+        make("Person", age=40)
+        make("Student", age=20)
+        make("TA", age=25)
+        schema.add_virtual_class_raw(
+            "Adults",
+            Derivation(
+                op="select", sources=("Person",), predicate=Compare("age", ">=", 18)
+            ),
+        )
+        schema.add_virtual_class_raw(
+            "U", Derivation(op="union", sources=("Adults", "Student"))
+        )
+        relations = ExtentRelations(schema)
+        names = [n for n in schema.class_names()]
+        for sub in names:
+            for sup in names:
+                if relations.subset(sub, sup):
+                    assert evaluator.extent(sub) <= evaluator.extent(sup), (
+                        sub,
+                        sup,
+                    )

@@ -1,0 +1,219 @@
+"""Unit tests for the global schema DAG and type computation."""
+
+import pytest
+
+from repro.errors import (
+    CyclicSchema,
+    DuplicateClass,
+    DuplicateProperty,
+    InvariantViolation,
+    UnknownClass,
+)
+from repro.schema.classes import Derivation, ROOT_CLASS, SharedProperty
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute, Method
+from repro.algebra.expressions import Compare
+
+
+@pytest.fixture()
+def university():
+    schema = GlobalSchema()
+    schema.add_base_class(
+        "Person", (Attribute("name"), Attribute("age", domain="int"))
+    )
+    schema.add_base_class(
+        "Student", (Attribute("major"),), inherits_from=("Person",)
+    )
+    schema.add_base_class("TA", (Attribute("salary"),), inherits_from=("Student",))
+    return schema
+
+
+class TestRegistry:
+    def test_root_exists(self):
+        assert ROOT_CLASS in GlobalSchema()
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(UnknownClass):
+            GlobalSchema()["Ghost"]
+
+    def test_duplicate_class_rejected(self, university):
+        with pytest.raises(DuplicateClass):
+            university.add_base_class("Person")
+
+    def test_unknown_parent_rejected(self):
+        schema = GlobalSchema()
+        with pytest.raises(UnknownClass):
+            schema.add_base_class("X", inherits_from=("Ghost",))
+
+    def test_duplicate_local_property_rejected(self):
+        schema = GlobalSchema()
+        with pytest.raises(DuplicateProperty):
+            schema.add_base_class("X", (Attribute("a"), Attribute("a")))
+
+
+class TestEdges:
+    def test_self_edge_rejected(self, university):
+        with pytest.raises(CyclicSchema):
+            university.add_edge("Person", "Person")
+
+    def test_cycle_rejected(self, university):
+        with pytest.raises(CyclicSchema):
+            university.add_edge("TA", "Person")
+
+    def test_ancestors_descendants(self, university):
+        assert university.ancestors("TA") == {"Student", "Person", ROOT_CLASS}
+        assert university.descendants("Person") == {"Student", "TA"}
+
+    def test_is_ancestor_is_strict(self, university):
+        assert university.is_ancestor("Person", "TA")
+        assert not university.is_ancestor("Person", "Person")
+        assert university.is_ancestor_or_equal("Person", "Person")
+
+    def test_topological_order_supers_first(self, university):
+        order = university.topological_order()
+        assert order.index("Person") < order.index("Student") < order.index("TA")
+
+
+class TestTypes:
+    def test_inheritance_accumulates(self, university):
+        assert set(university.type_of("TA")) == {"name", "age", "major", "salary"}
+
+    def test_storage_class_is_defining_class(self, university):
+        entry = university.type_of("TA")["name"]
+        assert entry.storage_class == "Person"
+
+    def test_methods_have_no_storage(self):
+        schema = GlobalSchema()
+        schema.add_base_class("C", (Method("m", body=lambda h: 1),))
+        assert schema.type_of("C")["m"].storage_class is None
+
+    def test_type_cache_invalidated_on_change(self, university):
+        before = set(university.type_of("Student"))
+        university.add_base_class("Extra", (Attribute("extra"),))
+        # unrelated change must not corrupt, and new class resolves
+        assert set(university.type_of("Student")) == before
+        assert set(university.type_of("Extra")) == {"extra"}
+
+
+class TestDerivedTypes:
+    def test_refine_type(self, university):
+        university.add_virtual_class_raw(
+            "Student'",
+            Derivation(
+                op="refine",
+                sources=("Student",),
+                new_properties=(Attribute("register"),),
+            ),
+        )
+        type_map = university.type_of("Student'")
+        assert set(type_map) == {"name", "age", "major", "register"}
+        assert type_map["register"].storage_class == "Student'"
+
+    def test_shared_refine_reuses_storage(self, university):
+        university.add_virtual_class_raw(
+            "Student'",
+            Derivation(
+                op="refine",
+                sources=("Student",),
+                new_properties=(Attribute("register"),),
+            ),
+        )
+        university.add_virtual_class_raw(
+            "TA'",
+            Derivation(
+                op="refine",
+                sources=("TA",),
+                shared_properties=(SharedProperty("Student'", "register"),),
+            ),
+        )
+        entry = university.type_of("TA'")["register"]
+        assert entry.storage_class == "Student'"
+        assert entry.origin_class == "Student'"
+
+    def test_hide_type_and_promotion(self, university):
+        university.add_virtual_class_raw(
+            "AgelessPerson",
+            Derivation(op="hide", sources=("Person",), hidden=("age",)),
+        )
+        type_map = university.type_of("AgelessPerson")
+        assert set(type_map) == {"name"}
+        assert type_map["name"].promoted
+
+    def test_select_preserves_type(self, university):
+        university.add_virtual_class_raw(
+            "Adults",
+            Derivation(
+                op="select",
+                sources=("Person",),
+                predicate=Compare("age", ">=", 18),
+            ),
+        )
+        assert set(university.type_of("Adults")) == set(university.type_of("Person"))
+
+    def test_union_type_is_common(self, university):
+        university.add_base_class(
+            "Staff", (Attribute("name"), Attribute("office")),
+        )
+        university.add_virtual_class_raw(
+            "U", Derivation(op="union", sources=("Student", "Staff"))
+        )
+        assert set(university.type_of("U")) == {"name"}
+
+    def test_intersect_type_is_combined(self, university):
+        university.add_base_class("Staff", (Attribute("office"),))
+        university.add_virtual_class_raw(
+            "I", Derivation(op="intersect", sources=("Student", "Staff"))
+        )
+        assert set(university.type_of("I")) == {
+            "name",
+            "age",
+            "major",
+            "office",
+        }
+
+
+class TestRenameAndMemento:
+    def test_rename_class_rewires_everything(self, university):
+        university.add_virtual_class_raw(
+            "V", Derivation(op="hide", sources=("Student",), hidden=("major",))
+        )
+        university.rename_class("Student", "Learner")
+        assert "Student" not in university
+        assert university.direct_supers("TA") == {"Learner"}
+        vc = university["V"]
+        assert vc.derivation.sources == ("Learner",)
+        assert set(university.type_of("Learner")) == {"name", "age", "major"}
+
+    def test_rename_to_taken_name_rejected(self, university):
+        with pytest.raises(DuplicateClass):
+            university.rename_class("Student", "Person")
+
+    def test_memento_restores_structure(self, university):
+        memento = university.memento()
+        university.add_base_class("Extra")
+        university.add_edge("Person", "Extra")
+        university.restore(memento)
+        assert "Extra" not in university
+        university.validate()
+
+    def test_remove_class(self, university):
+        university.add_base_class("Leaf", inherits_from=("TA",))
+        university.remove_class("Leaf")
+        assert "Leaf" not in university
+        assert university.direct_subs("TA") == frozenset()
+
+
+class TestValidate:
+    def test_valid_schema_passes(self, university):
+        university.validate()
+
+    def test_transitive_reduction_over_selection(self, university):
+        edges = university.transitive_reduction_over(["Person", "TA"])
+        assert edges == [("Person", "TA")]
+        edges = university.transitive_reduction_over(["Person", "Student", "TA"])
+        assert ("Person", "TA") not in edges
+        assert ("Person", "Student") in edges and ("Student", "TA") in edges
+
+    def test_subclasses_within(self, university):
+        inside = university.subclasses_within("Person", ["Person", "TA"])
+        assert inside == ["Person", "TA"]

@@ -1,0 +1,134 @@
+"""Unit tests for type merging, overriding, conflicts and subsumption."""
+
+import pytest
+
+from repro.errors import AmbiguousProperty, UnknownProperty
+from repro.schema.properties import Attribute, Method, ResolvedProperty
+from repro.schema import types as typemod
+from repro.schema.types import Ambiguity
+
+
+def rp(name, origin, *, stored=True, promoted=False):
+    prop = Attribute(name) if stored else Method(name)
+    return ResolvedProperty(
+        prop=prop,
+        origin_class=origin,
+        storage_class=origin if stored else None,
+        promoted=promoted,
+    )
+
+
+class TestMergeInherited:
+    def test_disjoint_names_union(self):
+        merged = typemod.merge_inherited([{"a": rp("a", "A")}, {"b": rp("b", "B")}])
+        assert set(merged) == {"a", "b"}
+
+    def test_same_identity_via_diamond_is_one_property(self):
+        shared = rp("name", "Person")
+        merged = typemod.merge_inherited([{"name": shared}, {"name": shared}])
+        assert isinstance(merged["name"], ResolvedProperty)
+        assert merged["name"].origin_class == "Person"
+
+    def test_distinct_origins_become_ambiguous(self):
+        merged = typemod.merge_inherited(
+            [{"x": rp("x", "A")}, {"x": rp("x", "B")}]
+        )
+        assert isinstance(merged["x"], Ambiguity)
+        assert {c.origin_class for c in merged["x"].candidates} == {"A", "B"}
+
+    def test_promoted_property_wins_conflict(self):
+        """The section 6.2.3 priority rule: a property projected upward by a
+        hide derivation beats other inherited same-named properties."""
+        merged = typemod.merge_inherited(
+            [{"x": rp("x", "A", promoted=True)}, {"x": rp("x", "B")}]
+        )
+        assert isinstance(merged["x"], ResolvedProperty)
+        assert merged["x"].origin_class == "A"
+
+    def test_two_promoted_still_ambiguous(self):
+        merged = typemod.merge_inherited(
+            [{"x": rp("x", "A", promoted=True)}, {"x": rp("x", "B", promoted=True)}]
+        )
+        assert isinstance(merged["x"], Ambiguity)
+
+    def test_ambiguity_propagates_through_merge(self):
+        first = typemod.merge_inherited([{"x": rp("x", "A")}, {"x": rp("x", "B")}])
+        merged = typemod.merge_inherited([first, {"y": rp("y", "C")}])
+        assert isinstance(merged["x"], Ambiguity)
+
+
+class TestLocalOverride:
+    def test_local_definition_overrides_inherited(self):
+        inherited = {"x": rp("x", "Super")}
+        local = {"x": rp("x", "Sub")}
+        combined = typemod.apply_local(inherited, local)
+        assert combined["x"].origin_class == "Sub"
+
+    def test_local_resolves_ambiguity(self):
+        inherited = typemod.merge_inherited(
+            [{"x": rp("x", "A")}, {"x": rp("x", "B")}]
+        )
+        combined = typemod.apply_local(inherited, {"x": rp("x", "C")})
+        assert isinstance(combined["x"], ResolvedProperty)
+        assert combined["x"].origin_class == "C"
+
+
+class TestDerivationTypeAlgebra:
+    def test_subtract_for_hide(self):
+        base = {"a": rp("a", "C"), "b": rp("b", "C")}
+        assert set(typemod.subtract(base, ["a"])) == {"b"}
+
+    def test_augment_for_refine(self):
+        base = {"a": rp("a", "C")}
+        result = typemod.augment(base, {"r": rp("r", "C'")})
+        assert set(result) == {"a", "r"}
+
+    def test_common_for_union(self):
+        first = {"a": rp("a", "P"), "b": rp("b", "X")}
+        second = {"a": rp("a", "P"), "c": rp("c", "Y")}
+        result = typemod.common(first, second)
+        assert set(result) == {"a"}
+        assert result["a"].origin_class == "P"
+
+    def test_combined_for_intersect(self):
+        first = {"a": rp("a", "P")}
+        second = {"b": rp("b", "Q")}
+        assert set(typemod.combined(first, second)) == {"a", "b"}
+
+
+class TestResolveAndCompare:
+    def test_resolve_missing_raises(self):
+        with pytest.raises(UnknownProperty):
+            typemod.resolve({}, "ghost", class_name="C")
+
+    def test_resolve_ambiguous_raises_until_renamed(self):
+        type_map = typemod.merge_inherited(
+            [{"x": rp("x", "A")}, {"x": rp("x", "B")}]
+        )
+        with pytest.raises(AmbiguousProperty):
+            typemod.resolve(type_map, "x", class_name="C")
+
+    def test_is_subtype_by_names(self):
+        small = {"a": rp("a", "P")}
+        large = {"a": rp("a", "P"), "b": rp("b", "P")}
+        assert typemod.is_subtype(large, small)
+        assert not typemod.is_subtype(small, large)
+
+    def test_type_signature_distinguishes_origins(self):
+        first = {"x": rp("x", "A")}
+        second = {"x": rp("x", "B")}
+        assert typemod.type_signature(first) != typemod.type_signature(second)
+
+    def test_type_signature_equal_for_equal_types(self):
+        assert typemod.type_signature({"x": rp("x", "A")}) == typemod.type_signature(
+            {"x": rp("x", "A")}
+        )
+
+    def test_stored_attributes_excludes_methods_and_ambiguous(self):
+        type_map = {
+            "a": rp("a", "C"),
+            "m": rp("m", "C", stored=False),
+            "x": Ambiguity((rp("x", "A"), rp("x", "B"))),
+        }
+        stored = typemod.stored_attributes(type_map)
+        assert [entry.name for entry in stored] == ["a"]

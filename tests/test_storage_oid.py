@@ -1,0 +1,55 @@
+"""Unit tests for OID allocation."""
+
+import pytest
+
+from repro.storage.oid import OID_SIZE_BYTES, POINTER_SIZE_BYTES, Oid, OidAllocator
+
+
+class TestOid:
+    def test_equality_is_by_value(self):
+        assert Oid(7) == Oid(7)
+        assert Oid(7) != Oid(8)
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Oid(1), Oid(1), Oid(2)}) == 2
+
+    def test_ordering(self):
+        assert Oid(1) < Oid(2)
+        assert sorted([Oid(3), Oid(1), Oid(2)]) == [Oid(1), Oid(2), Oid(3)]
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Oid(1).value = 2  # type: ignore[misc]
+
+
+class TestOidAllocator:
+    def test_allocates_distinct_monotone_oids(self):
+        allocator = OidAllocator()
+        first = allocator.allocate()
+        second = allocator.allocate()
+        assert first != second
+        assert first.value < second.value
+
+    def test_allocated_count_tracks_lifetime_total(self):
+        allocator = OidAllocator()
+        for _ in range(5):
+            allocator.allocate()
+        assert allocator.allocated_count == 5
+
+    def test_allocate_many_yields_requested_count(self):
+        allocator = OidAllocator()
+        oids = list(allocator.allocate_many(10))
+        assert len(oids) == 10
+        assert len(set(oids)) == 10
+
+    def test_snapshot_round_trip_never_reissues(self):
+        allocator = OidAllocator()
+        issued = [allocator.allocate() for _ in range(3)]
+        restored = OidAllocator.from_snapshot(allocator.snapshot())
+        fresh = restored.allocate()
+        assert fresh not in issued
+        assert restored.allocated_count == 4
+
+    def test_size_constants_are_positive(self):
+        assert OID_SIZE_BYTES > 0
+        assert POINTER_SIZE_BYTES > 0

@@ -1,0 +1,119 @@
+"""Unit tests for the simulated page manager."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage.pages import Page, PageManager
+
+
+class TestPage:
+    def test_insert_and_read(self):
+        page = Page(1, "k", capacity=2)
+        slot = page.insert({"a": 1})
+        assert page.read(slot) == {"a": 1}
+
+    def test_capacity_enforced(self):
+        page = Page(1, "k", capacity=1)
+        page.insert("x")
+        assert page.is_full
+        with pytest.raises(PageError):
+            page.insert("y")
+
+    def test_delete_frees_slot_but_not_capacity_slot_number(self):
+        page = Page(1, "k", capacity=2)
+        slot = page.insert("x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.read(slot)
+
+    def test_write_unknown_slot_raises(self):
+        page = Page(1, "k", capacity=2)
+        with pytest.raises(PageError):
+            page.write(99, "x")
+
+
+class TestClustering:
+    def test_same_key_clusters_on_one_page(self):
+        manager = PageManager(slots_per_page=8)
+        addresses = [manager.place("Student", {"i": i}) for i in range(8)]
+        pages = {page_id for page_id, _ in addresses}
+        assert len(pages) == 1
+
+    def test_overflow_opens_new_page(self):
+        manager = PageManager(slots_per_page=4)
+        addresses = [manager.place("Student", i) for i in range(9)]
+        pages = {page_id for page_id, _ in addresses}
+        assert len(pages) == 3  # 4 + 4 + 1
+
+    def test_different_keys_use_different_pages(self):
+        manager = PageManager(slots_per_page=8)
+        student_page, _ = manager.place("Student", 1)
+        person_page, _ = manager.place("Person", 2)
+        assert student_page != person_page
+
+    def test_pages_for_key(self):
+        manager = PageManager(slots_per_page=2)
+        for i in range(5):
+            manager.place("A", i)
+        manager.place("B", 0)
+        assert len(manager.pages_for_key("A")) == 3
+        assert len(manager.pages_for_key("B")) == 1
+
+
+class TestAccessAccounting:
+    def test_cold_read_counts_as_page_read(self):
+        manager = PageManager(slots_per_page=4, cache_pages=2)
+        page_id, slot = manager.place("k", "payload")
+        manager.drop_cache()
+        manager.stats.reset()
+        manager.read(page_id, slot)
+        assert manager.stats.page_reads == 1
+
+    def test_hot_read_hits_cache(self):
+        manager = PageManager(slots_per_page=4, cache_pages=2)
+        page_id, slot = manager.place("k", "payload")
+        manager.stats.reset()
+        manager.drop_cache()
+        manager.read(page_id, slot)
+        manager.read(page_id, slot)
+        assert manager.stats.page_reads == 1
+        assert manager.stats.cache_hits == 1
+
+    def test_cache_eviction_is_lru(self):
+        manager = PageManager(slots_per_page=1, cache_pages=2)
+        addresses = [manager.place(f"k{i}", i) for i in range(3)]
+        manager.drop_cache()
+        manager.stats.reset()
+        # touch pages 0, 1, then 2 evicts 0; re-reading 0 is a miss
+        for page_id, slot in addresses:
+            manager.read(page_id, slot)
+        manager.read(addresses[0][0], addresses[0][1])
+        assert manager.stats.page_reads == 4
+        assert manager.stats.cache_hits == 0
+
+    def test_writes_counted(self):
+        manager = PageManager(slots_per_page=4, cache_pages=1)
+        manager.stats.reset()
+        manager.drop_cache()
+        page_id, slot = manager.place("k", "v")
+        assert manager.stats.page_writes == 1
+
+    def test_scan_cost_proportional_to_pages(self):
+        manager = PageManager(slots_per_page=4, cache_pages=1)
+        addresses = [manager.place("k", i) for i in range(16)]
+        manager.drop_cache()
+        manager.stats.reset()
+        for page_id, slot in addresses:
+            manager.read(page_id, slot)
+        # 16 slices on 4 pages; sequential access hits cache within a page
+        assert manager.stats.page_reads == 4
+        assert manager.stats.cache_hits == 12
+
+    def test_unknown_page_raises(self):
+        manager = PageManager()
+        with pytest.raises(PageError):
+            manager.read(42, 0)
+
+    def test_invalid_slots_per_page_rejected(self):
+        with pytest.raises(PageError):
+            PageManager(slots_per_page=0)

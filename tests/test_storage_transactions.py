@@ -1,0 +1,154 @@
+"""Unit tests for transactions: atomicity, undo, locking."""
+
+import pytest
+
+from repro.errors import LockConflict, TransactionStateError
+from repro.storage.store import ObjectStore
+from repro.storage.transactions import TransactionManager, TxStatus
+
+
+@pytest.fixture()
+def managed_store():
+    store = ObjectStore()
+    return store, TransactionManager(store)
+
+
+class TestCommitAbort:
+    def test_commit_keeps_changes(self, managed_store):
+        store, manager = managed_store
+        with manager.begin() as tx:
+            slice_id = tx.create_slice("A", {"x": 1})
+        assert store.read_slice(slice_id) == {"x": 1}
+
+    def test_abort_drops_created_slices(self, managed_store):
+        store, manager = managed_store
+        tx = manager.begin()
+        slice_id = tx.create_slice("A", {"x": 1})
+        tx.abort()
+        assert not store.slice_exists(slice_id)
+
+    def test_abort_restores_overwritten_values(self, managed_store):
+        store, manager = managed_store
+        slice_id = store.create_slice("A", {"x": 1})
+        tx = manager.begin()
+        tx.put_value(slice_id, "x", 999)
+        tx.put_value(slice_id, "fresh", True)
+        tx.abort()
+        assert store.read_slice(slice_id) == {"x": 1}
+
+    def test_abort_restores_in_reverse_order(self, managed_store):
+        store, manager = managed_store
+        slice_id = store.create_slice("A", {"x": 1})
+        tx = manager.begin()
+        tx.put_value(slice_id, "x", 2)
+        tx.put_value(slice_id, "x", 3)
+        tx.abort()
+        assert store.get_value(slice_id, "x") == 1
+
+    def test_context_manager_aborts_on_exception(self, managed_store):
+        store, manager = managed_store
+        slice_id = store.create_slice("A", {"x": 1})
+        with pytest.raises(RuntimeError):
+            with manager.begin() as tx:
+                tx.put_value(slice_id, "x", 2)
+                raise RuntimeError("boom")
+        assert store.get_value(slice_id, "x") == 1
+
+    def test_dropped_slice_restored_on_abort(self, managed_store):
+        store, manager = managed_store
+        slice_id = store.create_slice("A", {"x": 1})
+        tx = manager.begin()
+        tx.drop_slice(slice_id)
+        tx.abort()
+        # the payload survives (under a fresh id, as documented)
+        payloads = [values for _, values in store.scan_cluster("A")]
+        assert payloads == [{"x": 1}]
+
+    def test_run_undoable_compensates(self, managed_store):
+        store, manager = managed_store
+        state = {"applied": False}
+        tx = manager.begin()
+        tx.run_undoable(
+            "toggle",
+            do=lambda: state.update(applied=True),
+            undo=lambda: state.update(applied=False),
+        )
+        assert state["applied"]
+        tx.abort()
+        assert not state["applied"]
+
+
+class TestStateMachine:
+    def test_operations_after_commit_rejected(self, managed_store):
+        _, manager = managed_store
+        tx = manager.begin()
+        tx.commit()
+        assert tx.status is TxStatus.COMMITTED
+        with pytest.raises(TransactionStateError):
+            tx.create_slice("A")
+
+    def test_double_commit_rejected(self, managed_store):
+        _, manager = managed_store
+        tx = manager.begin()
+        tx.commit()
+        with pytest.raises(TransactionStateError):
+            tx.commit()
+
+    def test_abort_after_commit_rejected(self, managed_store):
+        _, manager = managed_store
+        tx = manager.begin()
+        tx.commit()
+        with pytest.raises(TransactionStateError):
+            tx.abort()
+
+
+class TestLocking:
+    def test_writer_blocks_writer(self, managed_store):
+        store, manager = managed_store
+        slice_id = store.create_slice("A", {"x": 1})
+        tx1 = manager.begin()
+        tx2 = manager.begin()
+        tx1.put_value(slice_id, "x", 2)
+        with pytest.raises(LockConflict):
+            tx2.put_value(slice_id, "x", 3)
+        tx1.commit()
+
+    def test_readers_share(self, managed_store):
+        store, manager = managed_store
+        slice_id = store.create_slice("A", {"x": 1})
+        tx1 = manager.begin()
+        tx2 = manager.begin()
+        assert tx1.get_value(slice_id, "x") == 1
+        assert tx2.get_value(slice_id, "x") == 1
+        tx1.commit()
+        tx2.commit()
+
+    def test_reader_blocks_writer(self, managed_store):
+        store, manager = managed_store
+        slice_id = store.create_slice("A", {"x": 1})
+        tx1 = manager.begin()
+        tx2 = manager.begin()
+        tx1.get_value(slice_id, "x")
+        with pytest.raises(LockConflict):
+            tx2.put_value(slice_id, "x", 2)
+
+    def test_lock_upgrade_by_sole_holder(self, managed_store):
+        store, manager = managed_store
+        slice_id = store.create_slice("A", {"x": 1})
+        tx = manager.begin()
+        assert tx.get_value(slice_id, "x") == 1
+        tx.put_value(slice_id, "x", 2)  # shared -> exclusive upgrade
+        tx.commit()
+        assert store.get_value(slice_id, "x") == 2
+
+    def test_commit_releases_locks(self, managed_store):
+        store, manager = managed_store
+        slice_id = store.create_slice("A", {"x": 1})
+        tx1 = manager.begin()
+        tx1.put_value(slice_id, "x", 2)
+        tx1.commit()
+        assert manager.locked_slice_count == 0
+        tx2 = manager.begin()
+        tx2.put_value(slice_id, "x", 3)
+        tx2.commit()
+        assert store.get_value(slice_id, "x") == 3

@@ -1,0 +1,131 @@
+"""Tests for query helpers (order_by/aggregate) and inspection tooling."""
+
+import pytest
+
+from repro.algebra.expressions import Compare
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+from repro.tools import diff_view_versions, evolution_summary
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+class TestOrderBy:
+    def test_orders_ascending_and_descending(self, fig3):
+        db, view, _ = fig3
+        ages = [h["age"] for h in view["Person"].order_by("age")]
+        assert ages == sorted(ages)
+        ages_desc = [h["age"] for h in view["Person"].order_by("age", descending=True)]
+        assert ages_desc == sorted(ages, reverse=True)
+
+    def test_none_values_sort_last(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("rank", to="Student", domain="int")
+        students = view["Student"].extent()
+        students[0]["rank"] = 2
+        students[1]["rank"] = 1
+        ordered = view["Student"].order_by("rank")
+        assert [h["rank"] for h in ordered[:2]] == [1, 2]
+        assert all(h["rank"] is None for h in ordered[2:])
+
+    def test_order_with_predicate(self, fig3):
+        db, view, _ = fig3
+        young = view["Person"].order_by("age", predicate=Compare("age", "<", 24))
+        assert all(h["age"] < 24 for h in young)
+
+    def test_mixed_types_do_not_crash(self):
+        db = TseDatabase()
+        db.define_class("X", [Attribute("v")])
+        view = db.create_view("V", ["X"])
+        view["X"].create(v=1)
+        view["X"].create(v="str")
+        assert len(view["X"].order_by("v")) == 2
+
+
+class TestAggregate:
+    def test_grouped_statistics(self, fig3):
+        db, view, _ = fig3
+        stats = view["Student"].aggregate("age", group_by="major")
+        assert set(stats) == {"cs", "ee", "math"}
+        for group_stats in stats.values():
+            assert group_stats["count"] == 3
+            assert group_stats["min"] <= group_stats["avg"] <= group_stats["max"]
+
+    def test_ungrouped(self, fig3):
+        db, view, _ = fig3
+        stats = view["Person"].aggregate("age")
+        assert stats[None]["count"] == 9
+        assert stats[None]["sum"] == sum(h["age"] for h in view["Person"].extent())
+
+    def test_non_numeric_counts_only(self, fig3):
+        db, view, _ = fig3
+        stats = view["Student"].aggregate("name")
+        assert stats[None]["count"] == 9
+        assert "sum" not in stats[None]
+
+    def test_aggregate_with_predicate(self, fig3):
+        db, view, _ = fig3
+        stats = view["Person"].aggregate("age", predicate=Compare("age", ">=", 24))
+        assert stats[None]["min"] >= 24
+
+
+class TestViewDiff:
+    def test_add_attribute_diff(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        diff = diff_view_versions(db, "VS1")
+        assert (diff.old_version, diff.new_version) == (1, 2)
+        student = next(d for d in diff.class_diffs if d.view_class == "Student")
+        assert student.properties_added == ("register",)
+        assert student.substituted  # Student is now backed by Student'
+        person = next(d for d in diff.class_diffs if d.view_class == "Person")
+        assert not person.changed
+
+    def test_delete_attribute_diff(self, fig3):
+        db, view, _ = fig3
+        view.delete_attribute("major", from_="Student")
+        diff = diff_view_versions(db, "VS1")
+        student = next(d for d in diff.class_diffs if d.view_class == "Student")
+        assert student.properties_removed == ("major",)
+
+    def test_class_addition_and_removal(self, fig3):
+        db, view, _ = fig3
+        view.add_class("Visitor", connected_to="Person")
+        assert diff_view_versions(db, "VS1").classes_added == ("Visitor",)
+        view.delete_class("Visitor")
+        assert diff_view_versions(db, "VS1").classes_removed == ("Visitor",)
+
+    def test_edge_change_diff(self, fig10):
+        db, view, _ = fig10
+        view.delete_edge("TeachingStaff", "TA")
+        diff = diff_view_versions(db, "VS1")
+        ta = next(d for d in diff.class_diffs if d.view_class == "TA")
+        assert "TeachingStaff" in ta.supers_removed
+        assert "lecture" in ta.properties_removed
+
+    def test_explicit_versions_and_describe(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("a1", to="Student", domain="int")
+        view.add_attribute("a2", to="Student", domain="int")
+        diff = diff_view_versions(db, "VS1", old_version=1, new_version=3)
+        student = next(d for d in diff.class_diffs if d.view_class == "Student")
+        assert set(student.properties_added) == {"a1", "a2"}
+        text = diff.describe()
+        assert "v1 -> v3" in text and "+a1" in text
+
+    def test_empty_diff(self, fig3):
+        db, view, _ = fig3
+        diff = diff_view_versions(db, "VS1", old_version=1, new_version=1)
+        assert diff.is_empty
+        assert "no visible differences" in diff.describe()
+
+
+class TestEvolutionSummary:
+    def test_summary_lists_changes(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        other = db.create_view("other", ["Person", "Student", "TA"], closure="ignore")
+        other.add_attribute("register", to="Student", domain="str")
+        text = evolution_summary(db)
+        assert "add_attribute register to Student" in text
+        assert "reused" in text  # the second user's change hit duplicates
+        assert "views over" in text

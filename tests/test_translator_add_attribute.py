@@ -1,0 +1,151 @@
+"""Section 6.1: the add-attribute schema change (figures 3 and 7).
+
+Covers the translation algorithm, the full pipeline of 6.1.3, the
+Proposition A verification against the in-place oracle, Proposition B
+(other views unaffected) and updatability (6.1.5).
+"""
+
+import pytest
+
+from repro.errors import ChangeRejected
+from repro.baselines.direct import oracle_from_view, view_snapshot
+from repro.schema.properties import Attribute
+
+
+class TestTranslation:
+    def test_script_matches_figure7b(self, fig3):
+        """The generated script is exactly figure 7 (b)."""
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        record = db.evolution_log()[-1]
+        assert record.script.splitlines() == [
+            "defineVC Student' as (refine register for Student)",
+            "defineVC TA' as (refine Student':register for TA)",
+        ]
+
+    def test_rejected_when_name_exists(self, fig3):
+        """Section 6.1.1: a same-named property in C rejects the operation."""
+        db, view, _ = fig3
+        with pytest.raises(ChangeRejected):
+            view.add_attribute("major", to="Student")
+
+    def test_rejected_when_inherited_name_exists(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(ChangeRejected):
+            view.add_attribute("name", to="Student")
+
+    def test_propagation_stops_at_local_override(self, fig3):
+        """A subclass locally defining the name keeps its own definition and
+        blocks propagation below it."""
+        db, view, _ = fig3
+        # give TA a local 'register' first (base-schema authoring API)
+        db.schema.define_local_property("TA", Attribute("register"))
+        view.add_attribute("register", to="Student", domain="str")
+        record = db.evolution_log()[-1]
+        # only Student is primed; TA keeps its local property
+        assert list(record.plan.replacements) == ["Student"]
+
+    def test_view_subclasses_outside_view_untouched(self, fig3):
+        """Section 2.2: Grad (outside the view) gets no primed class."""
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        assert "register" not in db.type_names("Grad")
+        assert "Grad'" not in db.schema
+
+
+class TestPipeline:
+    def test_new_view_version_registered(self, fig3):
+        db, view, _ = fig3
+        assert view.version == 1
+        view.add_attribute("register", to="Student", domain="str")
+        assert view.version == 2
+
+    def test_primed_classes_renamed_transparently(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        assert view.class_names() == ["Person", "Student", "TA"]
+        assert view.schema.global_name_of("Student") == "Student'"
+        assert view.schema.global_name_of("TA") == "TA'"
+
+    def test_view_hierarchy_preserved(self, fig3):
+        db, view, _ = fig3
+        before = view.edges()
+        view.add_attribute("register", to="Student", domain="str")
+        assert view.edges() == before
+
+    def test_extents_preserved(self, fig3):
+        db, view, objects = fig3
+        counts_before = {c: view[c].count() for c in view.class_names()}
+        view.add_attribute("register", to="Student", domain="str")
+        assert {c: view[c].count() for c in view.class_names()} == counts_before
+
+    def test_attribute_usable_on_old_and_new_objects(self, fig3):
+        db, view, objects = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        old = view["Student"].extent()[0]
+        assert old["register"] is None
+        old["register"] = "enrolled"
+        assert old["register"] == "enrolled"
+        new = view["TA"].create(name="fresh", register="waitlisted")
+        assert new["register"] == "waitlisted"
+
+    def test_storage_shared_between_student_and_ta_primes(self, fig3):
+        """The TA' refinement shares the Student' storage definition: the
+        value written through TA is readable through Student."""
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        ta = view["TA"].create(name="t", register="r1")
+        via_student = view["Student"].get_object(ta.oid)
+        assert via_student["register"] == "r1"
+
+    def test_repeat_change_on_other_view_reuses_classes(self, fig3):
+        """Running the same change on an identical view finds duplicates."""
+        db, view, _ = fig3
+        other = db.create_view("VS_other", ["Person", "Student", "TA"], closure="ignore")
+        view.add_attribute("register", to="Student", domain="str")
+        classes_before = set(db.schema.class_names())
+        other.add_attribute("register", to="Student", domain="str")
+        record = db.evolution_log()[-1]
+        assert set(db.schema.class_names()) == classes_before
+        assert record.duplicates_reused()
+        assert other.schema.global_name_of("Student") == "Student'"
+
+
+class TestPropositionA:
+    def test_equivalent_to_direct_modification(self, fig3):
+        """S'' == S': the TSE view equals the in-place-modified schema."""
+        db, view, _ = fig3
+        oracle = oracle_from_view(db, view)
+        oracle.add_attribute("register", "Student")
+        view.add_attribute("register", to="Student", domain="str")
+        assert view_snapshot(db, view) == oracle.snapshot()
+
+    def test_add_method_equivalent(self, fig3):
+        db, view, _ = fig3
+        oracle = oracle_from_view(db, view)
+        oracle.add_method("gpa", "Student")
+        view.add_method("gpa", to="Student", body=lambda handle: 4.0)
+        assert view_snapshot(db, view) == oracle.snapshot()
+
+
+class TestPropositionB:
+    def test_other_views_unaffected(self, fig3):
+        db, view, _ = fig3
+        other = db.create_view(
+            "bystander", ["Person", "Student", "Grad"], closure="ignore"
+        )
+        before = view_snapshot(db, other)
+        version_before = other.version
+        view.add_attribute("register", to="Student", domain="str")
+        assert view_snapshot(db, other) == before
+        assert other.version == version_before
+        assert "register" not in other["Student"].property_names()
+
+
+class TestUpdatability:
+    def test_all_view_classes_updatable(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        for view_class in view.class_names():
+            global_name = view.schema.global_name_of(view_class)
+            assert db.engine.is_updatable(global_name), view_class

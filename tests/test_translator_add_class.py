@@ -1,0 +1,154 @@
+"""Sections 6.7 and 6.8: add-class (figures 12-13) and delete-class."""
+
+import pytest
+
+from repro.errors import ChangeRejected
+from repro.algebra.expressions import Compare
+from repro.baselines.direct import oracle_from_view, view_snapshot
+from repro.core.database import TseDatabase
+from repro.schema.classes import Derivation
+from repro.schema.properties import Attribute
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+class TestAddClassUnderBase:
+    def test_new_leaf_under_base_class(self, fig3):
+        db, view, _ = fig3
+        view.add_class("Visitor", connected_to="Person")
+        assert "Visitor" in view.class_names()
+        assert ("Person", "Visitor") in view.edges()
+        assert view["Visitor"].count() == 0
+        # type equals the superclass's (section 6.7.1)
+        assert set(view["Visitor"].property_names()) == set(
+            view["Person"].property_names()
+        )
+
+    def test_without_connected_to_goes_under_root(self, fig3):
+        db, view, _ = fig3
+        view.add_class("Island")
+        assert "Island" in view.class_names()
+        assert "Island" in view.schema.roots()
+
+    def test_duplicate_name_rejected(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(ChangeRejected):
+            view.add_class("Student", connected_to="Person")
+
+    def test_create_in_new_class_rolls_up(self, fig3):
+        db, view, _ = fig3
+        view.add_class("Visitor", connected_to="Person")
+        visitor = view["Visitor"].create(name="guest")
+        assert visitor.oid in {h.oid for h in view["Person"].extent()}
+
+
+class TestAddClassUnderVirtual:
+    def _honor_world(self):
+        """Figure 12: HonorStudent is a select virtual class."""
+        db, _ = build_figure3_database()
+        populate_students(db, 9)
+        db.define_virtual_class(
+            "HonorStudent",
+            Derivation(
+                op="select",
+                sources=("Student",),
+                predicate=Compare("age", ">=", 24),
+            ),
+        )
+        view = db.create_view(
+            "honor", ["Person", "Student", "HonorStudent"], closure="ignore"
+        )
+        return db, view
+
+    def test_figure12_subclass_of_virtual(self):
+        db, view = self._honor_world()
+        view.add_class("HonorParttimeStudent", connected_to="HonorStudent")
+        assert ("HonorStudent", "HonorParttimeStudent") in view.edges()
+        assert view["HonorParttimeStudent"].count() == 0
+
+    def test_figure13e_new_class_starts_empty(self):
+        """The whole point of the origin-class construction: the replayed
+        derivation runs over fresh empty bases, so no instances leak in."""
+        db, view = self._honor_world()
+        assert view["HonorStudent"].count() > 0  # the source has members
+        view.add_class("HonorParttimeStudent", connected_to="HonorStudent")
+        assert view["HonorParttimeStudent"].count() == 0
+
+    def test_membership_constraint_imposed(self):
+        """Objects created in the new class obey C_sup's select predicate and
+        appear in C_sup (figure 13 (c)'s subset property)."""
+        db, view = self._honor_world()
+        view.add_class("HonorParttimeStudent", connected_to="HonorStudent")
+        ok = view["HonorParttimeStudent"].create(name="older", age=30)
+        assert ok.oid in {h.oid for h in view["HonorStudent"].extent()}
+        from repro.errors import UpdateRejected
+
+        with pytest.raises(UpdateRejected):
+            view["HonorParttimeStudent"].create(name="younger", age=18)
+
+    def test_fresh_base_class_created_under_origin(self):
+        db, view = self._honor_world()
+        view.add_class("HonorParttimeStudent", connected_to="HonorStudent")
+        record = db.evolution_log()[-1]
+        assert record.plan.new_base_classes
+        fresh = record.plan.new_base_classes[0]
+        assert fresh.inherits_from == ("Student",)
+        assert db.schema[fresh.name].is_base
+
+    def test_union_origin_case_figure13e(self):
+        """C_sup a union of two classes: one fresh base per origin."""
+        db, _ = build_figure3_database()
+        db.define_class("Staff", [Attribute("office")], inherits_from=("Person",))
+        db.define_virtual_class(
+            "Employee", Derivation(op="union", sources=("TA", "Staff"))
+        )
+        view = db.create_view(
+            "emp", ["Person", "TA", "Staff", "Employee"], closure="ignore"
+        )
+        db.engine.create("TA", {})
+        db.engine.create("Staff", {})
+        assert view["Employee"].count() == 2
+        view.add_class("Contractor", connected_to="Employee")
+        record = db.evolution_log()[-1]
+        assert len(record.plan.new_base_classes) == 2
+        assert view["Contractor"].count() == 0
+        assert ("Employee", "Contractor") in view.edges()
+
+
+class TestDeleteClass:
+    def test_class_leaves_view_only(self, fig3):
+        db, view, _ = fig3
+        view.delete_class("TA")
+        assert "TA" not in view.class_names()
+        # the global class is untouched; other views could still select it
+        assert "TA" in db.schema
+        assert db.extent("TA") is not None
+
+    def test_extent_still_visible_to_superclasses(self, fig3):
+        """Section 6.8: the local extent stays visible upward."""
+        db, view, objects = fig3
+        ta_count = view["TA"].count()
+        student_count = view["Student"].count()
+        assert ta_count > 0
+        view.delete_class("TA")
+        assert view["Student"].count() == student_count
+
+    def test_cannot_empty_the_view(self):
+        db = TseDatabase()
+        db.define_class("Only")
+        view = db.create_view("V", ["Only"], closure="ignore")
+        with pytest.raises(ChangeRejected):
+            view.delete_class("Only")
+
+    def test_proposition_a_against_oracle(self, fig3):
+        db, view, _ = fig3
+        oracle = oracle_from_view(db, view)
+        oracle.delete_class("TA")
+        view.delete_class("TA")
+        assert view_snapshot(db, view) == oracle.snapshot()
+
+    def test_other_views_unaffected(self, fig3):
+        db, view, _ = fig3
+        other = db.create_view("other", ["Person", "Student", "TA"], closure="ignore")
+        before = view_snapshot(db, other)
+        view.delete_class("TA")
+        assert view_snapshot(db, other) == before

@@ -1,0 +1,140 @@
+"""Section 6.5: the add-edge schema change (figure 9)."""
+
+import pytest
+
+from repro.errors import ChangeRejected
+from repro.baselines.direct import oracle_from_view, view_snapshot
+
+
+class TestFigure9:
+    def test_script_matches_section_652(self, fig9):
+        db, view, objects = fig9
+        view.add_edge("SupportStaff", "TA")
+        record = db.evolution_log()[-1]
+        assert record.script.splitlines() == [
+            "defineVC TA' as (refine SupportStaff:boss for TA)",
+            "defineVC Grader' as (refine SupportStaff:boss for Grader)",
+            "defineVC SupportStaff' as (union(SupportStaff, TA'))",
+        ]
+
+    def test_property_inherited_into_subtree(self, fig9):
+        db, view, _ = fig9
+        view.add_edge("SupportStaff", "TA")
+        assert "boss" in view["TA"].property_names()
+        assert "boss" in view["Grader"].property_names()
+
+    def test_extent_grows_exactly_as_figure9(self, fig9):
+        """extent(SupportStaff): {o2 o3} -> {o2 o3 o4 o5 o6}."""
+        db, view, objects = fig9
+        before = {h.oid for h in view["SupportStaff"].extent()}
+        assert before == {objects["o2"], objects["o3"]}
+        view.add_edge("SupportStaff", "TA")
+        after = {h.oid for h in view["SupportStaff"].extent()}
+        assert after == {
+            objects["o2"],
+            objects["o3"],
+            objects["o4"],
+            objects["o5"],
+            objects["o6"],
+        }
+
+    def test_person_not_modified(self, fig9):
+        """TA was already below Person, so Person needs no primed class."""
+        db, view, objects = fig9
+        view.add_edge("SupportStaff", "TA")
+        record = db.evolution_log()[-1]
+        assert "Person" not in record.plan.replacements
+        assert view.schema.global_name_of("Person") == "Person"
+
+    def test_view_hierarchy_shows_new_edge(self, fig9):
+        db, view, _ = fig9
+        view.add_edge("SupportStaff", "TA")
+        assert ("SupportStaff", "TA") in view.edges()
+        assert ("TA", "Grader") in view.edges()
+
+    def test_boss_settable_on_ta_through_view(self, fig9):
+        db, view, objects = fig9
+        view.add_edge("SupportStaff", "TA")
+        ta = view["TA"].get_object(objects["o4"])
+        ta["boss"] = "chief"
+        assert ta["boss"] == "chief"
+        # and visible when the object is accessed as SupportStaff
+        via_staff = view["SupportStaff"].get_object(objects["o4"])
+        assert via_staff["boss"] == "chief"
+
+
+class TestGuards:
+    def test_existing_edge_rejected(self, fig9):
+        db, view, _ = fig9
+        with pytest.raises(ChangeRejected):
+            view.add_edge("Person", "TA")  # already an ancestor
+
+    def test_cycle_rejected(self, fig9):
+        db, view, _ = fig9
+        with pytest.raises(ChangeRejected):
+            view.add_edge("Grader", "Person")
+
+    def test_unknown_class_rejected(self, fig9):
+        db, view, _ = fig9
+        with pytest.raises(Exception):
+            view.add_edge("Ghost", "TA")
+
+
+class TestUpdatability:
+    def test_create_on_union_goes_to_substituted_class(self, fig9):
+        """Section 6.5.4: create on SupportStaff' propagates to the replaced
+        SupportStaff, not to TA' — otherwise every created staff member
+        would surface as a TA."""
+        db, view, objects = fig9
+        view.add_edge("SupportStaff", "TA")
+        fresh = view["SupportStaff"].create(name="new hire", boss="b")
+        assert fresh.oid in {h.oid for h in view["SupportStaff"].extent()}
+        assert fresh.oid not in {h.oid for h in view["TA"].extent()}
+
+    def test_set_propagates_to_members(self, fig9):
+        db, view, objects = fig9
+        view.add_edge("SupportStaff", "TA")
+        staff = view["SupportStaff"].get_object(objects["o2"])
+        staff["boss"] = "director"
+        assert staff["boss"] == "director"
+
+    def test_delete_through_union_destroys(self, fig9):
+        db, view, objects = fig9
+        view.add_edge("SupportStaff", "TA")
+        view["SupportStaff"].get_object(objects["o4"]).delete()
+        assert objects["o4"] not in {h.oid for h in view["TA"].extent()}
+
+
+class TestPropositions:
+    def test_proposition_a_against_oracle(self, fig9):
+        db, view, _ = fig9
+        oracle = oracle_from_view(db, view)
+        oracle.add_edge("SupportStaff", "TA")
+        view.add_edge("SupportStaff", "TA")
+        assert view_snapshot(db, view) == oracle.snapshot()
+
+    def test_proposition_b_other_views_unaffected(self, fig9):
+        db, view, _ = fig9
+        other = db.create_view(
+            "other", ["Person", "SupportStaff", "TA", "Grader"], closure="ignore"
+        )
+        before = view_snapshot(db, other)
+        view.add_edge("SupportStaff", "TA")
+        assert view_snapshot(db, other) == before
+        assert "boss" not in other["TA"].property_names()
+
+
+class TestOverriding:
+    def test_same_named_property_not_inherited(self, fig9):
+        """Footnote 15: a subclass keeping a same-named property overrides
+        rather than inheriting the superclass's."""
+        db, view, _ = fig9
+        db.schema.define_local_property(
+            "Grader", __import__("repro").Attribute("boss", domain="str")
+        )
+        view.add_edge("SupportStaff", "TA")
+        record = db.evolution_log()[-1]
+        # Grader's refine (if any) must not list boss; Grader keeps its own
+        grader_global = view.schema.global_name_of("Grader")
+        entry = db.schema.type_of(grader_global)["boss"]
+        assert entry.origin_class == "Grader"

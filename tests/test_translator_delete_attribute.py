@@ -1,0 +1,139 @@
+"""Section 6.2: the delete-attribute schema change (figure 8), and 6.4 for
+methods — hide-based deletion, view-relative locality, suppressed-property
+restoration, Propositions A and B."""
+
+import pytest
+
+from repro.errors import ChangeRejected, UnknownProperty
+from repro.baselines.direct import oracle_from_view, view_snapshot
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+
+
+class TestTranslation:
+    def test_script_hides_from_class_and_subclasses(self, fig3):
+        db, view, _ = fig3
+        view.delete_attribute("major", from_="Student")
+        record = db.evolution_log()[-1]
+        assert record.script.splitlines() == [
+            "defineVC Student' as (hide major from Student)",
+            "defineVC TA' as (hide major from TA)",
+        ]
+
+    def test_attribute_invisible_after_change(self, fig3):
+        db, view, _ = fig3
+        view.delete_attribute("major", from_="Student")
+        assert "major" not in view["Student"].property_names()
+        assert "major" not in view["TA"].property_names()
+        with pytest.raises(UnknownProperty):
+            view["Student"].extent()[0]["major"]
+
+    def test_data_not_destroyed_globally(self, fig3):
+        """Figure 8's key point: deletion hides, the global schema keeps the
+        attribute and its stored values."""
+        db, view, objects = fig3
+        student = view["Student"].extent()[0]
+        student["major"] = "physics"
+        oid = student.oid
+        view.delete_attribute("major", from_="Student")
+        # the raw global class still carries it
+        assert "major" in db.type_names("Student")
+        from repro.schema.extents import read_attribute
+
+        assert read_attribute(db.schema, db.pool, "Student", oid, "major") == "physics"
+
+    def test_unknown_attribute_rejected(self, fig3):
+        db, view, _ = fig3
+        with pytest.raises(ChangeRejected):
+            view.delete_attribute("ghost", from_="Student")
+
+    def test_nonlocal_attribute_rejected(self, fig3):
+        """Full-inheritance invariant: only view-local properties die."""
+        db, view, _ = fig3
+        with pytest.raises(ChangeRejected):
+            view.delete_attribute("name", from_="Student")  # Person's
+
+    def test_view_relative_locality(self):
+        """Locality is judged against the *view*: a property inherited from a
+        class outside the view counts as local to the view's uppermost
+        carrier (section 6.2.1)."""
+        db = TseDatabase()
+        db.define_class("Base", [Attribute("tag")])
+        db.define_class("Mid", [Attribute("extra")], inherits_from=("Base",))
+        db.define_class("Leaf", [], inherits_from=("Mid",))
+        narrow = db.create_view("narrow", ["Mid", "Leaf"], closure="ignore")
+        # 'tag' comes from Base, which is outside the view; Mid is the
+        # uppermost view class carrying it, so deletion there is legal
+        narrow.delete_attribute("tag", from_="Mid")
+        assert "tag" not in narrow["Mid"].property_names()
+        assert "tag" not in narrow["Leaf"].property_names()
+        # the full view including Base would have rejected it
+        assert "tag" in db.type_names("Base")
+
+
+class TestSuppressedRestoration:
+    def _overriding_world(self):
+        db = TseDatabase()
+        db.define_class("Super", [Attribute("rate", domain="int")])
+        sub = db.define_class("Sub", [], inherits_from=("Super",))
+        # Sub overrides 'rate' locally with its own definition
+        db.schema.define_local_property("Sub", Attribute("rate", domain="float"))
+        view = db.create_view("V", ["Super", "Sub"], closure="ignore")
+        return db, view
+
+    def test_suppressed_attribute_restored(self):
+        """Deleting an overriding attribute restores the suppressed one
+        (section 6.2.2's second loop)."""
+        db, view = self._overriding_world()
+        view.delete_attribute("rate", from_="Sub")
+        # 'rate' is still visible on Sub — now the Super definition
+        entry = db.schema.type_of(view.schema.global_name_of("Sub"))["rate"]
+        assert entry.origin_class == "Super"
+        script = db.evolution_log()[-1].script
+        assert "hide rate from Sub" in script
+        assert "refine Super:rate for" in script
+
+    def test_restored_value_read_through_super_slice(self):
+        db, view = self._overriding_world()
+        obj = view["Sub"].create()
+        db.pool.set_value(obj.oid, "Super", "rate", 7)
+        view.delete_attribute("rate", from_="Sub")
+        assert view["Sub"].get_object(obj.oid)["rate"] == 7
+
+
+class TestPropositions:
+    def test_proposition_a_against_oracle(self, fig3):
+        db, view, _ = fig3
+        oracle = oracle_from_view(db, view)
+        oracle.delete_attribute("major", "Student")
+        view.delete_attribute("major", from_="Student")
+        assert view_snapshot(db, view) == oracle.snapshot()
+
+    def test_proposition_b_other_views_unaffected(self, fig3):
+        db, view, _ = fig3
+        other = db.create_view("other", ["Person", "Student", "TA"], closure="ignore")
+        before = view_snapshot(db, other)
+        view.delete_attribute("major", from_="Student")
+        assert view_snapshot(db, other) == before
+        assert "major" in other["Student"].property_names()
+
+    def test_updatability_after_delete(self, fig3):
+        db, view, _ = fig3
+        view.delete_attribute("major", from_="Student")
+        created = view["Student"].create(name="post-delete")
+        assert created.oid in db.extent(view.schema.global_name_of("Student"))
+
+
+class TestDeleteMethod:
+    def test_delete_method_mirrors_delete_attribute(self, fig3):
+        db, view, _ = fig3
+        view.add_method("gpa", to="Student", body=lambda h: 4.0)
+        assert "gpa" in view["Student"].method_names()
+        view.delete_method("gpa", from_="Student")
+        assert "gpa" not in view["Student"].property_names()
+
+    def test_delete_inherited_method_rejected(self, fig3):
+        db, view, _ = fig3
+        view.add_method("hello", to="Person", body=lambda h: "hi")
+        with pytest.raises(ChangeRejected):
+            view.delete_method("hello", from_="TA")

@@ -1,0 +1,164 @@
+"""Section 6.6: the delete-edge schema change (figures 10 and 11)."""
+
+import pytest
+
+from repro.errors import ChangeRejected
+from repro.baselines.direct import oracle_from_view, view_snapshot
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+
+
+class TestFigure10:
+    def test_extent_shrinks_exactly_as_figure10(self, fig10):
+        """extent(TeachingStaff): {o2 o3 o4 o5} -> {o2 o3}."""
+        db, view, objects = fig10
+        before = {h.oid for h in view["TeachingStaff"].extent()}
+        assert before == {objects["o2"], objects["o3"], objects["o4"], objects["o5"]}
+        view.delete_edge("TeachingStaff", "TA")
+        after = {h.oid for h in view["TeachingStaff"].extent()}
+        assert after == {objects["o2"], objects["o3"]}
+
+    def test_lecture_no_longer_inherited(self, fig10):
+        db, view, _ = fig10
+        view.delete_edge("TeachingStaff", "TA")
+        assert "lecture" not in view["TA"].property_names()
+        assert "salary" in view["TA"].property_names()
+
+    def test_ta_hangs_at_view_root(self, fig10):
+        """Without connected_to, C_sub attaches under ROOT (section 6.6.1)."""
+        db, view, _ = fig10
+        view.delete_edge("TeachingStaff", "TA")
+        assert "TA" in view.schema.roots()
+
+    def test_ta_extent_unchanged(self, fig10):
+        db, view, objects = fig10
+        view.delete_edge("TeachingStaff", "TA")
+        assert {h.oid for h in view["TA"].extent()} == {
+            objects["o4"],
+            objects["o5"],
+        }
+
+    def test_person_extent_also_shrinks(self, fig10):
+        """Person is a superclass of TeachingStaff not of TA via other paths,
+        so the first loop of 6.6.2 processes it too."""
+        db, view, objects = fig10
+        view.delete_edge("TeachingStaff", "TA")
+        assert {h.oid for h in view["Person"].extent()} == {
+            objects["o1"],
+            objects["o2"],
+            objects["o3"],
+        }
+
+    def test_guard_rejects_non_edges(self, fig10):
+        db, view, _ = fig10
+        with pytest.raises(ChangeRejected):
+            view.delete_edge("Person", "TA")  # not a *direct* edge
+        with pytest.raises(ChangeRejected):
+            view.delete_edge("TA", "TeachingStaff")  # wrong direction
+
+
+class TestConnectedTo:
+    def test_connected_to_keeps_extent_at_upper(self, fig10):
+        """``connected_to Person``: TA re-hangs under Person, whose extent
+        therefore keeps the TA instances."""
+        db, view, objects = fig10
+        view.delete_edge("TeachingStaff", "TA", connected_to="Person")
+        assert ("Person", "TA") in view.edges()
+        assert {h.oid for h in view["Person"].extent()} == set(objects.values())
+        assert {h.oid for h in view["TeachingStaff"].extent()} == {
+            objects["o2"],
+            objects["o3"],
+        }
+        # name (from Person) survives; lecture is gone
+        assert "name" in view["TA"].property_names()
+        assert "lecture" not in view["TA"].property_names()
+
+    def test_connected_to_must_be_superclass_of_sup(self, fig10):
+        db, view, _ = fig10
+        with pytest.raises(ChangeRejected):
+            view.delete_edge("Person", "TeachingStaff", connected_to="TA")
+
+
+class TestFigure11MultiPath:
+    def _diamond(self):
+        """Figure 11's shape: v above C_sup and another class; C1 below both
+        C_sub and the other path — it must stay visible to v."""
+        db = TseDatabase()
+        db.define_class("V", [Attribute("v")])
+        db.define_class("Csup", [Attribute("s")], inherits_from=("V",))
+        db.define_class("Other", [Attribute("o")], inherits_from=("V",))
+        db.define_class("Csub", [Attribute("b")], inherits_from=("Csup",))
+        db.define_class("C1", [Attribute("c1")], inherits_from=("Csub", "Other"))
+        view = db.create_view(
+            "W", ["V", "Csup", "Other", "Csub", "C1"], closure="ignore"
+        )
+        o_sub = db.engine.create("Csub", {})
+        o_c1 = db.engine.create("C1", {})
+        return db, view, o_sub, o_c1
+
+    def test_common_subclass_instances_stay_visible(self):
+        db, view, o_sub, o_c1 = self._diamond()
+        view.delete_edge("Csup", "Csub")
+        v_extent = {h.oid for h in view["V"].extent()}
+        # o_sub leaves V's scope... through Csup at least; o_c1 stays via Other
+        assert o_c1 in v_extent
+        csup_extent = {h.oid for h in view["Csup"].extent()}
+        assert o_sub not in csup_extent
+        assert o_c1 not in csup_extent  # C1 is not under Csup anymore
+
+    def test_properties_from_other_path_survive(self):
+        db, view, o_sub, o_c1 = self._diamond()
+        view.delete_edge("Csup", "Csub")
+        # C1 loses s (only via Csup->Csub) but keeps o (via Other) and v
+        c1_props = set(view["C1"].property_names())
+        assert "s" not in c1_props
+        assert {"o", "c1", "v"} <= c1_props
+        # Csub loses both s and v (its only path upward was the edge)
+        csub_props = set(view["Csub"].property_names())
+        assert csub_props == {"b"}
+
+
+class TestPropositions:
+    def test_proposition_a_against_oracle(self, fig10):
+        db, view, _ = fig10
+        oracle = oracle_from_view(db, view)
+        oracle.delete_edge("TeachingStaff", "TA")
+        view.delete_edge("TeachingStaff", "TA")
+        assert view_snapshot(db, view) == oracle.snapshot()
+
+    def test_proposition_a_with_connected_to(self, fig10):
+        db, view, _ = fig10
+        oracle = oracle_from_view(db, view)
+        oracle.delete_edge("TeachingStaff", "TA", connected_to="Person")
+        view.delete_edge("TeachingStaff", "TA", connected_to="Person")
+        assert view_snapshot(db, view) == oracle.snapshot()
+
+    def test_proposition_b_other_views_unaffected(self, fig10):
+        db, view, _ = fig10
+        other = db.create_view(
+            "other", ["Person", "TeachingStaff", "TA"], closure="ignore"
+        )
+        before = view_snapshot(db, other)
+        view.delete_edge("TeachingStaff", "TA")
+        assert view_snapshot(db, other) == before
+
+
+class TestUpdatability:
+    def test_create_on_shrunk_super_propagates_to_substituted(self, fig10):
+        """Section 6.6.4: create on TeachingStaff' goes to TeachingStaff."""
+        db, view, objects = fig10
+        view.delete_edge("TeachingStaff", "TA")
+        fresh = view["TeachingStaff"].create(name="prof", lecture="algo")
+        assert fresh.oid in {h.oid for h in view["TeachingStaff"].extent()}
+        assert fresh.oid not in {h.oid for h in view["TA"].extent()}
+
+    def test_ta_still_updatable_after_detach(self, fig10):
+        db, view, objects = fig10
+        view.delete_edge("TeachingStaff", "TA")
+        ta = view["TA"].get_object(objects["o4"])
+        ta["salary"] = 123
+        assert ta["salary"] == 123
+        fresh = view["TA"].create(salary=1)
+        assert fresh.oid in {h.oid for h in view["TA"].extent()}
+        # new TAs are NOT visible to the detached TeachingStaff
+        assert fresh.oid not in {h.oid for h in view["TeachingStaff"].extent()}

@@ -1,0 +1,147 @@
+"""Integration tests for the paper's headline guarantees (section 2.3):
+
+* schema changes on one view never affect other views (view independence);
+* old and new applications share the same persistent objects and
+  interoperate;
+* the change is transparent — view names stay stable, handles keep working.
+"""
+
+import pytest
+
+from repro.baselines.direct import view_snapshot
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+def snapshot_all_other_views(db, except_view):
+    return {
+        name: view_snapshot(db, db.view(name))
+        for name in db.view_names()
+        if name != except_view
+    }
+
+
+class TestViewIndependence:
+    OPERATIONS = [
+        ("add_attribute", lambda v: v.add_attribute("x1", to="Student", domain="int")),
+        ("delete_attribute", lambda v: v.delete_attribute("major", from_="Student")),
+        ("add_method", lambda v: v.add_method("m1", to="Student", body=lambda h: 1)),
+        ("add_edge", lambda v: v.add_edge("Extra", "TA")),
+        ("delete_edge", lambda v: v.delete_edge("Student", "TA")),
+        ("add_class", lambda v: v.add_class("Newbie", connected_to="Student")),
+        ("delete_class", lambda v: v.delete_class("TA")),
+    ]
+
+    @pytest.mark.parametrize("name,operation", OPERATIONS, ids=[o[0] for o in OPERATIONS])
+    def test_every_primitive_preserves_other_views(self, name, operation):
+        db, view = build_figure3_database()
+        db.define_class("Extra", [Attribute("extra")], inherits_from=("Person",))
+        populate_students(db, 6)
+        # re-create the working view to include Extra for add_edge's benefit
+        work = db.create_view(
+            "work", ["Person", "Student", "TA", "Extra"], closure="ignore"
+        )
+        bystander = db.create_view(
+            "bystander", ["Person", "Student", "TA", "Grad", "Extra"], closure="ignore"
+        )
+        before = snapshot_all_other_views(db, "work")
+        operation(work)
+        assert snapshot_all_other_views(db, "work") == before, name
+
+    def test_long_evolution_chain_leaves_first_view_intact(self):
+        db, view = build_figure3_database()
+        populate_students(db, 6)
+        legacy = db.create_view("legacy", ["Person", "Student", "TA"], closure="ignore")
+        baseline = view_snapshot(db, legacy)
+        worker = db.create_view("worker", ["Person", "Student", "TA"], closure="ignore")
+        worker.add_attribute("a1", to="Student", domain="int")
+        worker.add_attribute("a2", to="TA", domain="int")
+        worker.delete_attribute("a1", from_="Student")
+        worker.add_class("Fresh", connected_to="Student")
+        worker.delete_edge("Student", "TA")
+        worker.delete_class("Fresh")
+        assert view_snapshot(db, legacy) == baseline
+        assert legacy.version == 1
+
+
+class TestInteroperability:
+    def test_old_and_new_apps_share_objects(self):
+        """Both directions: data created by the old app is visible to the
+        new one and vice versa — with each app seeing its own schema."""
+        db, _ = build_figure3_database()
+        old_app = db.create_view("old", ["Person", "Student"], closure="ignore")
+        new_app = db.create_view("new", ["Person", "Student"], closure="ignore")
+        new_app.add_attribute("register", to="Student", domain="str")
+
+        from_old = old_app["Student"].create(name="via-old")
+        from_new = new_app["Student"].create(name="via-new", register="full")
+
+        old_sees = {h.oid for h in old_app["Student"].extent()}
+        new_sees = {h.oid for h in new_app["Student"].extent()}
+        assert old_sees == new_sees == {from_old.oid, from_new.oid}
+
+        # the old app cannot see register; the new app reads both objects
+        assert "register" not in old_app["Student"].property_names()
+        assert new_app["Student"].get_object(from_old.oid)["register"] is None
+
+    def test_update_through_old_view_visible_to_new(self):
+        db, _ = build_figure3_database()
+        old_app = db.create_view("old", ["Person", "Student"], closure="ignore")
+        new_app = db.create_view("new", ["Person", "Student"], closure="ignore")
+        new_app.add_attribute("register", to="Student", domain="str")
+        obj = old_app["Student"].create(name="shared")
+        old_app["Student"].get_object(obj.oid)["name"] = "renamed"
+        assert new_app["Student"].get_object(obj.oid)["name"] == "renamed"
+
+    def test_delete_through_new_view_propagates_to_old(self):
+        """Backward propagation — what Orion cannot do (section 8)."""
+        db, _ = build_figure3_database()
+        old_app = db.create_view("old", ["Person", "Student"], closure="ignore")
+        new_app = db.create_view("new", ["Person", "Student"], closure="ignore")
+        new_app.add_attribute("register", to="Student", domain="str")
+        obj = old_app["Student"].create(name="doomed")
+        new_app["Student"].get_object(obj.oid).delete()
+        assert obj.oid not in {h.oid for h in old_app["Student"].extent()}
+
+
+class TestTransparency:
+    def test_view_names_stable_across_changes(self):
+        db, view = build_figure3_database()
+        names_before = view.class_names()
+        view.add_attribute("r1", to="Student", domain="int")
+        view.delete_attribute("r1", from_="Student")
+        view.add_attribute("r2", to="TA", domain="int")
+        assert view.class_names() == names_before
+
+    def test_user_cannot_tell_virtual_from_base(self):
+        """After evolution every class answers the same handle protocol; the
+        only way to tell is to peek at internals."""
+        db, view = build_figure3_database()
+        view.add_attribute("register", to="Student", domain="str")
+        for cls_name in view.class_names():
+            cls = view[cls_name]
+            assert isinstance(cls.count(), int)
+            assert isinstance(cls.property_names(), list)
+        # internals confirm the substitution actually happened (it is merely
+        # invisible through the public interface)
+        assert db.schema[view.schema.global_name_of("Student")].is_base is False
+        assert db.schema[view.schema.global_name_of("Person")].is_base is True
+
+    def test_old_versions_remain_queryable_in_history(self):
+        db, view = build_figure3_database()
+        view.add_attribute("register", to="Student", domain="str")
+        old = db.views.history.version("VS1", 1)
+        assert old.global_name_of("Student") == "Student"
+        current = db.views.current("VS1")
+        assert current.global_name_of("Student") == "Student'"
+
+    def test_evolution_log_records_everything(self):
+        db, view = build_figure3_database()
+        view.add_attribute("register", to="Student", domain="str")
+        view.delete_attribute("register", from_="Student")
+        log = db.evolution_log()
+        assert len(log) == 2
+        assert log[0].plan.operation == "add_attribute"
+        assert log[1].plan.operation == "delete_attribute"
+        assert log[0].new_version == 2 and log[1].new_version == 3

@@ -1,0 +1,219 @@
+"""Unit tests for view schemas, generation, closure, history, manager."""
+
+import pytest
+
+from repro.errors import (
+    StaleViewVersion,
+    TypeClosureError,
+    UnknownClass,
+    UnknownView,
+    ViewError,
+)
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute
+from repro.views.closure import is_type_closed, missing_for_closure
+from repro.views.generation import ViewSchemaGenerator
+from repro.views.history import ViewSchemaHistory
+from repro.views.manager import ViewManager
+from repro.views.schema import ViewSchema
+
+
+@pytest.fixture()
+def schema():
+    s = GlobalSchema()
+    s.add_base_class("Person", (Attribute("name"),))
+    s.add_base_class(
+        "Student",
+        (Attribute("major"), Attribute("advisor", domain="Person")),
+        inherits_from=("Person",),
+    )
+    s.add_base_class("TA", (Attribute("salary"),), inherits_from=("Student",))
+    s.add_base_class("Course", (Attribute("title"),))
+    return s
+
+
+class TestViewSchema:
+    def test_rename_round_trip(self, schema):
+        view = ViewSchema(
+            name="V",
+            version=1,
+            selected=frozenset({"Person", "Student"}),
+            renames={"Student": "Learner"},
+            edges=(("Person", "Student"),),
+        )
+        assert view.view_name_of("Student") == "Learner"
+        assert view.global_name_of("Learner") == "Student"
+        assert view.global_name_of("Person") == "Person"
+        assert view.has_class("Learner") and not view.has_class("Student")
+
+    def test_duplicate_view_names_rejected(self, schema):
+        with pytest.raises(ViewError):
+            ViewSchema(
+                name="V",
+                version=1,
+                selected=frozenset({"Person", "Student"}),
+                renames={"Student": "Person"},
+            )
+
+    def test_rename_outside_selection_rejected(self):
+        with pytest.raises(ViewError):
+            ViewSchema(
+                name="V",
+                version=1,
+                selected=frozenset({"Person"}),
+                renames={"Ghost": "X"},
+            )
+
+    def test_edges_render_in_view_names(self, schema):
+        view = ViewSchema(
+            name="V",
+            version=1,
+            selected=frozenset({"Person", "Student"}),
+            renames={"Student": "Learner"},
+            edges=(("Person", "Student"),),
+        )
+        assert view.view_edges() == [("Person", "Learner")]
+        assert view.direct_subs_of("Person") == ["Learner"]
+        assert view.direct_supers_of("Learner") == ["Person"]
+        assert view.roots() == ["Person"]
+
+    def test_unknown_class_raises(self, schema):
+        view = ViewSchema(name="V", version=1, selected=frozenset({"Person"}))
+        with pytest.raises(UnknownClass):
+            view.global_name_of("Ghost")
+
+    def test_property_renames(self):
+        view = ViewSchema(
+            name="V",
+            version=1,
+            selected=frozenset({"Person"}),
+            property_renames={"Person": {"full_name": "name"}},
+        )
+        assert view.visible_property("Person", "full_name") == "name"
+        assert view.property_alias("Person", "name") == "full_name"
+        assert view.visible_property("Person", "other") == "other"
+
+
+class TestGeneration:
+    def test_edges_are_transitive_reduction(self, schema):
+        generator = ViewSchemaGenerator(schema)
+        view = generator.generate(
+            "V", 1, ["Person", "Student", "TA"], closure="ignore"
+        )
+        assert set(view.edges) == {("Person", "Student"), ("Student", "TA")}
+
+    def test_skipping_middle_class_shortcuts_edge(self, schema):
+        generator = ViewSchemaGenerator(schema)
+        view = generator.generate("V", 1, ["Person", "TA"], closure="ignore")
+        assert set(view.edges) == {("Person", "TA")}
+
+    def test_closure_check_raises(self, schema):
+        generator = ViewSchemaGenerator(schema)
+        with pytest.raises(TypeClosureError):
+            generator.generate("V", 1, ["Student"], closure="check")
+
+    def test_closure_complete_pulls_referenced_class(self, schema):
+        generator = ViewSchemaGenerator(schema)
+        view = generator.generate("V", 1, ["Student"], closure="complete")
+        assert "Person" in view.selected  # advisor's domain
+
+    def test_closure_ignore(self, schema):
+        generator = ViewSchemaGenerator(schema)
+        view = generator.generate("V", 1, ["Student"], closure="ignore")
+        assert view.selected == frozenset({"Student"})
+
+    def test_unknown_selection_rejected(self, schema):
+        generator = ViewSchemaGenerator(schema)
+        with pytest.raises(UnknownClass):
+            generator.generate("V", 1, ["Ghost"])
+
+    def test_unknown_closure_mode_rejected(self, schema):
+        generator = ViewSchemaGenerator(schema)
+        with pytest.raises(ValueError):
+            generator.generate("V", 1, ["Person"], closure="maybe")
+
+
+class TestClosureHelpers:
+    def test_missing_for_closure_transitive(self, schema):
+        schema.add_base_class(
+            "Enrollment",
+            (Attribute("who", domain="Student"),),
+        )
+        missing = missing_for_closure(schema, ["Enrollment"])
+        assert missing == {"Student", "Person"}
+
+    def test_is_type_closed(self, schema):
+        assert is_type_closed(schema, ["Person", "Student"])
+        assert not is_type_closed(schema, ["Student"])
+
+
+class TestHistory:
+    def _view(self, version):
+        return ViewSchema(name="V", version=version, selected=frozenset({"Person"}))
+
+    def test_initial_then_substitute(self):
+        history = ViewSchemaHistory()
+        history.register_initial(self._view(1))
+        history.substitute(self._view(2))
+        assert history.current("V").version == 2
+        assert history.version("V", 1).version == 1
+        assert [v.version for v in history.versions_of("V")] == [1, 2]
+
+    def test_initial_must_be_version_one(self):
+        history = ViewSchemaHistory()
+        with pytest.raises(ViewError):
+            history.register_initial(self._view(2))
+
+    def test_duplicate_view_rejected(self):
+        history = ViewSchemaHistory()
+        history.register_initial(self._view(1))
+        with pytest.raises(ViewError):
+            history.register_initial(self._view(1))
+
+    def test_substitute_requires_successor_version(self):
+        history = ViewSchemaHistory()
+        history.register_initial(self._view(1))
+        with pytest.raises(ViewError):
+            history.substitute(self._view(3))
+
+    def test_unknown_view_raises(self):
+        history = ViewSchemaHistory()
+        with pytest.raises(UnknownView):
+            history.current("Ghost")
+
+    def test_missing_version_raises(self):
+        history = ViewSchemaHistory()
+        history.register_initial(self._view(1))
+        with pytest.raises(StaleViewVersion):
+            history.version("V", 9)
+
+    def test_iteration_and_counting(self):
+        history = ViewSchemaHistory()
+        history.register_initial(self._view(1))
+        history.substitute(self._view(2))
+        assert [v.label for v in history] == ["V.v2"]
+        assert history.total_versions() == 2
+
+
+class TestManager:
+    def test_create_and_evolve(self, schema):
+        manager = ViewManager(schema)
+        manager.create_view("V", ["Person", "Student"], closure="ignore")
+        successor = manager.register_successor(
+            "V", ["Person", "Student", "TA"], closure="ignore", provenance="grow"
+        )
+        assert successor.version == 2
+        assert manager.current("V").selected >= {"TA"}
+
+    def test_remove_class_from_view(self, schema):
+        manager = ViewManager(schema)
+        manager.create_view("V", ["Person", "Student", "TA"], closure="ignore")
+        successor = manager.remove_class_from_view("V", "TA")
+        assert "TA" not in successor.selected
+        assert successor.version == 2
+
+    def test_remove_last_class_rejected(self, schema):
+        manager = ViewManager(schema)
+        manager.create_view("V", ["Person"], closure="ignore")
+        with pytest.raises(ViewError):
+            manager.remove_class_from_view("V", "Person")

@@ -1,0 +1,63 @@
+"""Tests for the dot export of schemas and views."""
+
+import pytest
+
+from repro.viz import schema_to_dot, view_to_dot
+
+
+class TestSchemaDot:
+    def test_base_and_virtual_shapes(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        dot = schema_to_dot(db.schema)
+        assert dot.startswith("digraph global_schema {")
+        assert dot.rstrip().endswith("}")
+        assert '"Person" [shape=box, style=solid' in dot
+        assert "\"Student'\" [shape=ellipse, style=dashed" in dot
+
+    def test_isa_edges_point_upward(self, fig3):
+        db, view, _ = fig3
+        dot = schema_to_dot(db.schema)
+        assert '"Student" -> "Person";' in dot
+
+    def test_derivation_edges_dotted_and_labelled(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        dot = schema_to_dot(db.schema)
+        assert '"Student" -> "Student\'" [style=dotted' in dot
+        assert 'label="refine"' in dot
+
+    def test_root_and_internals_hidden_by_default(self, fig10):
+        db, view, _ = fig10
+        view.delete_edge("TeachingStaff", "TA")  # creates a _diff internal
+        dot = schema_to_dot(db.schema)
+        assert "ROOT" not in dot
+        assert "_diff" not in dot
+        full = schema_to_dot(db.schema, include_root=True, include_internal=True)
+        assert "ROOT" in full
+        assert "_diff" in full
+
+    def test_labels_carry_type_names(self, fig3):
+        db, view, _ = fig3
+        dot = schema_to_dot(db.schema)
+        assert "TA|" in dot and "salary" in dot
+
+
+class TestViewDot:
+    def test_view_names_used(self, fig3):
+        db, view, _ = fig3
+        view.add_attribute("register", to="Student", domain="str")
+        dot = view_to_dot(db.schema, view.schema)
+        # the primed global class renders under its view name
+        assert '"Student"' in dot
+        assert "Student'" not in dot.replace('"Student\'"', "")
+        assert '"TA" -> "Student";' in dot
+        assert "view VS1.v2" in dot
+
+    def test_dot_is_parseable_shape(self, fig9):
+        db, view, _ = fig9
+        dot = view_to_dot(db.schema, view.schema)
+        assert dot.count("{") == dot.count("}")
+        assert all(
+            line.endswith((";", "{", "}")) for line in dot.splitlines() if line.strip()
+        )

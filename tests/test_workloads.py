@@ -1,0 +1,102 @@
+"""Tests for workload builders and the evolution-rate traces."""
+
+import pytest
+
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.sjoberg import (
+    ATTRIBUTE_CHURN,
+    ATTRIBUTE_GROWTH,
+    MONTHS,
+    RELATION_GROWTH,
+    SjobergTrace,
+)
+from repro.workloads.university import (
+    build_figure3_database,
+    build_figure9_database,
+    build_figure10_database,
+    populate_students,
+)
+
+
+class TestUniversityBuilders:
+    def test_figure3_database_shape(self):
+        db, view = build_figure3_database()
+        assert view.class_names() == ["Person", "Student", "TA"]
+        assert "Grad" in db.schema  # exists globally, outside the view
+
+    def test_population_distribution(self):
+        db, _ = build_figure3_database()
+        objects = populate_students(db, 9)
+        assert len(objects) == 9
+        assert len(db.extent("TA")) == 3
+        assert len(db.extent("Grad")) == 3
+        assert len(db.extent("Student")) == 9
+
+    def test_figure9_extents_match_paper_labels(self):
+        db, view, objects = build_figure9_database()
+        assert {h.oid for h in view["SupportStaff"].extent()} == {
+            objects["o2"],
+            objects["o3"],
+        }
+        assert {h.oid for h in view["TA"].extent()} == {
+            objects["o4"],
+            objects["o5"],
+            objects["o6"],
+        }
+
+    def test_figure10_extents_match_paper_labels(self):
+        db, view, objects = build_figure10_database()
+        assert {h.oid for h in view["TeachingStaff"].extent()} == {
+            objects["o2"],
+            objects["o3"],
+            objects["o4"],
+            objects["o5"],
+        }
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_given_seed(self):
+        first = WorkloadGenerator(42)
+        second = WorkloadGenerator(42)
+        db1, view1 = first.build_database()
+        db2, view2 = second.build_database()
+        assert view1.class_names() == view2.class_names()
+        trace1 = [c.detail for c in first.run_trace(db1, view1, 5)]
+        trace2 = [c.detail for c in second.run_trace(db2, view2, 5)]
+        assert trace1 == trace2
+
+    def test_trace_applies_changes(self):
+        generator = WorkloadGenerator(7)
+        db, view = generator.build_database(n_classes=5, n_objects=10)
+        applied = generator.run_trace(db, view, 10)
+        assert applied
+        assert view.version > 1
+        db.schema.validate()
+
+    def test_database_population(self):
+        generator = WorkloadGenerator(3)
+        db, view = generator.build_database(n_objects=15)
+        assert db.pool.object_count == 15
+
+
+class TestSjobergTrace:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return SjobergTrace().replay()
+
+    def test_growth_rates_in_band(self, stats):
+        """Realised rates land near the studies' figures ([26], [12])."""
+        assert stats.class_growth >= RELATION_GROWTH * 0.9
+        assert ATTRIBUTE_GROWTH * 0.85 <= stats.attribute_growth <= ATTRIBUTE_GROWTH * 1.25
+        assert abs(stats.churn_rate - ATTRIBUTE_CHURN) <= 0.1
+
+    def test_every_initial_class_changed(self, stats):
+        """Sjøberg: every relation was changed at least once."""
+        assert stats.classes_changed >= stats.initial_classes
+
+    def test_old_view_survives_18_months(self, stats):
+        assert stats.months == MONTHS
+        assert stats.old_view_intact
+
+    def test_substantial_change_volume(self, stats):
+        assert stats.changes_applied >= 80
