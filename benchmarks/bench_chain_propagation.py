@@ -10,7 +10,7 @@ cost, and checks the memoised-extent optimisation keeps repeated reads flat.
 
 import time
 
-from conftest import format_table, write_report
+from conftest import format_table, write_bench_json, write_report
 
 from repro.workloads.university import build_figure3_database, populate_students
 
@@ -62,6 +62,7 @@ def test_chain_propagation(benchmark):
     # the memoised evaluator keeps the warm path essentially flat
     for _, _, _, cold, warm in rows:
         assert warm <= cold + 0.5
+    extent_stats = db.evaluator.stats.as_dict()  # deepest-chain database
     # deep chains still answer correctly through every historic version
     db, view = build_chain(8)
     for version in range(1, view.version + 1):
@@ -81,6 +82,22 @@ def test_chain_propagation(benchmark):
             ],
             rows,
         ),
+    )
+    write_bench_json(
+        "chain_propagation",
+        {
+            "rows": [
+                {
+                    "chain_depth": depth,
+                    "build_ms": build_ms,
+                    "update_ms": update_ms,
+                    "cold_extent_ms": cold,
+                    "warm_extent_ms": warm,
+                }
+                for depth, build_ms, update_ms, cold, warm in rows
+            ],
+            "extent_stats": extent_stats,
+        },
     )
 
     benchmark.pedantic(lambda: build_chain(8), rounds=3, iterations=1)

@@ -10,11 +10,13 @@ Every bench regenerates one table or figure of the paper and
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_extents.json"
 
 
 def write_report(name: str, title: str, body: str) -> Path:
@@ -34,6 +36,20 @@ def format_table(headers, rows) -> str:
     for row in rows:
         lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
     return "\n".join(lines)
+
+
+def write_bench_json(key: str, payload: dict) -> Path:
+    """Merge one benchmark's machine-readable numbers into the repo-root
+    ``BENCH_extents.json`` (keyed per benchmark so runs compose)."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[key] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    return BENCH_JSON
 
 
 @pytest.fixture(scope="session")

@@ -13,7 +13,7 @@ pair for snapshot persistence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple, Type
+from typing import Callable, Dict, FrozenSet, Tuple, Type
 
 from repro.errors import PredicateError
 
@@ -28,6 +28,18 @@ class Predicate:
         raise NotImplementedError
 
     def signature(self) -> tuple:
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """Attribute paths this predicate reads.
+
+        Dotted entries (``"advisor.name"``) traverse object-valued
+        attributes.  Incremental extent maintenance uses this to decide
+        which value writes can change the predicate's outcome; predicate
+        types that cannot enumerate their reads should not implement it
+        (the dependency analyzer then falls back to conservative
+        invalidation).
+        """
         raise NotImplementedError
 
     def to_dict(self) -> dict:
@@ -79,6 +91,9 @@ class Compare(Predicate):
     def signature(self) -> tuple:
         return ("compare", self.attribute, self.op, self.value)
 
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
     def to_dict(self) -> dict:
         return {
             "kind": "compare",
@@ -104,6 +119,9 @@ class IsIn(Predicate):
     def signature(self) -> tuple:
         return ("isin", self.attribute, tuple(sorted(map(repr, self.values))))
 
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
     def to_dict(self) -> dict:
         return {"kind": "isin", "attribute": self.attribute, "values": list(self.values)}
 
@@ -123,6 +141,9 @@ class IsSet(Predicate):
     def signature(self) -> tuple:
         return ("isset", self.attribute)
 
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
     def to_dict(self) -> dict:
         return {"kind": "isset", "attribute": self.attribute}
 
@@ -139,6 +160,9 @@ class TruePredicate(Predicate):
 
     def signature(self) -> tuple:
         return ("true",)
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
 
     def to_dict(self) -> dict:
         return {"kind": "true"}
@@ -158,6 +182,9 @@ class And(Predicate):
     def signature(self) -> tuple:
         return ("and", self.left.signature(), self.right.signature())
 
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
     def to_dict(self) -> dict:
         return {"kind": "and", "left": self.left.to_dict(), "right": self.right.to_dict()}
 
@@ -176,6 +203,9 @@ class Or(Predicate):
     def signature(self) -> tuple:
         return ("or", self.left.signature(), self.right.signature())
 
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
     def to_dict(self) -> dict:
         return {"kind": "or", "left": self.left.to_dict(), "right": self.right.to_dict()}
 
@@ -192,6 +222,9 @@ class Not(Predicate):
 
     def signature(self) -> tuple:
         return ("not", self.inner.signature())
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.inner.attributes()
 
     def to_dict(self) -> dict:
         return {"kind": "not", "inner": self.inner.to_dict()}

@@ -43,7 +43,11 @@ from repro.errors import (
 )
 from repro.objectmodel.slicing import InstancePool
 from repro.schema.classes import BaseClass, VirtualClass
-from repro.schema.extents import ExtentEvaluator, read_attribute
+from repro.schema.extents import (
+    ExtentEvaluator,
+    IncrementalExtentEvaluator,
+    read_attribute,
+)
 from repro.schema.graph import GlobalSchema
 from repro.schema.properties import Attribute
 from repro.schema import types as typemod
@@ -81,7 +85,7 @@ class UpdateEngine:
     ) -> None:
         self.schema = schema
         self.pool = pool
-        self.evaluator = evaluator or ExtentEvaluator(schema, pool)
+        self.evaluator = evaluator or IncrementalExtentEvaluator(schema, pool)
         self.value_closure = value_closure
 
     # ------------------------------------------------------------------

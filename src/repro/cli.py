@@ -12,6 +12,7 @@ updates, ``merge``) plus a handful of meta-commands:
     .classes              list classes of the current view
     .extent <class>       list the objects of a class
     .history              print the evolution log
+    .stats                database counters incl. extent-cache behaviour
     .save <path>          persist the database
     .quit                 leave the shell
 
@@ -77,6 +78,14 @@ def _meta_command(
                 f"  {record.view_name} v{record.old_version}->v{record.new_version}: "
                 f"{record.plan.provenance}"
             )
+    elif command == ".stats":
+        for key, value in db.stats().items():
+            if isinstance(value, dict):
+                emit(f"  {key}:")
+                for sub_key, sub_value in value.items():
+                    emit(f"    {sub_key}: {sub_value}")
+            else:
+                emit(f"  {key}: {value}")
     elif command == ".save":
         if not args:
             emit("usage: .save <path>")

@@ -28,7 +28,7 @@ from repro.core.merging import merge_views
 from repro.objectmodel.indexes import IndexManager
 from repro.objectmodel.slicing import InstancePool
 from repro.schema.classes import Derivation, ROOT_CLASS
-from repro.schema.extents import ExtentEvaluator
+from repro.schema.extents import IncrementalExtentEvaluator
 from repro.schema.graph import GlobalSchema
 from repro.schema.properties import Attribute, Method, Property
 from repro.storage.store import ObjectStore
@@ -51,7 +51,7 @@ class TseDatabase:
         self.pool = InstancePool(self.store)
         self.indexes = IndexManager(self.pool)
         self.schema = GlobalSchema()
-        self.evaluator = ExtentEvaluator(self.schema, self.pool)
+        self.evaluator = IncrementalExtentEvaluator(self.schema, self.pool)
         self.engine = UpdateEngine(
             self.schema, self.pool, self.evaluator, value_closure=value_closure
         )
@@ -320,4 +320,10 @@ class TseDatabase:
             "views": len(self.view_names()),
             "view_versions": self.views.history.total_versions(),
             "pages": self.store.stats.as_dict(),
+            "extents": self.evaluator.stats.as_dict(),
         }
+
+    def extent_stats(self):
+        """Cache behaviour of the incremental extent engine
+        (:class:`~repro.schema.extents.ExtentStats`)."""
+        return self.evaluator.stats

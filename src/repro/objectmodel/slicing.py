@@ -19,11 +19,36 @@ their class, so the page-level cost claims of Table 1 are observable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set
+from typing import Container, Dict, FrozenSet, Iterable, ItemsView, Iterator, Optional, Set
 
 from repro.errors import InvalidCast, NotAMember, ObjectNotFound
 from repro.storage.oid import OID_SIZE_BYTES, POINTER_SIZE_BYTES, Oid
 from repro.storage.store import ObjectStore
+
+
+@dataclass(frozen=True)
+class PoolDelta:
+    """One typed change event emitted to delta listeners.
+
+    Kinds and their populated fields:
+
+    ==================  ==========================================
+    ``add_membership``     ``oid``, ``class_name``
+    ``remove_membership``  ``oid``, ``class_name``
+    ``set_value``          ``oid``, ``class_name`` (storage class), ``attr``
+    ``remove_value``       ``oid``, ``class_name`` (storage class), ``attr``
+    ``destroy``            ``oid``
+    ``reset``              (none — the whole pool state was replaced)
+    ==================  ==========================================
+
+    Incremental extent maintenance consumes these to apply ``±{oid}``
+    through the derivation DAG instead of recomputing extents wholesale.
+    """
+
+    kind: str
+    oid: Optional[Oid] = None
+    class_name: Optional[str] = None
+    attr: Optional[str] = None
 
 
 @dataclass
@@ -87,10 +112,24 @@ class InstancePool:
         self._destroy_listeners: list = []
         #: callbacks fired when a slice is dropped: (oid, storage_class)
         self._slice_drop_listeners: list = []
+        #: callbacks fired with a :class:`PoolDelta` on every mutation
+        self._delta_listeners: list = []
 
     def add_value_listener(self, callback) -> None:
         """Subscribe to attribute writes (index maintenance hook)."""
         self._value_listeners.append(callback)
+
+    def add_delta_listener(self, callback) -> None:
+        """Subscribe to typed :class:`PoolDelta` events (extent maintenance).
+
+        Deltas fire *after* the pool state reflects the change, so a
+        listener re-reading the pool observes the post-state.
+        """
+        self._delta_listeners.append(callback)
+
+    def _emit(self, delta: PoolDelta) -> None:
+        for listener in self._delta_listeners:
+            listener(delta)
 
     def add_destroy_listener(self, callback) -> None:
         """Subscribe to object destruction (index maintenance hook)."""
@@ -118,6 +157,8 @@ class InstancePool:
         for name in direct_classes:
             self._add_direct(obj, name)
         self._dirty()
+        for name in obj.direct_classes:
+            self._emit(PoolDelta("add_membership", oid=oid, class_name=name))
         return obj
 
     def destroy_object(self, oid: Oid) -> None:
@@ -130,11 +171,12 @@ class InstancePool:
         for impl in obj.implementations.values():
             self.store.drop_slice(impl.slice_id)
         for name in list(obj.direct_classes):
-            self._members_direct.get(name, set()).discard(oid)
+            self._discard_direct(oid, name)
         del self._objects[oid]
         self._dirty()
         for listener in self._destroy_listeners:
             listener(oid)
+        self._emit(PoolDelta("destroy", oid=oid))
 
     def get(self, oid: Oid) -> ConceptualObject:
         try:
@@ -161,6 +203,15 @@ class InstancePool:
         obj.direct_classes.add(class_name)
         self._members_direct.setdefault(class_name, set()).add(obj.oid)
 
+    def _discard_direct(self, oid: Oid, class_name: str) -> None:
+        """Drop one direct membership, pruning the bucket when it empties so
+        ``classes_with_members`` never iterates dead entries."""
+        bucket = self._members_direct.get(class_name)
+        if bucket is not None:
+            bucket.discard(oid)
+            if not bucket:
+                del self._members_direct[class_name]
+
     def add_membership(self, oid: Oid, class_name: str) -> None:
         """Make the object a direct member of another class (generic ``add``).
 
@@ -171,6 +222,7 @@ class InstancePool:
         if class_name not in obj.direct_classes:
             self._add_direct(obj, class_name)
             self._dirty()
+            self._emit(PoolDelta("add_membership", oid=oid, class_name=class_name))
 
     def remove_membership(self, oid: Oid, class_name: str) -> None:
         """Remove direct membership (generic ``remove``); drops the slice."""
@@ -178,7 +230,7 @@ class InstancePool:
         if class_name not in obj.direct_classes:
             raise NotAMember(f"{oid} is not a direct member of {class_name!r}")
         obj.direct_classes.discard(class_name)
-        self._members_direct.get(class_name, set()).discard(oid)
+        self._discard_direct(oid, class_name)
         impl = obj.implementations.pop(class_name, None)
         if impl is not None:
             self.store.drop_slice(impl.slice_id)
@@ -187,6 +239,7 @@ class InstancePool:
         if obj.current_class == class_name:
             obj.current_class = None
         self._dirty()
+        self._emit(PoolDelta("remove_membership", oid=oid, class_name=class_name))
 
     def reclassify(self, oid: Oid, from_class: str, to_class: str) -> None:
         """Dynamic classification (Table 1): swap one membership for another.
@@ -201,21 +254,31 @@ class InstancePool:
         return frozenset(self._members_direct.get(class_name, ()))
 
     def classes_with_members(self) -> FrozenSet[str]:
-        return frozenset(
-            name for name, oids in self._members_direct.items() if oids
-        )
+        # empty buckets are pruned eagerly, so the keys are exactly the
+        # classes with at least one direct member
+        return frozenset(self._members_direct)
+
+    def direct_membership_items(self) -> ItemsView[str, Set[Oid]]:
+        """Read-only view over ``(class_name, direct members)`` pairs.
+
+        Exposed for extent evaluation, which unions many buckets per call;
+        handing out the live sets avoids one frozenset copy per bucket.
+        Callers must not mutate the sets.
+        """
+        return self._members_direct.items()
 
     # -- casting ----------------------------------------------------------------
 
-    def cast(self, oid: Oid, class_name: str, member_of: Iterable[str]) -> None:
+    def cast(self, oid: Oid, class_name: str, member_of: Container[str]) -> None:
         """Cast the object to ``class_name`` (switch its representative
         implementation object).
 
-        ``member_of`` is the set of classes the caller (who knows the schema)
-        has established the object belongs to; casting outside it raises.
+        ``member_of`` is any container of classes the caller (who knows the
+        schema) has established the object belongs to; casting outside it
+        raises.
         """
         obj = self.get(oid)
-        if class_name not in set(member_of):
+        if class_name not in member_of:
             raise InvalidCast(f"{oid} is not a member of {class_name!r}")
         obj.current_class = class_name
 
@@ -270,6 +333,7 @@ class InstancePool:
         self._dirty()
         for listener in self._value_listeners:
             listener(oid, storage_class, attr, value)
+        self._emit(PoolDelta("set_value", oid=oid, class_name=storage_class, attr=attr))
 
     def remove_value(self, oid: Oid, storage_class: str, attr: str) -> None:
         """Erase one stored attribute (used by update rollback)."""
@@ -278,6 +342,9 @@ class InstancePool:
         if impl is not None:
             self.store.remove_value(impl.slice_id, attr)
             self._dirty()
+            self._emit(
+                PoolDelta("remove_value", oid=oid, class_name=storage_class, attr=attr)
+            )
 
     # -- mementos -------------------------------------------------------------
 
@@ -308,8 +375,11 @@ class InstancePool:
             clone.implementations = dict(obj.implementations)
             clone.current_class = obj.current_class
             self._objects[oid] = clone
-        self._members_direct = {name: set(oids) for name, oids in members.items()}
+        self._members_direct = {
+            name: set(oids) for name, oids in members.items() if oids
+        }
         self._dirty()
+        self._emit(PoolDelta("reset"))
 
     # -- statistics for Table 1 ---------------------------------------------------
 

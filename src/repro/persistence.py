@@ -255,6 +255,9 @@ def database_from_dict(
         for cls_name in obj.direct_classes:
             db.pool._members_direct.setdefault(cls_name, set()).add(oid)
     db.pool._dirty()
+    # population bypassed the pool's mutation API (no deltas were emitted),
+    # so drop anything the evaluator may have cached meanwhile
+    db.evaluator.invalidate()
 
     for entry in sorted(data["views"], key=lambda v: (v["name"], v["version"])):
         view = ViewSchema(

@@ -18,7 +18,8 @@ Two distinct jobs live here:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import PredicateError, UnknownProperty
 from repro.schema.classes import (
@@ -30,7 +31,48 @@ from repro.schema.graph import GlobalSchema
 from repro.schema.properties import Attribute, ResolvedProperty
 from repro.schema import types as typemod
 from repro.storage.oid import Oid
-from repro.objectmodel.slicing import InstancePool
+from repro.objectmodel.slicing import InstancePool, PoolDelta
+
+
+@dataclass
+class ExtentStats:
+    """Observability counters for extent evaluation and maintenance.
+
+    ``hits``/``misses`` count cache lookups in :meth:`ExtentEvaluator.extent`;
+    ``full_recomputes`` counts from-scratch evaluations (one per miss);
+    ``deltas_applied`` counts per-class candidate rechecks performed by the
+    incremental engine instead of recomputes; ``invalidations`` counts cache
+    entries dropped by targeted (dependency-aware) invalidation — the
+    fan-out of writes the engine could not maintain incrementally;
+    ``events`` counts pool deltas observed.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    deltas_applied: int = 0
+    full_recomputes: int = 0
+    invalidations: int = 0
+    events: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.deltas_applied = 0
+        self.full_recomputes = self.invalidations = self.events = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "deltas_applied": self.deltas_applied,
+            "full_recomputes": self.full_recomputes,
+            "invalidations": self.invalidations,
+            "events": self.events,
+        }
 
 
 def read_attribute(
@@ -124,11 +166,18 @@ def attribute_reader(
 
 
 class ExtentEvaluator:
-    """Computes global extents, cached per (schema, pool) generation."""
+    """Computes global extents, cached per (schema, pool) generation.
+
+    This is the *generation-wipe* evaluator: any write to the pool bumps its
+    generation and the next read discards the whole cache.  It is retained
+    as the from-scratch oracle (equivalence tests, benchmarks baselines);
+    production paths use :class:`IncrementalExtentEvaluator`.
+    """
 
     def __init__(self, schema: GlobalSchema, pool: InstancePool) -> None:
         self.schema = schema
         self.pool = pool
+        self.stats = ExtentStats()
         self._cache: Dict[str, FrozenSet[Oid]] = {}
         self._cache_key: Tuple[int, int] = (-1, -1)
 
@@ -147,7 +196,10 @@ class ExtentEvaluator:
             self._cache_key = key
         cached = self._cache.get(class_name)
         if cached is not None:
+            self.stats.hits += 1
             return cached
+        self.stats.misses += 1
+        self.stats.full_recomputes += 1
         result = self._evaluate(class_name, frozenset())
         self._cache[class_name] = result
         return result
@@ -194,6 +246,331 @@ class ExtentEvaluator:
 
     def is_member(self, oid: Oid, class_name: str) -> bool:
         return oid in self.extent(class_name)
+
+
+#: Sentinel candidate meaning "this class's delta is unknown — drop its
+#: cache entry (and its dependents') instead of rechecking candidates".
+_INVALIDATE = object()
+
+
+class _DerivationDeps:
+    """Dependency index over one schema generation's derivations.
+
+    Answers the two questions delta propagation asks:
+
+    * which classes sit (transitively) *above* a changed class in the
+      derivation DAG (``dependents`` + ``topo_order``), and
+    * which select classes can a write to attribute ``a`` affect
+      (``attr_deps``), split into classes safe for per-object recheck and
+      classes needing conservative invalidation (``complex_selects``,
+      ``wildcard_selects``).
+    """
+
+    def __init__(self, schema: GlobalSchema) -> None:
+        self.schema = schema
+        #: source class -> virtual classes directly derived from it
+        self.dependents: Dict[str, Tuple[str, ...]] = {}
+        #: every class, derivation sources strictly before their dependents
+        self.topo_order: Tuple[str, ...] = ()
+        #: attribute name -> select classes whose predicate reads it
+        self.attr_deps: Dict[str, Tuple[str, ...]] = {}
+        #: select classes whose predicate traverses object references
+        #: (dotted paths): a relevant write can flip *other* objects'
+        #: membership, so per-object recheck is unsound — invalidate.
+        self.complex_selects: FrozenSet[str] = frozenset()
+        #: select classes affected by *any* value event (derived attributes,
+        #: unresolvable reads, or predicates without an ``attributes`` hook)
+        self.wildcard_selects: FrozenSet[str] = frozenset()
+        self._build()
+
+    def _build(self) -> None:
+        schema = self.schema
+        dependents: Dict[str, List[str]] = {}
+        for cls in schema.virtual_classes():
+            for source in cls.derivation.sources:
+                dependents.setdefault(source, []).append(cls.name)
+        self.dependents = {
+            name: tuple(sorted(deps)) for name, deps in dependents.items()
+        }
+        # topological order over derivation edges (iterative DFS; derivation
+        # chains grow one class per evolution, easily past recursion limits)
+        order: List[str] = []
+        visited: Set[str] = set()
+        for root in schema.class_names():
+            if root in visited:
+                continue
+            stack: List[Tuple[str, bool]] = [(root, False)]
+            while stack:
+                name, expanded = stack.pop()
+                if expanded:
+                    order.append(name)
+                    continue
+                if name in visited:
+                    continue
+                visited.add(name)
+                stack.append((name, True))
+                cls = schema[name]
+                if isinstance(cls, VirtualClass):
+                    for source in cls.derivation.sources:
+                        if source not in visited:
+                            stack.append((source, False))
+        self.topo_order = tuple(order)
+
+        attr_deps: Dict[str, Set[str]] = {}
+        complex_selects: Set[str] = set()
+        wildcard: Set[str] = set()
+        for cls in schema.virtual_classes():
+            der = cls.derivation
+            if der.op != "select":
+                continue
+            attributes = getattr(der.predicate, "attributes", None)
+            if attributes is None:
+                wildcard.add(cls.name)
+                complex_selects.add(cls.name)
+                continue
+            try:
+                paths = attributes()
+            except NotImplementedError:
+                wildcard.add(cls.name)
+                complex_selects.add(cls.name)
+                continue
+            try:
+                type_map = schema.type_of(der.source)
+            except Exception:
+                type_map = None
+            for path in paths:
+                segments = path.split(".")
+                if len(segments) > 1:
+                    complex_selects.add(cls.name)
+                for segment in segments:
+                    attr_deps.setdefault(segment, set()).add(cls.name)
+                # a derived attribute's compute() reads arbitrary other
+                # attributes we cannot enumerate -> wildcard
+                head = segments[0]
+                entry = type_map.get(head) if type_map is not None else None
+                if entry is None or not isinstance(entry, ResolvedProperty):
+                    wildcard.add(cls.name)
+                    complex_selects.add(cls.name)
+                elif (
+                    entry.storage_class is None
+                    and getattr(entry.prop, "compute", None) is not None
+                ):
+                    wildcard.add(cls.name)
+                    complex_selects.add(cls.name)
+        self.attr_deps = {
+            name: tuple(sorted(classes)) for name, classes in attr_deps.items()
+        }
+        self.complex_selects = frozenset(complex_selects)
+        self.wildcard_selects = frozenset(wildcard)
+
+
+class IncrementalExtentEvaluator(ExtentEvaluator):
+    """Maintains cached extents from pool deltas instead of wiping them.
+
+    The evaluator subscribes to the pool's typed deltas and, per event,
+    computes the set of *candidate* objects whose membership may have
+    changed in each affected class, walking the derivation DAG in
+    topological order (sources before dependents).  Each affected cached
+    class rechecks only its candidates against post-state semantics — the
+    standard incremental rules for select/union/difference/intersect fall
+    out of the recheck because source extents are maintained first.
+
+    Candidate sets may over-approximate the true delta (rechecking a
+    non-changing candidate is a no-op), which keeps every rule uniform and
+    exact.  Where even candidates cannot be bounded — dotted-path or
+    derived-attribute predicates, predicates that raise — the class and its
+    derivation cone are invalidated instead (conservative but targeted:
+    unrelated classes keep their caches).
+
+    Schema changes (generation bump) wipe the cache and rebuild the
+    dependency index; they are rare next to data operations.
+    """
+
+    def __init__(self, schema: GlobalSchema, pool: InstancePool) -> None:
+        super().__init__(schema, pool)
+        self._deps: Optional[_DerivationDeps] = None
+        self._deps_generation = -1
+        pool.add_delta_listener(self._on_delta)
+
+    # the cache key tracks only the schema; pool changes arrive as deltas
+    def _current_key(self) -> Tuple[int, int]:
+        return (self.schema.generation, -1)
+
+    def _base_extent(self, cls: BaseClass) -> FrozenSet[Oid]:
+        """Union of direct-member buckets via the memoized ancestor index
+        (a containment check per bucket instead of an is-a BFS per pair)."""
+        schema = self.schema
+        result: Set[Oid] = set()
+        for member_class, oids in self.pool.direct_membership_items():
+            if member_class not in schema:
+                continue
+            if cls.name in schema.ancestors_or_self(member_class):
+                result |= oids
+        return frozenset(result)
+
+    # ------------------------------------------------------------------
+    # delta intake
+    # ------------------------------------------------------------------
+
+    def _dependency_index(self) -> _DerivationDeps:
+        if self._deps is None or self._deps_generation != self.schema.generation:
+            self._deps = _DerivationDeps(self.schema)
+            self._deps_generation = self.schema.generation
+        return self._deps
+
+    def _on_delta(self, delta: PoolDelta) -> None:
+        self.stats.events += 1
+        key = self._current_key()
+        if key != self._cache_key:
+            # the schema moved since the cache was filled; everything is
+            # stale regardless of this delta
+            self._cache.clear()
+            self._cache_key = key
+            return
+        if not self._cache:
+            return
+        kind = delta.kind
+        if kind == "reset":
+            self.stats.invalidations += len(self._cache)
+            self._cache.clear()
+            return
+        if kind == "destroy":
+            self._on_destroy(delta.oid)
+            return
+        if kind in ("add_membership", "remove_membership"):
+            seeds = self._membership_seeds(delta.oid, delta.class_name)
+        else:  # set_value / remove_value
+            seeds = self._value_seeds(delta.oid, delta.attr)
+        if seeds:
+            self._propagate(seeds)
+
+    def _membership_seeds(self, oid: Oid, member_class: str) -> Dict[str, object]:
+        """A membership change in ``member_class`` can move ``oid`` in or
+        out of exactly the base classes at-or-above it; everything else is
+        reached through the derivation cone during propagation."""
+        if member_class not in self.schema:
+            return {}
+        seeds: Dict[str, object] = {}
+        for base in self.schema.ancestors_or_self(member_class):
+            if self.schema[base].is_base:
+                seeds[base] = {oid}
+        return seeds
+
+    def _value_seeds(self, oid: Oid, attr: str) -> Dict[str, object]:
+        """A value write can only change select classes whose predicate
+        reads ``attr`` — for simple predicates only the written object's
+        membership, for complex ones an unbounded set (invalidate)."""
+        deps = self._dependency_index()
+        seeds: Dict[str, object] = {}
+        for name in deps.wildcard_selects:
+            seeds[name] = _INVALIDATE
+        for name in deps.attr_deps.get(attr, ()):
+            if name in deps.complex_selects:
+                seeds[name] = _INVALIDATE
+            elif name not in seeds:
+                seeds[name] = {oid}
+        return seeds
+
+    def _on_destroy(self, oid: Oid) -> None:
+        """A destroyed object leaves every extent; that removal *is* the
+        exact delta for every cached class.  Complex predicates may now see
+        dangling references, so their cones are invalidated and re-raise
+        (or recompute) on the next read, matching from-scratch semantics."""
+        for name, extent in list(self._cache.items()):
+            if oid in extent:
+                self._cache[name] = extent - {oid}
+                self.stats.deltas_applied += 1
+        deps = self._dependency_index()
+        seeds: Dict[str, object] = {
+            name: _INVALIDATE for name in deps.complex_selects
+        }
+        if seeds:
+            self._propagate(seeds)
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self, seeds: Dict[str, object]) -> None:
+        """Walk the derivation DAG once, sources before dependents, merging
+        candidate sets upward and rechecking them against cached classes."""
+        deps = self._dependency_index()
+        pending: Dict[str, object] = dict(seeds)
+        for name in deps.topo_order:
+            cand = pending.get(name)
+            if cand is None:
+                continue
+            if cand is not _INVALIDATE:
+                cached = self._cache.get(name)
+                if cached is not None:
+                    try:
+                        self._recheck(name, cand, cached)
+                    except Exception:
+                        # a predicate that cannot be evaluated right now
+                        # (e.g. mid-rollback): fall back to invalidation;
+                        # the next read recomputes (and surfaces the error
+                        # exactly when a from-scratch evaluator would)
+                        self._cache.pop(name, None)
+                        self.stats.invalidations += 1
+                        cand = _INVALIDATE
+            elif self._cache.pop(name, None) is not None:
+                self.stats.invalidations += 1
+            for dependent in deps.dependents.get(name, ()):
+                existing = pending.get(dependent)
+                if cand is _INVALIDATE or existing is _INVALIDATE:
+                    pending[dependent] = _INVALIDATE
+                elif existing is None:
+                    pending[dependent] = set(cand)
+                else:
+                    existing |= cand
+
+    def _recheck(
+        self, name: str, candidates: Set[Oid], cached: FrozenSet[Oid]
+    ) -> None:
+        """Apply the exact membership delta for ``candidates`` to one
+        cached extent; non-candidates are untouched by construction."""
+        added: Set[Oid] = set()
+        removed: Set[Oid] = set()
+        for oid in candidates:
+            inside = self._contains(name, oid)
+            if inside and oid not in cached:
+                added.add(oid)
+            elif not inside and oid in cached:
+                removed.add(oid)
+        self.stats.deltas_applied += 1
+        if added or removed:
+            self._cache[name] = (cached - removed) | added
+
+    def _contains(self, name: str, oid: Oid) -> bool:
+        """Post-state membership of one object in one class, leaning on the
+        already-maintained extents of the class's sources."""
+        cls = self.schema[name]
+        if isinstance(cls, BaseClass):
+            if not self.pool.exists(oid):
+                return False
+            schema = self.schema
+            for direct in self.pool.get(oid).direct_classes:
+                if direct in schema and name in schema.ancestors_or_self(direct):
+                    return True
+            return False
+        assert isinstance(cls, VirtualClass)
+        der = cls.derivation
+        if der.op in EXTENT_PRESERVING_OPS:
+            return oid in self.extent(der.source)
+        if der.op == "select":
+            if oid not in self.extent(der.source):
+                return False
+            reader = attribute_reader(self.schema, self.pool, der.source, oid)
+            return bool(der.predicate.matches(reader))
+        first = self.extent(der.sources[0])
+        second = self.extent(der.sources[1])
+        if der.op == "union":
+            return oid in first or oid in second
+        if der.op == "difference":
+            return oid in first and oid not in second
+        if der.op == "intersect":
+            return oid in first and oid in second
+        raise PredicateError(f"unhandled derivation op {der.op!r}")  # pragma: no cover
 
 
 class ExtentRelations:

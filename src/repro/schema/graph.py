@@ -49,6 +49,12 @@ class GlobalSchema:
         self._generation = 0
         self._type_cache: Dict[str, TypeMap] = {}
         self._type_cache_generation = -1
+        #: memoized reachability closures keyed by (kind, class); kinds are
+        #: "anc" (strict ancestors), "desc" (strict descendants) and "anc+"
+        #: (ancestors-or-self, the inverted member-class index extent
+        #: evaluation unions over)
+        self._closure_cache: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        self._closure_generation = -1
         root = root_class()
         self._classes[root.name] = root
         self._supers[root.name] = set()
@@ -229,31 +235,64 @@ class GlobalSchema:
 
     # -- reachability --------------------------------------------------------------
 
-    def ancestors(self, name: str) -> FrozenSet[str]:
-        """All strict ancestors of ``name`` (superclasses, transitively)."""
-        self[name]
+    def _closure(self, kind: str, name: str, links: Dict[str, Set[str]]) -> FrozenSet[str]:
+        """Transitive closure over ``links``, memoized per generation.
+
+        Cached sub-closures are spliced in instead of re-walked, so a family
+        of queries over one DAG costs one traversal total, not one per class.
+        """
+        if self._closure_generation != self._generation:
+            self._closure_cache.clear()
+            self._closure_generation = self._generation
+        key = (kind, name)
+        cached = self._closure_cache.get(key)
+        if cached is not None:
+            return cached
         seen: Set[str] = set()
-        frontier = list(self._supers[name])
+        frontier = list(links[name])
         while frontier:
             current = frontier.pop()
             if current in seen:
                 continue
+            sub = self._closure_cache.get((kind, current))
+            if sub is not None:
+                seen.add(current)
+                seen |= sub
+                continue
             seen.add(current)
-            frontier.extend(self._supers[current])
-        return frozenset(seen)
+            frontier.extend(links[current])
+        result = frozenset(seen)
+        self._closure_cache[key] = result
+        return result
+
+    def ancestors(self, name: str) -> FrozenSet[str]:
+        """All strict ancestors of ``name`` (superclasses, transitively)."""
+        self[name]
+        return self._closure("anc", name, self._supers)
+
+    def ancestors_or_self(self, name: str) -> FrozenSet[str]:
+        """``{name} | ancestors(name)`` as one memoized frozenset.
+
+        This is the inverted member-class -> base-ancestors index: a direct
+        membership in ``name`` contributes to exactly the base extents in
+        this set, so base-extent evaluation and incremental membership
+        deltas are containment checks instead of per-pair is-a BFS walks.
+        """
+        if self._closure_generation != self._generation:
+            self._closure_cache.clear()
+            self._closure_generation = self._generation
+        key = ("anc+", name)
+        cached = self._closure_cache.get(key)
+        if cached is not None:
+            return cached
+        result = frozenset({name}) | self.ancestors(name)
+        self._closure_cache[key] = result
+        return result
 
     def descendants(self, name: str) -> FrozenSet[str]:
         """All strict descendants of ``name`` (subclasses, transitively)."""
         self[name]
-        seen: Set[str] = set()
-        frontier = list(self._subs[name])
-        while frontier:
-            current = frontier.pop()
-            if current in seen:
-                continue
-            seen.add(current)
-            frontier.extend(self._subs[current])
-        return frozenset(seen)
+        return self._closure("desc", name, self._subs)
 
     def is_ancestor(self, sup: str, sub: str) -> bool:
         """True when ``sup`` is a strict ancestor of ``sub``."""

@@ -1,0 +1,145 @@
+"""A mixed read/write workload over select-heavy schemas.
+
+The scenario the incremental extent engine exists for: many coexisting view
+schemas hang select/union/difference classes off a shared object base, so
+*every* extent read competes with a steady stream of attribute writes.  The
+generation-wipe evaluator recomputes all consulted extents after each write;
+the incremental engine applies a per-object delta (or nothing at all, when
+the written attribute feeds no predicate) and keeps serving cached extents.
+
+Used by ``benchmarks/bench_transparency_overhead.py`` (full config, emits
+``BENCH_extents.json``) and by the tier-1 ``bench_smoke`` regression test
+(tiny config).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.algebra.expressions import Compare
+from repro.core.database import TseDatabase
+from repro.schema.classes import Derivation
+from repro.schema.extents import ExtentEvaluator
+from repro.schema.properties import Attribute
+from repro.storage.oid import Oid
+
+#: extents the read side of the workload consults each round
+WORKLOAD_CLASSES = (
+    "Person",
+    "Student",
+    "Adults",
+    "Honors",
+    "StudentOrStaff",
+    "NonStudentAdults",
+)
+
+
+def build_select_workload(n_objects: int) -> Tuple[TseDatabase, List[Oid]]:
+    """A university-flavoured base schema with a cone of derived classes.
+
+    ``Adults``/``Honors`` are selects on ``age``/``gpa``; the set-operator
+    classes stack a second derivation layer on top so deltas have a DAG to
+    propagate through.
+    """
+    from repro.workloads.university import build_core_schema
+
+    db = TseDatabase()
+    build_core_schema(db)
+    db.schema.define_local_property("Student", Attribute("gpa", domain="int"))
+    db.define_virtual_class(
+        "Adults", Derivation("select", ("Person",), predicate=Compare("age", ">=", 21))
+    )
+    db.define_virtual_class(
+        "Honors", Derivation("select", ("Student",), predicate=Compare("gpa", ">=", 35))
+    )
+    db.define_virtual_class(
+        "StudentOrStaff", Derivation("union", ("Student", "Adults"))
+    )
+    db.define_virtual_class(
+        "NonStudentAdults", Derivation("difference", ("Adults", "Student"))
+    )
+    oids: List[Oid] = []
+    for index in range(n_objects):
+        classes = ("Person", "Student") if index % 2 else ("Person",)
+        obj = db.pool.create_object(classes)
+        db.pool.set_value(obj.oid, "Person", "age", 15 + index % 30)
+        if "Student" in classes:
+            db.pool.set_value(obj.oid, "Student", "gpa", index % 45)
+        oids.append(obj.oid)
+    return db, oids
+
+
+def run_mixed_workload(
+    db: TseDatabase,
+    evaluator,
+    oids: List[Oid],
+    rounds: int,
+    predicate_write_every: int = 10,
+) -> int:
+    """Interleave attribute writes with extent reads; returns ops executed.
+
+    Most writes touch ``name``/``address`` (no predicate reads them); every
+    ``predicate_write_every``-th round also writes ``age`` and ``gpa``,
+    which feed the select cone.
+    """
+    ops = 0
+    n = len(oids)
+    for round_no in range(rounds):
+        oid = oids[round_no % n]
+        db.pool.set_value(oid, "Person", "name", f"n{round_no}")
+        ops += 1
+        if round_no % predicate_write_every == 0:
+            db.pool.set_value(oid, "Person", "age", 15 + round_no % 30)
+            db.pool.set_value(oid, "Student", "gpa", round_no % 45)
+            ops += 2
+        for class_name in WORKLOAD_CLASSES:
+            evaluator.extent(class_name)
+            ops += 1
+    return ops
+
+
+def measure_mixed_workload(
+    n_objects: int, rounds: int
+) -> Dict[str, Dict[str, object]]:
+    """Run the workload once per evaluator kind and report ops/sec + stats.
+
+    ``baseline`` is the seed generation-wipe :class:`ExtentEvaluator`;
+    ``incremental`` is the database's live engine.  Both run against the
+    same database (sequentially) so per-run state is comparable.
+    """
+    results: Dict[str, Dict[str, object]] = {}
+    db, oids = build_select_workload(n_objects)
+
+    baseline = ExtentEvaluator(db.schema, db.pool)
+    db.evaluator.invalidate()  # keep the live engine cold during the baseline run
+    start = time.perf_counter()
+    ops = run_mixed_workload(db, baseline, oids, rounds)
+    elapsed = time.perf_counter() - start
+    results["baseline"] = {
+        "ops": ops,
+        "seconds": round(elapsed, 6),
+        "ops_per_sec": round(ops / elapsed, 1) if elapsed else float("inf"),
+        **baseline.stats.as_dict(),
+    }
+
+    incremental = db.evaluator
+    incremental.invalidate()
+    incremental.stats.reset()
+    start = time.perf_counter()
+    ops = run_mixed_workload(db, incremental, oids, rounds)
+    elapsed = time.perf_counter() - start
+    results["incremental"] = {
+        "ops": ops,
+        "seconds": round(elapsed, 6),
+        "ops_per_sec": round(ops / elapsed, 1) if elapsed else float("inf"),
+        **incremental.stats.as_dict(),
+    }
+    results["speedup"] = {
+        "ops_per_sec_ratio": round(
+            results["incremental"]["ops_per_sec"]
+            / max(results["baseline"]["ops_per_sec"], 1e-9),
+            2,
+        )
+    }
+    return results

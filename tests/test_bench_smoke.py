@@ -1,0 +1,31 @@
+"""Tier-1 smoke run of the extent-maintenance benchmark workload.
+
+A tiny configuration of the mixed read/write workload from
+``benchmarks/bench_transparency_overhead.py`` — enough to catch the
+incremental engine regressing to full recomputes, small enough to run in
+every tier-1 pass.  Thresholds are deliberately looser than the full
+benchmark's (CI machines are noisy); the full run asserts the real >=5x.
+"""
+
+import pytest
+
+from repro.workloads.extent_maintenance import WORKLOAD_CLASSES, measure_mixed_workload
+
+
+@pytest.mark.bench_smoke
+def test_mixed_workload_smoke():
+    results = measure_mixed_workload(n_objects=30, rounds=60)
+
+    baseline = results["baseline"]
+    incremental = results["incremental"]
+    assert baseline["ops"] == incremental["ops"]
+    assert incremental["ops"] > 60 * len(WORKLOAD_CLASSES)
+
+    # the incremental engine must actually be incremental: almost all reads
+    # served from cache, full recomputes an order of magnitude rarer
+    assert incremental["hit_ratio"] > 0.9, results
+    assert incremental["full_recomputes"] < baseline["full_recomputes"] / 10, results
+    assert incremental["deltas_applied"] > 0, results
+
+    # lenient wall-clock bound; the full benchmark asserts >=5x
+    assert results["speedup"]["ops_per_sec_ratio"] >= 2, results

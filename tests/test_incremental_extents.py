@@ -1,0 +1,310 @@
+"""Equivalence fuzzing of the incremental extent engine.
+
+The engine's contract is exact: after *any* interleaving of data operations
+(create/destroy/set/remove-value/add/remove-membership), pool restores and
+schema changes, every class's incrementally-maintained extent equals what a
+from-scratch :class:`ExtentEvaluator` computes — including *raising the same
+error kind* for predicates over dangling references or unknown attributes.
+Reads run through the incremental evaluator after every step, so its cache
+is always warm when the next mutation's delta arrives (the hard case).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import Compare, IsSet
+from repro.objectmodel.slicing import InstancePool
+from repro.schema.classes import Derivation
+from repro.schema.extents import ExtentEvaluator, IncrementalExtentEvaluator
+from repro.schema.graph import GlobalSchema
+from repro.schema.properties import Attribute
+from repro.storage.store import ObjectStore
+from repro.errors import CyclicSchema, DuplicateClass, NotAMember
+
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: writable stored attributes per storage class
+WRITABLE = {
+    "Person": ("name", "age", "advisor"),
+    "Student": ("gpa",),
+    "Employee": ("salary",),
+}
+
+
+def build_stack():
+    """Base schema + a derivation cone covering every operator, including a
+    dotted-path select (``advisor.age``) that forces conservative paths."""
+    schema = GlobalSchema()
+    pool = InstancePool(ObjectStore())
+    schema.add_base_class(
+        "Person",
+        (
+            Attribute("name", domain="str"),
+            Attribute("age", domain="int"),
+            Attribute("advisor", domain="Person"),
+        ),
+    )
+    schema.add_base_class(
+        "Student", (Attribute("gpa", domain="int"),), inherits_from=("Person",)
+    )
+    schema.add_base_class(
+        "Employee", (Attribute("salary", domain="int"),), inherits_from=("Person",)
+    )
+    schema.add_virtual_class_raw(
+        "Adults", Derivation("select", ("Person",), predicate=Compare("age", ">=", 18))
+    )
+    schema.add_virtual_class_raw(
+        "Honors", Derivation("select", ("Student",), predicate=Compare("gpa", ">=", 35))
+    )
+    schema.add_virtual_class_raw(
+        "AdultHonors",
+        Derivation("select", ("Honors",), predicate=Compare("age", ">=", 18)),
+    )
+    schema.add_virtual_class_raw(
+        "StudentOrEmployee", Derivation("union", ("Student", "Employee"))
+    )
+    schema.add_virtual_class_raw(
+        "NonStudent", Derivation("difference", ("Person", "Student"))
+    )
+    schema.add_virtual_class_raw(
+        "WorkingStudent", Derivation("intersect", ("Student", "Employee"))
+    )
+    schema.add_virtual_class_raw(
+        "Anonymous", Derivation("hide", ("Person",), hidden=("name",))
+    )
+    schema.add_virtual_class_raw(
+        "Nicknamed",
+        Derivation(
+            "refine", ("Person",), new_properties=(Attribute("nick", domain="str"),)
+        ),
+    )
+    schema.add_virtual_class_raw(
+        "SeniorAdvised",
+        Derivation(
+            "select", ("Student",), predicate=Compare("advisor.age", ">", 40)
+        ),
+    )
+    return schema, pool
+
+
+def snapshot(evaluator, names):
+    """Extents (or the raised error kind) for every class."""
+    result = {}
+    for name in names:
+        try:
+            result[name] = ("ok", evaluator.extent(name))
+        except Exception as exc:
+            result[name] = ("error", type(exc).__name__)
+    return result
+
+
+def apply_random_op(rng, schema, pool, live):
+    """Mutate the stack with one random operation; keeps ``live`` in sync."""
+    roll = rng.random()
+    if roll < 0.20 or not live:  # create
+        classes = rng.sample(
+            ["Person", "Student", "Employee"], rng.randint(1, 3)
+        )
+        obj = pool.create_object(classes)
+        live.append(obj.oid)
+        return "create"
+    if roll < 0.55:  # value write (the hot case)
+        storage = rng.choice(list(WRITABLE))
+        attr = rng.choice(WRITABLE[storage])
+        oid = rng.choice(live)
+        if attr == "advisor":
+            value = rng.choice(live + [None])
+        else:
+            value = rng.randint(0, 60)
+        pool.set_value(oid, storage, attr, value)
+        return "set_value"
+    if roll < 0.62:  # value erase
+        storage = rng.choice(list(WRITABLE))
+        pool.remove_value(rng.choice(live), storage, rng.choice(WRITABLE[storage]))
+        return "remove_value"
+    if roll < 0.75:  # membership add
+        pool.add_membership(
+            rng.choice(live), rng.choice(["Person", "Student", "Employee"])
+        )
+        return "add_membership"
+    if roll < 0.85:  # membership remove
+        oid = rng.choice(live)
+        direct = sorted(pool.get(oid).direct_classes)
+        if direct:
+            try:
+                pool.remove_membership(oid, rng.choice(direct))
+            except NotAMember:  # pragma: no cover - guarded by ``direct``
+                pass
+        return "remove_membership"
+    if roll < 0.93:  # destroy
+        oid = live.pop(rng.randrange(len(live)))
+        pool.destroy_object(oid)
+        return "destroy"
+    # schema change: new class, new derivation, or a new is-a edge
+    kind = rng.randint(0, 2)
+    if kind == 0:
+        try:
+            schema.add_base_class(
+                f"B{rng.randint(0, 10**6)}",
+                (Attribute(f"x{rng.randint(0, 9)}", domain="int"),),
+                inherits_from=(rng.choice(["Person", "Student", "Employee"]),),
+            )
+        except DuplicateClass:  # pragma: no cover - names are near-unique
+            pass
+    elif kind == 1:
+        source = rng.choice(["Person", "Student", "Employee", "Adults"])
+        attr = rng.choice(["age", "gpa", "salary", "name"])
+        predicate = (
+            Compare(attr, ">=", rng.randint(0, 50))
+            if rng.random() < 0.8
+            else IsSet(attr)
+        )
+        try:
+            schema.add_virtual_class_raw(
+                f"V{rng.randint(0, 10**6)}",
+                Derivation("select", (source,), predicate=predicate),
+            )
+        except DuplicateClass:  # pragma: no cover
+            pass
+    else:
+        sup, sub = rng.sample(["Person", "Student", "Employee"], 2)
+        try:
+            schema.add_edge(sup, sub)
+        except CyclicSchema:
+            pass
+    return "schema_change"
+
+
+class TestIncrementalEquivalence:
+    @settings(**COMMON)
+    @given(seed=st.integers(0, 10**6), n_ops=st.integers(5, 40))
+    def test_incremental_matches_from_scratch_on_every_step(self, seed, n_ops):
+        rng = random.Random(seed)
+        schema, pool = build_stack()
+        incremental = IncrementalExtentEvaluator(schema, pool)
+        live = []
+        for step in range(n_ops):
+            op = apply_random_op(rng, schema, pool, live)
+            names = schema.class_names()
+            fresh = ExtentEvaluator(schema, pool)
+            assert snapshot(incremental, names) == snapshot(fresh, names), (
+                seed,
+                step,
+                op,
+            )
+
+    @settings(**COMMON)
+    @given(seed=st.integers(0, 10**6))
+    def test_restore_resets_the_incremental_cache(self, seed):
+        rng = random.Random(seed)
+        schema, pool = build_stack()
+        incremental = IncrementalExtentEvaluator(schema, pool)
+        live = []
+        for _ in range(6):
+            apply_random_op(rng, schema, pool, live)
+        names = schema.class_names()
+        snapshot(incremental, names)  # warm the cache
+        memento = pool.memento()
+        for _ in range(6):
+            apply_random_op(rng, schema, pool, live)
+        snapshot(incremental, names)
+        pool.restore(memento)
+        fresh = ExtentEvaluator(schema, pool)
+        assert snapshot(incremental, names) == snapshot(fresh, names)
+
+
+class TestDeltaBehaviour:
+    """White-box checks that the engine really is incremental."""
+
+    def test_unrelated_write_keeps_every_cache_entry(self):
+        schema, pool = build_stack()
+        incremental = IncrementalExtentEvaluator(schema, pool)
+        obj = pool.create_object(["Student"])
+        pool.set_value(obj.oid, "Person", "age", 30)
+        names = [n for n in schema.class_names() if n != "SeniorAdvised"]
+        for name in names:
+            incremental.extent(name)
+        recomputes = incremental.stats.full_recomputes
+        pool.set_value(obj.oid, "Person", "name", "ada")  # feeds no predicate
+        for name in names:
+            incremental.extent(name)
+        assert incremental.stats.full_recomputes == recomputes
+        assert incremental.stats.invalidations == 0
+
+    def test_predicate_write_flips_select_membership_without_recompute(self):
+        schema, pool = build_stack()
+        incremental = IncrementalExtentEvaluator(schema, pool)
+        obj = pool.create_object(["Student"])
+        pool.set_value(obj.oid, "Person", "age", 30)
+        pool.set_value(obj.oid, "Student", "gpa", 10)
+        for name in schema.class_names():  # warm every extent
+            if name != "SeniorAdvised":
+                incremental.extent(name)
+        assert obj.oid not in incremental.extent("Honors")
+        assert obj.oid not in incremental.extent("AdultHonors")
+        recomputes = incremental.stats.full_recomputes
+        pool.set_value(obj.oid, "Student", "gpa", 40)
+        assert obj.oid in incremental.extent("Honors")
+        assert obj.oid in incremental.extent("AdultHonors")
+        assert incremental.stats.full_recomputes == recomputes
+        assert incremental.stats.deltas_applied > 0
+
+    def test_membership_delta_reaches_set_operators(self):
+        schema, pool = build_stack()
+        incremental = IncrementalExtentEvaluator(schema, pool)
+        obj = pool.create_object(["Person"])
+        for name in schema.class_names():  # warm every extent
+            if name != "SeniorAdvised":
+                incremental.extent(name)
+        assert obj.oid in incremental.extent("NonStudent")
+        assert obj.oid not in incremental.extent("StudentOrEmployee")
+        recomputes = incremental.stats.full_recomputes
+        pool.add_membership(obj.oid, "Student")
+        assert obj.oid not in incremental.extent("NonStudent")
+        assert obj.oid in incremental.extent("StudentOrEmployee")
+        assert incremental.stats.full_recomputes == recomputes
+
+    def test_dotted_path_select_is_invalidated_not_corrupted(self):
+        schema, pool = build_stack()
+        incremental = IncrementalExtentEvaluator(schema, pool)
+        advisor = pool.create_object(["Person"])
+        student = pool.create_object(["Student"])
+        pool.set_value(advisor.oid, "Person", "age", 30)
+        pool.set_value(student.oid, "Person", "advisor", advisor.oid)
+        assert student.oid not in incremental.extent("SeniorAdvised")
+        # writing the *advisor's* age must flip the *student's* membership
+        pool.set_value(advisor.oid, "Person", "age", 50)
+        assert student.oid in incremental.extent("SeniorAdvised")
+        assert incremental.stats.invalidations > 0
+
+
+class TestPoolHousekeeping:
+    """Satellite fixes: bucket pruning and container-friendly cast."""
+
+    def test_remove_membership_prunes_empty_buckets(self):
+        schema, pool = build_stack()
+        obj = pool.create_object(["Person", "Student"])
+        pool.remove_membership(obj.oid, "Student")
+        assert pool.classes_with_members() == frozenset({"Person"})
+        assert "Student" not in dict(pool.direct_membership_items())
+
+    def test_destroy_prunes_empty_buckets(self):
+        schema, pool = build_stack()
+        obj = pool.create_object(["Person"])
+        pool.destroy_object(obj.oid)
+        assert pool.classes_with_members() == frozenset()
+
+    def test_cast_accepts_any_container_without_copying(self):
+        schema, pool = build_stack()
+        obj = pool.create_object(["Person"])
+        pool.cast(obj.oid, "Person", frozenset({"Person", "Student"}))
+        assert pool.get(obj.oid).current_class == "Person"
+        with pytest.raises(Exception):
+            pool.cast(obj.oid, "Grad", ("Person",))
