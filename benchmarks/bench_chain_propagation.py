@@ -98,6 +98,7 @@ def test_chain_propagation(benchmark):
             ],
             "extent_stats": extent_stats,
         },
+        db=db,
     )
 
     benchmark.pedantic(lambda: build_chain(8), rounds=3, iterations=1)

@@ -6,7 +6,7 @@ figure 11 multi-path case where commonSub-style keepers preserve instances
 still visible through other relationships.
 """
 
-from conftest import format_table, write_report
+from conftest import format_table, time_ms, write_bench_json, write_report
 
 from repro.core.database import TseDatabase
 from repro.schema.properties import Attribute
@@ -76,4 +76,13 @@ def test_fig10_delete_edge(benchmark):
         fresh_view.delete_edge("TeachingStaff", "TA")
         return fresh_view.version
 
+    write_bench_json(
+        "fig10_delete_edge",
+        {
+            "pipeline_ms_best_of_3": time_ms(pipeline),
+            "extent_before": before,
+            "extent_after": after,
+        },
+        db=db,
+    )
     assert benchmark(pipeline) == 2

@@ -6,7 +6,7 @@ empty extent (the figure 13 (d) pitfall), and membership-constraint
 enforcement on creation.
 """
 
-from conftest import format_table, write_report
+from conftest import format_table, time_ms, write_bench_json, write_report
 
 from repro.algebra.expressions import Compare
 from repro.errors import UpdateRejected
@@ -104,4 +104,12 @@ def test_fig12_add_class(benchmark):
         fresh_view.add_class("HonorParttimeStudent", connected_to="HonorStudent")
         return fresh_view["HonorParttimeStudent"].count()
 
+    write_bench_json(
+        "fig12_add_class",
+        {
+            "pipeline_ms_best_of_3": time_ms(pipeline),
+            "script": record.script.splitlines(),
+        },
+        db=db,
+    )
     assert benchmark(pipeline) == 0

@@ -5,7 +5,7 @@ edge becomes redundant and vanishes from the generated hierarchy, and M's
 type equals A's.
 """
 
-from conftest import format_table, write_report
+from conftest import format_table, time_ms, write_bench_json, write_report
 
 from repro.core.database import TseDatabase
 from repro.schema.properties import Attribute
@@ -58,4 +58,12 @@ def test_fig14_insert_class(benchmark):
         fresh_view.insert_class("M", between=("A", "B"))
         return len(fresh_view.edges())
 
+    write_bench_json(
+        "fig14_insert_class",
+        {
+            "pipeline_ms_best_of_3": time_ms(pipeline),
+            "members_through_M": len(b_members),
+        },
+        db=db,
+    )
     benchmark(pipeline)

@@ -5,7 +5,7 @@ inheritance of C's local properties, and hides C's local extent from its
 superclasses — all by composing primitive operators only.
 """
 
-from conftest import format_table, write_report
+from conftest import format_table, time_ms, write_bench_json, write_report
 
 from repro.core.database import TseDatabase
 from repro.schema.properties import Attribute
@@ -72,4 +72,12 @@ def test_fig15_delete_class_2(benchmark):
         fresh_view.delete_class_2("C")
         return len(fresh_view.class_names())
 
+    write_bench_json(
+        "fig15_delete_class2",
+        {
+            "pipeline_ms_best_of_3": time_ms(pipeline),
+            "primitive_steps": len(db.evolution_log()),
+        },
+        db=db,
+    )
     assert benchmark.pedantic(pipeline, rounds=3, iterations=1) == 4

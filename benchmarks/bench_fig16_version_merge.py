@@ -6,7 +6,7 @@ Student refinements under disambiguated names, and shares all instances —
 no copies, no conversion.
 """
 
-from conftest import format_table, write_report
+from conftest import format_table, time_ms, write_bench_json, write_report
 
 from repro.workloads.university import build_figure3_database
 
@@ -71,4 +71,12 @@ def test_fig16_version_merge(benchmark):
         handle = fresh_db.merge_views("VS1u", "VS2u", f"merged_{counter['n']}")
         return len(handle.class_names())
 
+    write_bench_json(
+        "fig16_version_merge",
+        {
+            "pipeline_ms_best_of_3": time_ms(pipeline),
+            "merged_classes": sorted(merged.class_names()),
+        },
+        db=db,
+    )
     benchmark(pipeline)

@@ -5,7 +5,7 @@ class as a *superclass* of Person (more general type, same extent), with the
 age attribute invisible through it.
 """
 
-from conftest import format_table, write_report
+from conftest import format_table, time_ms, write_bench_json, write_report
 
 from repro.core.database import TseDatabase
 from repro.errors import UnknownProperty
@@ -67,4 +67,12 @@ def test_fig4_hide_virtual_class(benchmark):
             Derivation(op="hide", sources=("Person",), hidden=("age",)),
         )
 
+    write_bench_json(
+        "fig4_hide",
+        {
+            "definevc_ms_best_of_3": time_ms(define_fresh),
+            "extent_size": len(db.extent("Person")),
+        },
+        db=db,
+    )
     assert benchmark(define_fresh) == "AgelessPerson"

@@ -5,7 +5,7 @@ schema — old data and other views keep it.  Also exercises the suppressed-
 attribute restoration path of section 6.2.2.
 """
 
-from conftest import format_table, write_report
+from conftest import format_table, time_ms, write_bench_json, write_report
 
 from repro.core.database import TseDatabase
 from repro.schema.properties import Attribute
@@ -81,4 +81,12 @@ def test_fig8_delete_attribute(benchmark):
         fresh_view.delete_attribute("major", from_="Student")
         return fresh_view.version
 
+    write_bench_json(
+        "fig8_delete_attribute",
+        {
+            "pipeline_ms_best_of_3": time_ms(pipeline),
+            "script": record.script.splitlines(),
+        },
+        db=db,
+    )
     assert benchmark(pipeline) == 2

@@ -5,7 +5,7 @@ Reproduces the figure's annotated extents — {o2 o3} growing to
 update routing of section 6.5.4.
 """
 
-from conftest import format_table, write_report
+from conftest import format_table, time_ms, write_bench_json, write_report
 
 from repro.workloads.university import build_figure9_database
 
@@ -63,4 +63,13 @@ def test_fig9_add_edge(benchmark):
         fresh_view.add_edge("SupportStaff", "TA")
         return fresh_view.version
 
+    write_bench_json(
+        "fig9_add_edge",
+        {
+            "pipeline_ms_best_of_3": time_ms(pipeline),
+            "extent_before": before,
+            "extent_after": after,
+        },
+        db=db,
+    )
     assert benchmark(pipeline) == 2

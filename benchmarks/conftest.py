@@ -11,6 +11,7 @@ Every bench regenerates one table or figure of the paper and
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 import pytest
@@ -38,18 +39,57 @@ def format_table(headers, rows) -> str:
     return "\n".join(lines)
 
 
-def write_bench_json(key: str, payload: dict) -> Path:
+def time_ms(fn, repeats: int = 3) -> float:
+    """Best-of-N wall-clock milliseconds for one call of ``fn``."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = (time.perf_counter() - start) * 1000
+        best = elapsed if best is None else min(best, elapsed)
+    return round(best, 3)
+
+
+def write_bench_json(key: str, payload: dict, db=None) -> Path:
     """Merge one benchmark's machine-readable numbers into the repo-root
-    ``BENCH_extents.json`` (keyed per benchmark so runs compose)."""
+    ``BENCH_extents.json`` (keyed per benchmark so runs compose).
+
+    Every entry carries a ``meta`` block: a monotonic timestamp pair (so
+    within-run ordering survives even if the wall clock jumps) and, when the
+    benchmark passes its database, the schema/object scale the numbers were
+    measured at — a row without its scale is not reproducible.
+    """
+    entry = dict(payload)
+    meta = {
+        "monotonic": round(time.monotonic(), 6),
+        "unix_time": round(time.time(), 3),
+    }
+    if db is not None:
+        stats = db.stats()
+        meta["classes_total"] = stats["classes_total"]
+        meta["classes_virtual"] = stats["classes_virtual"]
+        meta["objects"] = stats["objects"]
+        meta["views"] = stats["views"]
+        meta["view_versions"] = stats["view_versions"]
+    entry["meta"] = meta
     data = {}
     if BENCH_JSON.exists():
         try:
             data = json.loads(BENCH_JSON.read_text())
         except json.JSONDecodeError:
             data = {}
-    data[key] = payload
+    data[key] = entry
     BENCH_JSON.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
     return BENCH_JSON
+
+
+def trace_phases(db) -> dict:
+    """Per-phase aggregation of every span tree currently in the tracer's
+    ring buffer — the ``phases`` block benchmarks export next to wall-clock
+    numbers (time in translate vs classify vs extent maintenance)."""
+    from repro.obs import phase_breakdown
+
+    return phase_breakdown(db.obs.tracer.traces())
 
 
 @pytest.fixture(scope="session")

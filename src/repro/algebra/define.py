@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.classifier.classify import ClassificationResult, Classifier
+from repro.obs.tracing import Tracer
 from repro.schema.classes import Derivation
 from repro.schema.graph import GlobalSchema
 
@@ -58,9 +59,10 @@ class AlgebraProcessor:
     (figure 6); the TSE Manager feeds it translator output.
     """
 
-    def __init__(self, schema: GlobalSchema) -> None:
+    def __init__(self, schema: GlobalSchema, tracer: Optional[Tracer] = None) -> None:
         self.schema = schema
-        self.classifier = Classifier(schema)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.classifier = Classifier(schema, tracer=self.tracer)
 
     def execute(self, statement: DefineStatement, meta: Optional[dict] = None) -> DefineOutcome:
         """Run one statement: derive the class and classify it."""

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import CyclicSchema
+from repro.obs.tracing import Tracer
 from repro.schema.classes import ROOT_CLASS, Derivation, SchemaClass, VirtualClass
 from repro.schema.extents import ExtentRelations
 from repro.schema.graph import GlobalSchema
@@ -46,9 +47,10 @@ class ClassificationResult:
 class Classifier:
     """Positions derived virtual classes in a :class:`GlobalSchema`."""
 
-    def __init__(self, schema: GlobalSchema) -> None:
+    def __init__(self, schema: GlobalSchema, tracer: Optional[Tracer] = None) -> None:
         self.schema = schema
         self.relations = ExtentRelations(schema)
+        self.tracer = tracer if tracer is not None else Tracer()
 
     # -- duplicate detection ------------------------------------------------
 
@@ -133,6 +135,19 @@ class Classifier:
         Returns a :class:`ClassificationResult`; ``result.cls`` is the class
         to use from now on (the existing one when a duplicate was found).
         """
+        with self.tracer.span("classify", class_name=name, op=derivation.op) as span:
+            result = self._classify_new(name, derivation, meta)
+            span.set(created=result.created, effective=result.cls.name)
+            if result.duplicate_of is not None:
+                span.set(duplicate_of=result.duplicate_of)
+            return result
+
+    def _classify_new(
+        self,
+        name: str,
+        derivation: Derivation,
+        meta: Optional[dict] = None,
+    ) -> ClassificationResult:
         vc = self.schema.add_virtual_class_raw(name, derivation)
         if meta:
             vc.meta.update(meta)

@@ -12,7 +12,12 @@ updates, ``merge``) plus a handful of meta-commands:
     .classes              list classes of the current view
     .extent <class>       list the objects of a class
     .history              print the evolution log
-    .stats                database counters incl. extent-cache behaviour
+    .stats [reset]        database counters incl. extent-cache behaviour;
+                          `reset` zeroes every resettable counter
+    .metrics [--prom]     unified metrics registry as JSON (or Prometheus
+                          text format with --prom)
+    .trace on|off         enable/disable pipeline tracing
+    .trace show [n]       render the last n recorded span trees (default 5)
     .save <path>          persist the database
     .quit                 leave the shell
 
@@ -79,13 +84,53 @@ def _meta_command(
                 f"{record.plan.provenance}"
             )
     elif command == ".stats":
-        for key, value in db.stats().items():
-            if isinstance(value, dict):
-                emit(f"  {key}:")
-                for sub_key, sub_value in value.items():
-                    emit(f"    {sub_key}: {sub_value}")
-            else:
-                emit(f"  {key}: {value}")
+        if args and args[0] == "reset":
+            db.reset_stats()
+            emit("stats reset")
+        elif args:
+            emit("usage: .stats [reset]")
+        else:
+            for key, value in db.stats().items():
+                if isinstance(value, dict):
+                    emit(f"  {key}:")
+                    for sub_key, sub_value in value.items():
+                        emit(f"    {sub_key}: {sub_value}")
+                else:
+                    emit(f"  {key}: {value}")
+    elif command == ".metrics":
+        if args and args[0] == "--prom":
+            for line in db.obs.metrics.to_prometheus().rstrip("\n").split("\n"):
+                emit(line)
+        elif args:
+            emit("usage: .metrics [--prom]")
+        else:
+            import json as _json
+
+            emit(_json.dumps(db.stats(), indent=2, default=str))
+    elif command == ".trace":
+        if not args:
+            status = "on" if db.obs.tracer.enabled else "off"
+            emit(f"tracing is {status} ({len(db.obs.tracer.traces())} trace(s) buffered)")
+        elif args[0] == "on":
+            db.obs.tracer.enable()
+            emit("tracing enabled")
+        elif args[0] == "off":
+            db.obs.tracer.disable()
+            emit("tracing disabled")
+        elif args[0] == "show":
+            try:
+                limit = int(args[1]) if len(args) > 1 else 5
+            except ValueError:
+                emit("usage: .trace show [n]")
+                return True
+            traces = db.obs.tracer.traces(limit)
+            if not traces:
+                emit("no traces recorded (enable with .trace on)")
+            for root in traces:
+                for line in root.render_lines():
+                    emit("  " + line)
+        else:
+            emit("usage: .trace on|off|show [n]")
     elif command == ".save":
         if not args:
             emit("usage: .save <path>")

@@ -27,6 +27,7 @@ from repro.core.manager import TseManager
 from repro.core.merging import merge_views
 from repro.objectmodel.indexes import IndexManager
 from repro.objectmodel.slicing import InstancePool
+from repro.obs import Observability
 from repro.schema.classes import Derivation, ROOT_CLASS
 from repro.schema.extents import IncrementalExtentEvaluator
 from repro.schema.graph import GlobalSchema
@@ -46,18 +47,31 @@ class TseDatabase:
         cache_pages: int = 8,
         value_closure: ValueClosurePolicy = ValueClosurePolicy.REJECT,
     ) -> None:
+        #: observability bundle: tracer + metrics registry + event bus
+        self.obs = Observability()
+        tracer = self.obs.tracer
         self.store = ObjectStore(slots_per_page=slots_per_page, cache_pages=cache_pages)
-        self.transactions = TransactionManager(self.store)
+        self.transactions = TransactionManager(self.store, tracer=tracer)
         self.pool = InstancePool(self.store)
         self.indexes = IndexManager(self.pool)
         self.schema = GlobalSchema()
-        self.evaluator = IncrementalExtentEvaluator(self.schema, self.pool)
+        self.evaluator = IncrementalExtentEvaluator(
+            self.schema, self.pool, tracer=tracer
+        )
         self.engine = UpdateEngine(
             self.schema, self.pool, self.evaluator, value_closure=value_closure
         )
-        self.algebra = AlgebraProcessor(self.schema)
-        self.views = ViewManager(self.schema)
-        self.tsem = TseManager(self.schema, self.algebra, self.views)
+        self.algebra = AlgebraProcessor(self.schema, tracer=tracer)
+        self.views = ViewManager(self.schema, tracer=tracer)
+        self.tsem = TseManager(
+            self.schema,
+            self.algebra,
+            self.views,
+            tracer=tracer,
+            events=self.obs.events,
+            metrics=self.obs.metrics,
+        )
+        self._register_metrics()
 
     # ------------------------------------------------------------------
     # schema authoring (the initial global schema of section 2.1)
@@ -77,7 +91,16 @@ class TseDatabase:
     def define_virtual_class(self, name: str, derivation: Derivation) -> str:
         """Run one ``defineVC`` statement; returns the effective class name
         (an existing class when the classifier found a duplicate)."""
-        outcome = self.algebra.execute(DefineStatement(name=name, derivation=derivation))
+        with self.obs.tracer.span("define_vc", name=name, op=derivation.op):
+            outcome = self.algebra.execute(
+                DefineStatement(name=name, derivation=derivation)
+            )
+        self.obs.events.emit(
+            "definevc",
+            name=name,
+            effective=outcome.class_name,
+            created=outcome.created,
+        )
         return outcome.class_name
 
     # ------------------------------------------------------------------
@@ -219,12 +242,19 @@ class TseDatabase:
 
         @contextmanager
         def scope():
+            tracer = self.obs.tracer
             checkpoint = self._checkpoint()
             try:
                 yield self
             except BaseException:
-                self._restore(checkpoint)
+                with tracer.span("abort", scope="savepoint"):
+                    self._restore(checkpoint)
+                self.transactions.aborts += 1
                 raise
+            with tracer.span("commit", scope="savepoint"):
+                pass  # savepoint release: nothing to write, but the phase
+                # is real — it closes the all-or-nothing unit of work
+            self.transactions.commits += 1
 
         return scope()
 
@@ -307,21 +337,97 @@ class TseDatabase:
     # statistics
     # ------------------------------------------------------------------
 
-    def stats(self) -> Dict[str, object]:
-        """A one-stop bundle of observability counters."""
+    def _register_metrics(self) -> None:
+        """Absorb every component's counters into the unified registry.
+
+        Gauges observe live component state through callbacks (no
+        duplication); groups preserve the nested dict shape ``stats()``
+        has always exposed.  Registration order here *is* the key order of
+        :meth:`stats` — treat it as a compatibility surface.
+        """
+        metrics = self.obs.metrics
+        metrics.gauge(
+            "classes_total",
+            help="classes in the global schema",
+            callback=lambda: len(self.schema.class_names()),
+        )
+        metrics.gauge(
+            "classes_base",
+            help="base classes authored by users",
+            callback=lambda: len(self.schema.base_classes()),
+        )
+        metrics.gauge(
+            "classes_virtual",
+            help="virtual classes derived by evolution",
+            callback=lambda: len(self.schema.virtual_classes()),
+        )
+        metrics.gauge(
+            "objects",
+            help="live conceptual objects",
+            callback=lambda: self.pool.object_count,
+        )
+        metrics.gauge(
+            "oids_used",
+            help="OIDs consumed (conceptual + implementation)",
+            callback=lambda: self.pool.total_oids_used(),
+        )
+        metrics.gauge(
+            "managerial_bytes",
+            help="object-slicing managerial overhead (Table 1)",
+            callback=lambda: self.pool.total_managerial_bytes(),
+        )
+        metrics.gauge(
+            "avg_n_impl",
+            help="average implementation objects per conceptual object",
+            callback=lambda: self.pool.average_n_impl(),
+        )
+        metrics.gauge(
+            "views", help="views registered", callback=lambda: len(self.view_names())
+        )
+        metrics.gauge(
+            "view_versions",
+            help="view versions across all histories",
+            callback=lambda: self.views.history.total_versions(),
+        )
+        # late-bound lambdas, not bound methods: persistence.load_database
+        # swaps ``db.store`` (and may swap other components) after __init__
+        metrics.register_group("pages", lambda: self.store.stats.as_dict())
+        metrics.register_group("extents", lambda: self.evaluator.stats.as_dict())
+        metrics.register_group("transactions", lambda: self.transactions.stats_dict())
+        metrics.register_group("pipeline", self._pipeline_stats)
+        # pre-register pipeline counters so the snapshot shape is stable
+        # from the first read, not from the first schema change
+        metrics.counter(
+            "schema_changes_applied", help="schema-change pipelines completed"
+        )
+        metrics.counter("schema_changes_failed", help="schema-change pipelines failed")
+
+    def _pipeline_stats(self) -> Dict[str, object]:
         return {
-            "classes_total": len(self.schema.class_names()),
-            "classes_base": len(self.schema.base_classes()),
-            "classes_virtual": len(self.schema.virtual_classes()),
-            "objects": self.pool.object_count,
-            "oids_used": self.pool.total_oids_used(),
-            "managerial_bytes": self.pool.total_managerial_bytes(),
-            "avg_n_impl": self.pool.average_n_impl(),
-            "views": len(self.view_names()),
-            "view_versions": self.views.history.total_versions(),
-            "pages": self.store.stats.as_dict(),
-            "extents": self.evaluator.stats.as_dict(),
+            "events_emitted": self.obs.events.emitted,
+            "spans_recorded": self.obs.tracer.spans_recorded,
+            "tracing_enabled": self.obs.tracer.enabled,
         }
+
+    def stats(self) -> Dict[str, object]:
+        """A one-stop bundle of observability counters.
+
+        Delegates to the unified :class:`~repro.obs.metrics.MetricsRegistry`
+        (``db.obs.metrics``); the same numbers are exportable as Prometheus
+        text via ``db.obs.metrics.to_prometheus()`` or the shell's
+        ``.metrics --prom``.
+        """
+        return self.obs.metrics.snapshot()
+
+    def reset_stats(self) -> None:
+        """Zero every resettable counter (extent cache stats, page I/O,
+        transaction outcomes, registry counters/histograms, trace ring) so
+        benchmarks can measure phases in isolation."""
+        self.evaluator.stats.reset()
+        self.store.reset_stats()
+        self.transactions.reset_stats()
+        self.obs.metrics.reset()
+        self.obs.tracer.clear()
 
     def extent_stats(self):
         """Cache behaviour of the incremental extent engine

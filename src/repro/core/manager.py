@@ -24,6 +24,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import EvolutionError, TseError
 from repro.algebra.define import AlgebraProcessor, DefineOutcome
 from repro.core.translator import ChangePlan, TseTranslator
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.schema.classes import VirtualClass
 from repro.schema.graph import GlobalSchema
 from repro.schema.properties import Attribute, Method
@@ -66,11 +69,17 @@ class TseManager:
         schema: GlobalSchema,
         algebra: AlgebraProcessor,
         views: ViewManager,
+        tracer: Optional[Tracer] = None,
+        events: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.schema = schema
         self.algebra = algebra
         self.views = views
         self.translator = TseTranslator(schema)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.events = events if events is not None else EventBus()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.log: List[EvolutionRecord] = []
 
     # ------------------------------------------------------------------
@@ -78,29 +87,39 @@ class TseManager:
     # ------------------------------------------------------------------
 
     def add_attribute(self, view_name: str, prop: Attribute, to: str) -> ViewSchema:
-        view = self.views.current(view_name)
-        plan = self.translator.add_attribute(view, prop, to)
-        return self._run(view_name, view, plan)
+        return self._change(
+            view_name,
+            "add_attribute",
+            lambda view: self.translator.add_attribute(view, prop, to),
+        )
 
     def delete_attribute(self, view_name: str, name: str, from_: str) -> ViewSchema:
-        view = self.views.current(view_name)
-        plan = self.translator.delete_attribute(view, name, from_)
-        return self._run(view_name, view, plan)
+        return self._change(
+            view_name,
+            "delete_attribute",
+            lambda view: self.translator.delete_attribute(view, name, from_),
+        )
 
     def add_method(self, view_name: str, prop: Method, to: str) -> ViewSchema:
-        view = self.views.current(view_name)
-        plan = self.translator.add_method(view, prop, to)
-        return self._run(view_name, view, plan)
+        return self._change(
+            view_name,
+            "add_method",
+            lambda view: self.translator.add_method(view, prop, to),
+        )
 
     def delete_method(self, view_name: str, name: str, from_: str) -> ViewSchema:
-        view = self.views.current(view_name)
-        plan = self.translator.delete_method(view, name, from_)
-        return self._run(view_name, view, plan)
+        return self._change(
+            view_name,
+            "delete_method",
+            lambda view: self.translator.delete_method(view, name, from_),
+        )
 
     def add_edge(self, view_name: str, sup: str, sub: str) -> ViewSchema:
-        view = self.views.current(view_name)
-        plan = self.translator.add_edge(view, sup, sub)
-        return self._run(view_name, view, plan)
+        return self._change(
+            view_name,
+            "add_edge",
+            lambda view: self.translator.add_edge(view, sup, sub),
+        )
 
     def delete_edge(
         self,
@@ -109,25 +128,76 @@ class TseManager:
         sub: str,
         connected_to: Optional[str] = None,
     ) -> ViewSchema:
-        view = self.views.current(view_name)
-        plan = self.translator.delete_edge(view, sup, sub, connected_to)
-        return self._run(view_name, view, plan)
+        return self._change(
+            view_name,
+            "delete_edge",
+            lambda view: self.translator.delete_edge(view, sup, sub, connected_to),
+        )
 
     def add_class(
         self, view_name: str, name: str, connected_to: Optional[str] = None
     ) -> ViewSchema:
-        view = self.views.current(view_name)
-        plan = self.translator.add_class(view, name, connected_to)
-        return self._run(view_name, view, plan)
+        return self._change(
+            view_name,
+            "add_class",
+            lambda view: self.translator.add_class(view, name, connected_to),
+        )
 
     def delete_class(self, view_name: str, name: str) -> ViewSchema:
-        view = self.views.current(view_name)
-        plan = self.translator.delete_class(view, name)
-        return self._run(view_name, view, plan)
+        return self._change(
+            view_name,
+            "delete_class",
+            lambda view: self.translator.delete_class(view, name),
+        )
 
     # ------------------------------------------------------------------
     # pipeline
     # ------------------------------------------------------------------
+
+    def _change(self, view_name: str, operation: str, plan_for) -> ViewSchema:
+        """One full schema-change pipeline: translate, then run the plan.
+
+        The root ``schema_change`` span covers every stage; the lifecycle
+        event bus publishes each milestone so external probes never need to
+        patch pipeline internals.
+        """
+        view = self.views.current(view_name)
+        with self.tracer.span(
+            "schema_change", operation=operation, view=view_name
+        ) as root:
+            self.events.emit(
+                "schema_change_requested", operation=operation, view=view_name
+            )
+            try:
+                with self.tracer.span("translate", operation=operation) as span:
+                    plan = plan_for(view)
+                    span.set(statements=len(plan.statements))
+                self.events.emit(
+                    "translated",
+                    operation=operation,
+                    view=view_name,
+                    statements=len(plan.statements),
+                    script=plan.render_script(),
+                )
+                result = self._run(view_name, view, plan)
+            except Exception as exc:
+                self.events.emit(
+                    "schema_change_failed",
+                    operation=operation,
+                    view=view_name,
+                    error=type(exc).__name__,
+                )
+                self.metrics.counter("schema_changes_failed").inc()
+                raise
+            root.set(new_version=result.version)
+            self.events.emit(
+                "schema_change_applied",
+                operation=operation,
+                view=view_name,
+                new_version=result.version,
+            )
+            self.metrics.counter("schema_changes_applied").inc()
+            return result
 
     def _run(self, view_name: str, view: ViewSchema, plan: ChangePlan) -> ViewSchema:
         """Execute a change plan atomically and substitute the view."""
@@ -157,6 +227,13 @@ class TseManager:
         effective: Dict[str, str] = {
             outcome.statement.name: outcome.class_name for outcome in outcomes
         }
+        self.events.emit(
+            "classified",
+            view=view_name,
+            operation=plan.operation,
+            created=[o.class_name for o in outcomes if o.created],
+            reused=[(o.statement.name, o.class_name) for o in outcomes if not o.created],
+        )
 
         # record union propagation targets (section 6.5.4) on the classes
         # that actually ended up in the schema
@@ -193,6 +270,13 @@ class TseManager:
             renames,
             property_renames,
             closure="ignore",
+            provenance=plan.provenance,
+        )
+        self.events.emit(
+            "view_substituted",
+            view=view_name,
+            old_version=view.version,
+            new_version=new_view.version,
             provenance=plan.provenance,
         )
         return EvolutionRecord(

@@ -1,0 +1,52 @@
+"""``repro.obs`` — observability for the transparent schema-change pipeline.
+
+Three cooperating pieces, one bundle per database:
+
+* :class:`~repro.obs.tracing.Tracer` — span-based tracing of the pipeline
+  (translate → classify → view-generate → extent-maintain → commit), with a
+  strict no-op path when disabled;
+* :class:`~repro.obs.metrics.MetricsRegistry` — the unified registry that
+  ``Database.stats()`` delegates to, exportable as JSON and Prometheus text;
+* :class:`~repro.obs.events.EventBus` — subscribable schema-change
+  lifecycle events, generalising the pool-delta listener pattern.
+
+:class:`Observability` wires the three together (spans feed the span-
+duration histogram; event emission counts surface as a counter).
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import LIFECYCLE_EVENTS, Event, EventBus
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer, phase_breakdown
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "phase_breakdown",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "EventBus",
+    "Event",
+    "LIFECYCLE_EVENTS",
+]
+
+
+class Observability:
+    """Per-database bundle: one tracer, one metrics registry, one event bus."""
+
+    def __init__(self, ring_size: int = 64) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(metrics=self.metrics, ring_size=ring_size)
+        self.events = EventBus()

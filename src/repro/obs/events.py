@@ -1,0 +1,112 @@
+"""A process-local event bus for schema-change lifecycle events.
+
+PR 1 introduced one hard-wired listener channel: the instance pool's
+``add_delta_listener`` feeding typed :class:`~repro.objectmodel.slicing.PoolDelta`
+events to the incremental extent engine.  This module generalises the
+pattern to the *schema-change* path, so tools, tests and benchmarks can
+subscribe to pipeline milestones without patching internals:
+
+``schema_change_requested``
+    a primitive operator was invoked against a view (before translation);
+``translated``
+    the TSE Translator produced a ``defineVC`` script (section 6);
+``classified``
+    the algebra processor ran the script and the classifier integrated or
+    deduplicated every statement (section 3.1);
+``view_substituted``
+    the successor view version replaced the old one (section 5);
+``schema_change_applied`` / ``schema_change_failed``
+    terminal outcome of the pipeline;
+``definevc``
+    a user-level ``defineVC`` outside any evolution plan.
+
+The pool's delta channel stays where it is — it fires per object mutation
+on the hottest path in the system and must remain a bare callback list —
+but the two layers compose: subscribe to both and you see every state
+transition in the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping
+
+__all__ = ["Event", "EventBus", "LIFECYCLE_EVENTS"]
+
+#: the schema-change lifecycle vocabulary (subscribable individually or
+#: via the "*" wildcard)
+LIFECYCLE_EVENTS = (
+    "schema_change_requested",
+    "translated",
+    "classified",
+    "view_substituted",
+    "schema_change_applied",
+    "schema_change_failed",
+    "definevc",
+)
+
+#: wildcard subscription key
+ANY = "*"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One emitted event: a kind plus a read-only payload."""
+
+    kind: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> object:
+        return self.payload[key]
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.payload.get(key, default)
+
+
+class EventBus:
+    """Synchronous publish/subscribe over string-keyed event kinds.
+
+    Emission with no subscribers costs one dict lookup; subscriber
+    exceptions propagate to the emitter (subscribers are part of the same
+    unit of work — a failing benchmark probe *should* fail the run).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Callable[[Event], None]]] = {}
+        self.emitted = 0
+
+    def subscribe(
+        self, kind: str, callback: Callable[[Event], None]
+    ) -> Callable[[], None]:
+        """Register ``callback`` for ``kind`` (or ``"*"`` for everything).
+
+        Returns an unsubscribe thunk, so probes can be scoped::
+
+            undo = bus.subscribe("classified", record)
+            try: ...
+            finally: undo()
+        """
+        self._subscribers.setdefault(kind, []).append(callback)
+
+        def unsubscribe() -> None:
+            self.unsubscribe(kind, callback)
+
+        return unsubscribe
+
+    def unsubscribe(self, kind: str, callback: Callable[[Event], None]) -> None:
+        handlers = self._subscribers.get(kind)
+        if handlers and callback in handlers:
+            handlers.remove(callback)
+
+    def emit(self, kind: str, **payload: object) -> Event:
+        """Publish one event; returns it (handy for tests)."""
+        event = Event(kind, payload)
+        self.emitted += 1
+        for callback in tuple(self._subscribers.get(kind, ())):
+            callback(event)
+        for callback in tuple(self._subscribers.get(ANY, ())):
+            callback(event)
+        return event
+
+    def subscriber_count(self, kind: str) -> int:
+        return len(self._subscribers.get(kind, ()))

@@ -1,0 +1,327 @@
+"""A unified metrics registry for the whole database.
+
+Before this module, observability counters were scattered: ``ExtentStats``
+on the evaluator, ``PageStats`` on the store, OID/slice counters on the
+pool, ad-hoc ints elsewhere.  :class:`MetricsRegistry` puts one facade over
+all of them without forcing a rewrite:
+
+* **counters** — monotonically increasing values owned by the registry
+  (``registry.counter("schema_changes").inc()``);
+* **gauges** — point-in-time values, either set directly or *observed*
+  through a callback (``registry.gauge("objects", callback=...)``) so
+  existing component state is absorbed rather than duplicated;
+* **histograms** — fixed-boundary bucketed distributions (span durations),
+  optionally labelled;
+* **groups** — named providers returning whole dicts (``pages``,
+  ``extents``), preserving the nested shape ``Database.stats()`` always had.
+
+Everything is exportable two ways: :meth:`MetricsRegistry.snapshot` (the
+JSON/dict shape ``Database.stats()`` now delegates to) and
+:meth:`MetricsRegistry.to_prometheus` (the text exposition format, so a
+scraper — or a test — can consume the same numbers).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: default histogram boundaries (seconds), Prometheus-style
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """A Prometheus-legal metric-name fragment."""
+    cleaned = _NAME_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+class Counter:
+    """A monotonically increasing value (resettable for benchmarking)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value: set directly, or observed via callback."""
+
+    __slots__ = ("name", "help", "_value", "_callback")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        callback: Optional[Callable[[], object]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self._value: object = 0
+        self._callback = callback
+
+    def set(self, value: object) -> None:
+        if self._callback is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value = value
+
+    @property
+    def value(self) -> object:
+        if self._callback is not None:
+            return self._callback()
+        return self._value
+
+    def reset(self) -> None:
+        if self._callback is None:
+            self._value = 0
+
+
+class Histogram:
+    """Fixed-boundary bucketed distribution of observed values."""
+
+    __slots__ = ("name", "help", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if not buckets or tuple(sorted(buckets)) != tuple(buckets):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        cumulative = 0
+        buckets = {}
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative += bucket_count
+            buckets[str(bound)] = cumulative
+        buckets["+Inf"] = self.count
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """One registry over counters, gauges, histograms and stat groups.
+
+    Instruments are get-or-create: calling :meth:`counter` twice with the
+    same name returns the same object, so components never coordinate on
+    construction order.  Registration order is preserved and becomes the
+    key order of :meth:`snapshot` — the key-stability contract of
+    ``Database.stats()``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._groups: Dict[str, Callable[[], Mapping[str, object]]] = {}
+        #: family name -> label-key -> Histogram
+        self._histograms: Dict[str, Dict[Tuple[Tuple[str, str], ...], Histogram]] = {}
+        #: snapshot key order across all instrument kinds
+        self._order: List[Tuple[str, str]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = Counter(name, help)
+            self._counters[name] = instrument
+            self._order.append(("counter", name))
+        return instrument
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        callback: Optional[Callable[[], object]] = None,
+    ) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = Gauge(name, help, callback)
+            self._gauges[name] = instrument
+            self._order.append(("gauge", name))
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        family = self._histograms.get(name)
+        if family is None:
+            self._check_free(name)
+            family = {}
+            self._histograms[name] = family
+            self._order.append(("histogram", name))
+        key = tuple(sorted((labels or {}).items()))
+        instrument = family.get(key)
+        if instrument is None:
+            instrument = Histogram(name, buckets=buckets, help=help, labels=labels)
+            family[key] = instrument
+        return instrument
+
+    def register_group(
+        self, name: str, provider: Callable[[], Mapping[str, object]]
+    ) -> None:
+        """Absorb an existing stats object: ``provider()`` returns its dict.
+
+        Re-registering a name replaces the provider (databases rebuild
+        component wiring on restore)."""
+        if name not in self._groups:
+            self._check_free(name)
+            self._order.append(("group", name))
+        self._groups[name] = provider
+
+    def _check_free(self, name: str) -> None:
+        if (
+            name in self._counters
+            or name in self._gauges
+            or name in self._groups
+            or name in self._histograms
+        ):
+            raise ValueError(f"metric name {name!r} already registered as another kind")
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """All instruments as one JSON-ready dict, in registration order."""
+        result: Dict[str, object] = {}
+        for kind, name in self._order:
+            if kind == "counter":
+                result[name] = self._counters[name].value
+            elif kind == "gauge":
+                result[name] = self._gauges[name].value
+            elif kind == "group":
+                result[name] = dict(self._groups[name]())
+            else:  # histogram family
+                family = self._histograms[name]
+                if len(family) == 1 and () in family:
+                    result[name] = family[()].as_dict()
+                else:
+                    result[name] = {
+                        "{%s}" % ",".join(f"{k}={v}" for k, v in key): hist.as_dict()
+                        for key, hist in sorted(family.items())
+                    }
+        return result
+
+    def to_prometheus(self, prefix: str = "tse_") -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for kind, name in self._order:
+            metric = prefix + _sanitize(name)
+            if kind == "counter":
+                counter = self._counters[name]
+                if counter.help:
+                    lines.append(f"# HELP {metric} {counter.help}")
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric}_total {_fmt(counter.value)}")
+            elif kind == "gauge":
+                gauge = self._gauges[name]
+                value = gauge.value
+                if not isinstance(value, (int, float)):
+                    continue  # non-numeric gauges are snapshot-only
+                if gauge.help:
+                    lines.append(f"# HELP {metric} {gauge.help}")
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_fmt(value)}")
+            elif kind == "group":
+                for key, value in self._groups[name]().items():
+                    if not isinstance(value, (int, float)):
+                        continue
+                    flat = f"{metric}_{_sanitize(str(key))}"
+                    lines.append(f"# TYPE {flat} gauge")
+                    lines.append(f"{flat} {_fmt(value)}")
+            else:  # histogram family
+                lines.append(f"# TYPE {metric} histogram")
+                for _, hist in sorted(self._histograms[name].items()):
+                    label_prefix = dict(hist.labels)
+                    cumulative = 0
+                    for bound, bucket_count in zip(hist.buckets, hist.counts):
+                        cumulative += bucket_count
+                        labels = _labels({**label_prefix, "le": _fmt(bound)})
+                        lines.append(f"{metric}_bucket{labels} {cumulative}")
+                    labels = _labels({**label_prefix, "le": "+Inf"})
+                    lines.append(f"{metric}_bucket{labels} {hist.count}")
+                    base = _labels(label_prefix)
+                    lines.append(f"{metric}_sum{base} {_fmt(hist.sum)}")
+                    lines.append(f"{metric}_count{base} {hist.count}")
+        return "\n".join(lines) + "\n"
+
+    # -- maintenance -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every registry-owned value (callback gauges are untouched —
+        they mirror live component state, which owns its own reset)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for family in self._histograms.values():
+            for hist in family.values():
+                hist.reset()
+
+
+def _fmt(value: object) -> str:
+    """Numbers without trailing noise (ints stay ints, bools become 0/1)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_sanitize(k)}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"

@@ -1,0 +1,260 @@
+"""Span-based tracing for the TSE schema-change pipeline.
+
+The paper's transparency makes the pipeline invisible by design: a schema
+change against a view is silently translated into ``defineVC`` statements,
+classified into the global schema, and substituted behind the view name
+(sections 3 and 5).  :class:`Tracer` makes that pipeline observable without
+changing it — each stage opens a *span* (a named, timed, attributed region),
+spans nest into a tree per top-level operation, and finished root spans land
+in a bounded ring buffer for ``.trace show`` / benchmark export.
+
+Design constraints, in order:
+
+1. **Zero overhead when disabled.**  ``Tracer.span(...)`` returns a shared
+   no-op singleton without allocating when ``enabled`` is False, and the hot
+   paths (extent maintenance) additionally guard on the plain ``enabled``
+   attribute so a disabled tracer costs one attribute read and one branch.
+2. **No globals.**  Every :class:`~repro.core.database.TseDatabase` owns its
+   tracer (via ``db.obs``); standalone components default to a private
+   disabled tracer so they never need ``None`` checks.
+3. **Plain data out.**  Finished spans expose ``as_dict()`` /
+   ``render_lines()`` so the CLI, tests and benchmarks consume the same
+   structure.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "phase_breakdown"]
+
+
+class Span:
+    """One timed, attributed region of work; spans nest into trees.
+
+    Obtained from :meth:`Tracer.span` and used as a context manager::
+
+        with tracer.span("classify", class_name="Student'") as span:
+            ...
+            span.set(created=True)
+    """
+
+    __slots__ = ("name", "attributes", "start", "end", "children", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    # -- data --------------------------------------------------------------
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_s * 1000.0
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with the given span name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 4),
+            "attributes": dict(self.attributes),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def render_lines(self, indent: int = 0) -> List[str]:
+        """Human-readable nested rendering (the ``.trace show`` format)."""
+        attrs = " ".join(f"{k}={v}" for k, v in self.attributes.items())
+        line = f"{'  ' * indent}{self.name} ({self.duration_ms:.3f} ms)"
+        if attrs:
+            line += f"  {attrs}"
+        lines = [line]
+        for child in self.children:
+            lines.extend(child.render_lines(indent + 1))
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_ms:.3f}ms, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out by a disabled tracer.
+
+    Supports the full :class:`Span` surface so call sites never branch on
+    tracer state; every operation is a no-op returning inert values.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    attributes: Dict[str, object] = {}
+    children: List[Span] = []
+    duration_s = 0.0
+    duration_ms = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes: object) -> "_NullSpan":
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str) -> None:
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": "", "duration_ms": 0.0, "attributes": {}, "children": []}
+
+    def render_lines(self, indent: int = 0) -> List[str]:
+        return []
+
+
+#: module-level singleton: the only _NullSpan ever handed out
+NULL_SPAN = _NullSpan()
+
+#: histogram bucket boundaries (seconds) for span durations — spans range
+#: from microsecond extent deltas to multi-millisecond pipeline runs
+SPAN_DURATION_BUCKETS = (
+    0.00001, 0.0001, 0.00025, 0.0005, 0.001,
+    0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+)
+
+
+class Tracer:
+    """Owns the span stack and the ring buffer of recent root spans.
+
+    Disabled by default; enable with :meth:`enable` (or the shell's
+    ``.trace on``).  When a metrics registry is attached, every finished
+    span also feeds the ``span_duration_seconds`` histogram labelled by
+    span name, so per-phase latency distributions survive after the ring
+    buffer rotates.
+    """
+
+    def __init__(self, metrics=None, ring_size: int = 64) -> None:
+        self.enabled = False
+        self._metrics = metrics
+        self._stack: List[Span] = []
+        self._ring: deque = deque(maxlen=ring_size)
+        self.spans_recorded = 0
+
+    # -- switching ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn tracing off and drop any half-open span stack."""
+        self.enabled = False
+        self._stack.clear()
+
+    # -- span creation -----------------------------------------------------
+
+    def span(self, name: str, /, **attributes: object):
+        """A new child span of whatever span is currently open.
+
+        Returns the shared :data:`NULL_SPAN` when disabled — no allocation,
+        no recording, no attribute evaluation beyond the call itself.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attributes)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # tolerate a stack cleared by disable() mid-span
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._ring.append(span)
+        self.spans_recorded += 1
+        if self._metrics is not None:
+            self._metrics.histogram(
+                "span_duration_seconds",
+                buckets=SPAN_DURATION_BUCKETS,
+                labels={"span": span.name},
+            ).observe(span.duration_s)
+
+    # -- reading back ------------------------------------------------------
+
+    def traces(self, limit: Optional[int] = None) -> List[Span]:
+        """Recent finished root spans, oldest first; ``limit`` keeps the
+        newest N."""
+        spans = list(self._ring)
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return spans
+
+    def last(self) -> Optional[Span]:
+        return self._ring[-1] if self._ring else None
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.spans_recorded = 0
+
+
+def phase_breakdown(spans: List[Span]) -> Dict[str, Dict[str, float]]:
+    """Aggregate a span forest into per-phase totals.
+
+    Returns ``{span_name: {"count": n, "total_ms": t}}`` over every span in
+    every tree — the shape the benchmarks export into ``BENCH_*.json`` so a
+    run records time-in-translate vs time-in-classify, not just wall time.
+    """
+    result: Dict[str, Dict[str, float]] = {}
+    for root in spans:
+        for span in root.walk():
+            entry = result.setdefault(span.name, {"count": 0, "total_ms": 0.0})
+            entry["count"] += 1
+            entry["total_ms"] += span.duration_ms
+    for entry in result.values():
+        entry["total_ms"] = round(entry["total_ms"], 4)
+    return result

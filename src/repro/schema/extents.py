@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import PredicateError, UnknownProperty
+from repro.obs.tracing import Tracer
 from repro.schema.classes import (
     EXTENT_PRESERVING_OPS,
     BaseClass,
@@ -174,10 +175,18 @@ class ExtentEvaluator:
     production paths use :class:`IncrementalExtentEvaluator`.
     """
 
-    def __init__(self, schema: GlobalSchema, pool: InstancePool) -> None:
+    def __init__(
+        self,
+        schema: GlobalSchema,
+        pool: InstancePool,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.schema = schema
         self.pool = pool
         self.stats = ExtentStats()
+        #: pipeline tracer; a private disabled one when not injected, so
+        #: hot paths only ever pay an attribute read + branch
+        self.tracer = tracer if tracer is not None else Tracer()
         self._cache: Dict[str, FrozenSet[Oid]] = {}
         self._cache_key: Tuple[int, int] = (-1, -1)
 
@@ -200,7 +209,13 @@ class ExtentEvaluator:
             return cached
         self.stats.misses += 1
         self.stats.full_recomputes += 1
-        result = self._evaluate(class_name, frozenset())
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("extent_recompute", class_name=class_name) as span:
+                result = self._evaluate(class_name, frozenset())
+                span.set(size=len(result))
+        else:
+            result = self._evaluate(class_name, frozenset())
         self._cache[class_name] = result
         return result
 
@@ -386,8 +401,13 @@ class IncrementalExtentEvaluator(ExtentEvaluator):
     dependency index; they are rare next to data operations.
     """
 
-    def __init__(self, schema: GlobalSchema, pool: InstancePool) -> None:
-        super().__init__(schema, pool)
+    def __init__(
+        self,
+        schema: GlobalSchema,
+        pool: InstancePool,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(schema, pool, tracer=tracer)
         self._deps: Optional[_DerivationDeps] = None
         self._deps_generation = -1
         pool.add_delta_listener(self._on_delta)
@@ -447,13 +467,31 @@ class IncrementalExtentEvaluator(ExtentEvaluator):
     def _membership_seeds(self, oid: Oid, member_class: str) -> Dict[str, object]:
         """A membership change in ``member_class`` can move ``oid`` in or
         out of exactly the base classes at-or-above it; everything else is
-        reached through the derivation cone during propagation."""
+        reached through the derivation cone during propagation.
+
+        Gaining or losing a membership also gains or loses the *slice*
+        stored at ``member_class``, i.e. the values of that class's local
+        attributes — which can flip selects reading those attributes even
+        when reached through sources entirely outside the seeded cone
+        (the object may stay a member via another is-a path while the
+        attribute values vanish), so their value seeds are merged in."""
         if member_class not in self.schema:
             return {}
         seeds: Dict[str, object] = {}
         for base in self.schema.ancestors_or_self(member_class):
             if self.schema[base].is_base:
                 seeds[base] = {oid}
+        cls = self.schema[member_class]
+        if cls.is_base:
+            for attr in cls.local_properties:
+                for name, cand in self._value_seeds(oid, attr).items():
+                    existing = seeds.get(name)
+                    if cand is _INVALIDATE or existing is _INVALIDATE:
+                        seeds[name] = _INVALIDATE
+                    elif existing is None:
+                        seeds[name] = set(cand)
+                    else:
+                        existing |= cand
         return seeds
 
     def _value_seeds(self, oid: Oid, attr: str) -> Dict[str, object]:
@@ -493,7 +531,20 @@ class IncrementalExtentEvaluator(ExtentEvaluator):
 
     def _propagate(self, seeds: Dict[str, object]) -> None:
         """Walk the derivation DAG once, sources before dependents, merging
-        candidate sets upward and rechecking them against cached classes."""
+        candidate sets upward and rechecking them against cached classes.
+
+        The tracer guard keeps the disabled path identical to the untraced
+        one: a single attribute read and branch before delegating."""
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "extent_maintain", seeds=len(seeds), classes=",".join(sorted(seeds))
+            ):
+                self._propagate_seeds(seeds)
+        else:
+            self._propagate_seeds(seeds)
+
+    def _propagate_seeds(self, seeds: Dict[str, object]) -> None:
         deps = self._dependency_index()
         pending: Dict[str, object] = dict(seeds)
         for name in deps.topo_order:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import LockConflict, TransactionStateError
+from repro.obs.tracing import Tracer
 from repro.storage.oid import Oid
 from repro.storage.store import ObjectStore
 
@@ -137,17 +138,25 @@ class Transaction:
 
     def commit(self) -> None:
         self._require_active()
-        self._journal.clear()
-        self.status = TxStatus.COMMITTED
-        self._manager._release_all(self)
+        with self._manager.tracer.span(
+            "commit", tx_id=self.tx_id, locks=len(self._locks)
+        ):
+            self._journal.clear()
+            self.status = TxStatus.COMMITTED
+            self._manager._release_all(self)
+        self._manager.commits += 1
 
     def abort(self) -> None:
         self._require_active()
-        for entry in reversed(self._journal):
-            entry.undo()
-        self._journal.clear()
-        self.status = TxStatus.ABORTED
-        self._manager._release_all(self)
+        with self._manager.tracer.span(
+            "abort", tx_id=self.tx_id, undo_entries=len(self._journal)
+        ):
+            for entry in reversed(self._journal):
+                entry.undo()
+            self._journal.clear()
+            self.status = TxStatus.ABORTED
+            self._manager._release_all(self)
+        self._manager.aborts += 1
 
     # -- context manager -----------------------------------------------------
 
@@ -166,10 +175,14 @@ class Transaction:
 class TransactionManager:
     """Issues transactions and arbitrates slice locks between them."""
 
-    def __init__(self, store: ObjectStore) -> None:
+    def __init__(self, store: ObjectStore, tracer: Optional[Tracer] = None) -> None:
         self.store = store
+        self.tracer = tracer if tracer is not None else Tracer()
         self._next_tx_id = 1
         self._lock_table: Dict[Oid, Tuple[LockMode, Set[int]]] = {}
+        #: lifetime outcome counters, surfaced via ``Database.stats()``
+        self.commits = 0
+        self.aborts = 0
 
     def begin(self) -> Transaction:
         tx = Transaction(self, self._next_tx_id)
@@ -207,3 +220,15 @@ class TransactionManager:
     @property
     def locked_slice_count(self) -> int:
         return len(self._lock_table)
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Outcome counters for the metrics registry's ``transactions`` group."""
+        return {
+            "committed": self.commits,
+            "aborted": self.aborts,
+            "locked_slices": self.locked_slice_count,
+        }
+
+    def reset_stats(self) -> None:
+        self.commits = 0
+        self.aborts = 0

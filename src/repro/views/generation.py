@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import TypeClosureError, UnknownClass
+from repro.obs.tracing import Tracer
 from repro.schema.graph import GlobalSchema
 from repro.views.closure import missing_for_closure
 from repro.views.schema import ViewSchema
@@ -21,8 +22,9 @@ from repro.views.schema import ViewSchema
 class ViewSchemaGenerator:
     """Builds :class:`ViewSchema` versions from class selections."""
 
-    def __init__(self, schema: GlobalSchema) -> None:
+    def __init__(self, schema: GlobalSchema, tracer: Optional[Tracer] = None) -> None:
         self.schema = schema
+        self.tracer = tracer if tracer is not None else Tracer()
 
     def generate(
         self,
@@ -45,29 +47,33 @@ class ViewSchemaGenerator:
         * ``"complete"`` — silently add the missing classes;
         * ``"ignore"`` — generate as-is.
         """
-        chosen = set(selected)
-        for cls in chosen:
-            if cls not in self.schema:
-                raise UnknownClass(f"view selects unknown class {cls!r}")
-        if closure not in ("check", "complete", "ignore"):
-            raise ValueError(f"unknown closure mode {closure!r}")
-        if closure != "ignore":
-            missing = missing_for_closure(self.schema, chosen)
-            if missing and closure == "check":
-                raise TypeClosureError(
-                    f"view {name!r} is not type-closed; missing {sorted(missing)}"
-                )
-            chosen |= missing
-        edges = tuple(self.schema.transitive_reduction_over(chosen))
-        return ViewSchema(
-            name=name,
-            version=version,
-            selected=frozenset(chosen),
-            renames=dict(renames or {}),
-            edges=edges,
-            property_renames={
-                cls: dict(per_cls)
-                for cls, per_cls in (property_renames or {}).items()
-            },
-            provenance=provenance,
-        )
+        with self.tracer.span(
+            "view_generate", view=name, version=version, closure=closure
+        ) as span:
+            chosen = set(selected)
+            for cls in chosen:
+                if cls not in self.schema:
+                    raise UnknownClass(f"view selects unknown class {cls!r}")
+            if closure not in ("check", "complete", "ignore"):
+                raise ValueError(f"unknown closure mode {closure!r}")
+            if closure != "ignore":
+                missing = missing_for_closure(self.schema, chosen)
+                if missing and closure == "check":
+                    raise TypeClosureError(
+                        f"view {name!r} is not type-closed; missing {sorted(missing)}"
+                    )
+                chosen |= missing
+            edges = tuple(self.schema.transitive_reduction_over(chosen))
+            span.set(classes=len(chosen), edges=len(edges))
+            return ViewSchema(
+                name=name,
+                version=version,
+                selected=frozenset(chosen),
+                renames=dict(renames or {}),
+                edges=edges,
+                property_renames={
+                    cls: dict(per_cls)
+                    for cls, per_cls in (property_renames or {}).items()
+                },
+                provenance=provenance,
+            )

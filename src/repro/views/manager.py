@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Optional
 
 from repro.errors import ViewError
+from repro.obs.tracing import Tracer
 from repro.schema.graph import GlobalSchema
 from repro.views.generation import ViewSchemaGenerator
 from repro.views.history import ViewSchemaHistory
@@ -19,9 +20,9 @@ from repro.views.schema import ViewSchema
 class ViewManager:
     """Facade over view generation and the view schema history."""
 
-    def __init__(self, schema: GlobalSchema) -> None:
+    def __init__(self, schema: GlobalSchema, tracer: Optional[Tracer] = None) -> None:
         self.schema = schema
-        self.generator = ViewSchemaGenerator(schema)
+        self.generator = ViewSchemaGenerator(schema, tracer=tracer)
         self.history = ViewSchemaHistory()
 
     def create_view(

@@ -71,6 +71,72 @@ class TestMetaCommands:
         assert any("add_attribute x to Student" in line for line in output)
 
 
+class TestObservabilityCommands:
+    def test_stats_lists_nested_groups(self, session):
+        db, output, shell = session
+        shell([".stats"])
+        text = "\n".join(output)
+        assert "objects: 3" in text
+        assert "pages:" in text
+        assert "page_reads:" in text
+        assert "transactions:" in text
+
+    def test_stats_reset(self, session):
+        db, output, shell = session
+        shell(["add_attribute register : str to Student", ".stats reset", ".stats"])
+        assert "stats reset" in output
+        assert db.stats()["schema_changes_applied"] == 0
+        assert any("schema_changes_applied: 0" in line for line in output)
+
+    def test_metrics_json(self, session):
+        import json
+
+        db, output, shell = session
+        shell([".metrics"])
+        # everything after the echo is one JSON document matching db.stats()
+        parsed = json.loads("\n".join(output))
+        assert parsed["objects"] == 3
+        assert parsed["pipeline"]["tracing_enabled"] is False
+
+    def test_metrics_prometheus(self, session):
+        db, output, shell = session
+        shell([".metrics --prom"])
+        text = "\n".join(output)
+        assert "# TYPE tse_objects gauge" in text
+        assert "tse_objects 3" in text
+        assert "tse_schema_changes_applied_total 0" in text
+
+    def test_trace_golden_session(self, session):
+        db, output, shell = session
+        shell(
+            [
+                ".trace",
+                ".trace show",
+                ".trace on",
+                "add_attribute register : str to Student",
+                ".trace show 1",
+                ".trace off",
+                ".trace",
+            ]
+        )
+        text = "\n".join(output)
+        assert "tracing is off (0 trace(s) buffered)" in output
+        assert "no traces recorded (enable with .trace on)" in output
+        assert "tracing enabled" in output
+        # the rendered span tree: nested stages under the root
+        assert "schema_change" in text and "operation=add_attribute" in text
+        for stage in ("translate", "classify", "view_generate"):
+            assert stage in text
+        assert "tracing disabled" in output
+        assert any("tracing is off (1 trace(s) buffered)" in line for line in output)
+
+    def test_trace_usage_errors(self, session):
+        db, output, shell = session
+        shell([".trace bogus", ".trace show nan"])
+        assert output.count("usage: .trace show [n]") == 1
+        assert output.count("usage: .trace on|off|show [n]") == 1
+
+
 class TestLanguagePassthrough:
     def test_full_session(self, session):
         db, output, shell = session

@@ -220,6 +220,33 @@ class TestIncrementalEquivalence:
         assert snapshot(incremental, names) == snapshot(fresh, names)
 
 
+class TestSliceLossReseedsPredicates:
+    """Removing a membership also removes that class's *slice* — its stored
+    attribute values — which can flip a select reached through a source
+    entirely outside the membership cone (the object stays a member via
+    another is-a path while the values vanish).  Regression for a fuzz
+    finding (seed 7921): ``AdultHonors`` kept an object whose ``age`` had
+    disappeared with its ``Person`` slice."""
+
+    def test_remove_membership_drops_slice_values_feeding_distant_selects(self):
+        schema, pool = build_stack()
+        incremental = IncrementalExtentEvaluator(schema, pool)
+        schema.add_edge("Student", "Employee")  # Employee is-a Student now
+        obj = pool.create_object(["Person", "Employee"])
+        pool.set_value(obj.oid, "Person", "age", 30)
+        pool.set_value(obj.oid, "Student", "gpa", 40)
+        names = schema.class_names()
+        assert obj.oid in incremental.extent("AdultHonors")  # warm cache
+        snapshot(incremental, names)
+
+        # still in Student/Honors via Employee, but the age value is gone
+        pool.remove_membership(obj.oid, "Person")
+        assert obj.oid in incremental.extent("Honors")
+        assert obj.oid not in incremental.extent("AdultHonors")
+        fresh = ExtentEvaluator(schema, pool)
+        assert snapshot(incremental, names) == snapshot(fresh, names)
+
+
 class TestDeltaBehaviour:
     """White-box checks that the engine really is incremental."""
 
