@@ -1,0 +1,148 @@
+"""Recovery time vs log length vs checkpoint interval (DESIGN.md section 10).
+
+Crash recovery replays the write-ahead log through the ordinary update
+engine, so its cost is linear in the records that survived the last
+checkpoint.  This bench measures both axes:
+
+* **log length** — recover a database whose whole history sits in the log
+  (only the initial empty checkpoint), at growing operation counts; and
+* **checkpoint interval** — the same total history, checkpointed every k
+  operations, so replay only covers the tail.
+
+Writes ``BENCH_recovery.json`` at the repo root and
+``benchmarks/results/recovery.md`` (the table EXPERIMENTS.md quotes).
+"""
+
+from pathlib import Path
+
+from conftest import format_table, write_bench_json, write_report
+
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+
+BENCH_RECOVERY_JSON = Path(__file__).parent.parent / "BENCH_recovery.json"
+
+#: sync="off" removes fsync noise — the bench measures replay work, not
+#: the disk; durability tests live in tests/test_wal.py
+SYNC = "off"
+
+
+def build_schema() -> TseDatabase:
+    db = TseDatabase()
+    db.define_class(
+        "Person",
+        [Attribute("name", domain="str"), Attribute("age", domain="int", default=0)],
+    )
+    db.define_class(
+        "Student", [Attribute("major", domain="str")], inherits_from=("Person",)
+    )
+    db.create_view("campus", ["Person", "Student"])
+    return db
+
+
+def run_workload(db: TseDatabase, ops: int, checkpoint_every: int = 0) -> None:
+    """``ops`` journaled operations: 2/3 creates, 1/3 sets."""
+    view = db.view("campus")
+    handles = []
+    for index in range(ops):
+        if index % 3 == 2 and handles:
+            handles[index % len(handles)].set("age", index)
+        else:
+            cls = "Student" if index % 2 else "Person"
+            values = {"name": f"p{index}", "age": index % 80}
+            if cls == "Student":
+                values["major"] = "cs"
+            handles.append(view[cls].create(**values))
+        if checkpoint_every and (index + 1) % checkpoint_every == 0:
+            db.checkpoint()
+
+
+def measured_recovery(directory) -> tuple:
+    """(seconds, records_replayed, log_bytes_before) for one recovery."""
+    log = directory / "wal.log"
+    log_bytes = log.stat().st_size if log.exists() else 0
+    recovered = TseDatabase.recover(directory, sync=SYNC)
+    return recovered.wal.last_recovery_seconds, recovered.wal.records_replayed, log_bytes
+
+
+def test_recovery_scaling(tmp_path):
+    # -- axis 1: log length (no checkpoints after the initial one) ---------
+    length_rows = []
+    for ops in (100, 400, 1600):
+        directory = tmp_path / f"log-{ops}"
+        db = build_schema()
+        db.enable_wal(directory, sync=SYNC)
+        run_workload(db, ops)
+        seconds, replayed, log_bytes = measured_recovery(directory)
+        assert replayed == ops
+        length_rows.append(
+            (ops, replayed, log_bytes, round(seconds * 1000, 2))
+        )
+
+    # replay work grows with the log: 16x the records should cost clearly
+    # more than 1x (allow generous slack for timer noise)
+    assert length_rows[-1][3] > length_rows[0][3], length_rows
+
+    # -- axis 2: checkpoint interval at fixed history length ---------------
+    # intervals that do NOT divide the total, so each leaves a real tail:
+    # replay covers exactly the operations since the last checkpoint
+    TOTAL = 1600
+    interval_rows = []
+    for every in (0, 700, 300, 90):
+        directory = tmp_path / f"ckpt-{every or 'never'}"
+        db = build_schema()
+        db.enable_wal(directory, sync=SYNC)
+        run_workload(db, TOTAL, checkpoint_every=every)
+        seconds, replayed, log_bytes = measured_recovery(directory)
+        expected_tail = TOTAL % every if every else TOTAL
+        assert replayed == expected_tail, (every, replayed)
+        interval_rows.append(
+            (every or "never", replayed, log_bytes, round(seconds * 1000, 2))
+        )
+
+    # checkpoints bound replay to the tail since the last one
+    full_replay_ms = interval_rows[0][3]
+    for every, replayed, _bytes, _ms in interval_rows[1:]:
+        assert replayed < TOTAL and replayed == TOTAL % int(every)
+
+    body = (
+        "Replay cost vs surviving log length (sync=off, initial checkpoint "
+        "only):\n\n"
+        + format_table(
+            ["ops in log", "records replayed", "log bytes", "recovery ms"],
+            length_rows,
+        )
+        + "\n\nSame 1600-op history, checkpointed every k ops:\n\n"
+        + format_table(
+            ["checkpoint every", "records replayed", "log bytes", "recovery ms"],
+            interval_rows,
+        )
+    )
+    write_report("recovery", "Recovery time vs log length and checkpoint interval", body)
+    write_bench_json(
+        "recovery",
+        {
+            "sync": SYNC,
+            "log_length_rows": [
+                {
+                    "ops": ops,
+                    "records_replayed": replayed,
+                    "log_bytes": log_bytes,
+                    "recovery_ms": ms,
+                }
+                for ops, replayed, log_bytes, ms in length_rows
+            ],
+            "checkpoint_interval_rows": [
+                {
+                    "checkpoint_every": every,
+                    "records_replayed": replayed,
+                    "log_bytes": log_bytes,
+                    "recovery_ms": ms,
+                }
+                for every, replayed, log_bytes, ms in interval_rows
+            ],
+            "full_replay_ms": full_replay_ms,
+        },
+        db=db,
+        target=BENCH_RECOVERY_JSON,
+    )

@@ -50,9 +50,10 @@ def time_ms(fn, repeats: int = 3) -> float:
     return round(best, 3)
 
 
-def write_bench_json(key: str, payload: dict, db=None) -> Path:
-    """Merge one benchmark's machine-readable numbers into the repo-root
-    ``BENCH_extents.json`` (keyed per benchmark so runs compose).
+def write_bench_json(key: str, payload: dict, db=None, target: Path = None) -> Path:
+    """Merge one benchmark's machine-readable numbers into a repo-root
+    JSON artifact (default ``BENCH_extents.json``; keyed per benchmark so
+    runs compose).
 
     Every entry carries a ``meta`` block: a monotonic timestamp pair (so
     within-run ordering survives even if the wall clock jumps) and, when the
@@ -72,15 +73,16 @@ def write_bench_json(key: str, payload: dict, db=None) -> Path:
         meta["views"] = stats["views"]
         meta["view_versions"] = stats["view_versions"]
     entry["meta"] = meta
+    target = target or BENCH_JSON
     data = {}
-    if BENCH_JSON.exists():
+    if target.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text())
+            data = json.loads(target.read_text())
         except json.JSONDecodeError:
             data = {}
     data[key] = entry
-    BENCH_JSON.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
-    return BENCH_JSON
+    target.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    return target
 
 
 def trace_phases(db) -> dict:

@@ -87,6 +87,13 @@ class UpdateEngine:
         self.pool = pool
         self.evaluator = evaluator or IncrementalExtentEvaluator(schema, pool)
         self.value_closure = value_closure
+        #: optional :class:`repro.storage.wal.WalManager`; when set, every
+        #: successful operator journals a logical record.  Records are
+        #: written *after* the in-memory mutation succeeds (a rejected
+        #: update leaves no trace), carrying the pre-operation OID
+        #: watermark so replay allocates identically even though failed
+        #: operations consumed OIDs without logging anything.
+        self.journal = None
 
     # ------------------------------------------------------------------
     # routing
@@ -260,6 +267,7 @@ class UpdateEngine:
     ) -> Oid:
         """``<class> create [<assignments>]`` — returns the new object's OID."""
         assignments = dict(assignments or {})
+        oid_base = self.pool.store.oid_next
         targets = self.insertion_targets(class_name, union_target)
         obj = self.pool.create_object(targets)
         try:
@@ -276,6 +284,10 @@ class UpdateEngine:
         except Exception:
             self.pool.destroy_object(obj.oid)
             raise
+        if self.journal is not None:
+            self.journal.log_create(
+                class_name, assignments, union_target, obj.oid, oid_base
+            )
         return obj.oid
 
     def delete(self, oids: Iterable[Oid]) -> UpdateReport:
@@ -283,6 +295,8 @@ class UpdateEngine:
         oids = tuple(oids)
         for oid in oids:
             self.pool.destroy_object(oid)
+        if self.journal is not None and oids:
+            self.journal.log_delete(oids)
         return UpdateReport("delete", "*", oids, ())
 
     def set_values(
@@ -300,6 +314,7 @@ class UpdateEngine:
         """
         self._check_updatable(class_name)
         oids = tuple(oids)
+        oid_base = self.pool.store.oid_next
         extent = self.evaluator.extent(class_name)
         for oid in oids:
             if oid not in extent:
@@ -321,6 +336,8 @@ class UpdateEngine:
             for oid, undo in reversed(undo_per_oid):
                 self._rollback_assignments(oid, undo)
             raise
+        if self.journal is not None and oids:
+            self.journal.log_set(class_name, oids, assignments, oid_base)
         return UpdateReport("set", class_name, oids, ())
 
     def add(
@@ -351,6 +368,8 @@ class UpdateEngine:
             for oid, target in reversed(added):
                 self.pool.remove_membership(oid, target)
             raise
+        if self.journal is not None and oids:
+            self.journal.log_add(class_name, oids, union_target)
         return UpdateReport("add", class_name, oids, tuple(sorted(targets)))
 
     def remove(
@@ -375,6 +394,8 @@ class UpdateEngine:
                 )
             for member_class in removable:
                 self.pool.remove_membership(oid, member_class)
+        if self.journal is not None and oids:
+            self.journal.log_remove(class_name, oids, target)
         return UpdateReport("remove", class_name, oids, tuple(sorted(targets)))
 
     # ------------------------------------------------------------------

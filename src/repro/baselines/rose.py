@@ -1,4 +1,5 @@
-"""Rose-style type-mismatch resolution (Mehta, Spooner & Hardwick [14]).
+"""Rose-style type-mismatch resolution (Mehta, Spooner & Hardwick [14],
+section 8).
 
 Mechanism: a persistent engineering object system that resolves mismatches
 between an instance's stored format and the type an application expects

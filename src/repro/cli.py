@@ -19,6 +19,11 @@ updates, ``merge``) plus a handful of meta-commands:
     .trace on|off         enable/disable pipeline tracing
     .trace show [n]       render the last n recorded span trees (default 5)
     .save <path>          persist the database
+    .wal on <dir>         attach a write-ahead log rooted at <dir>
+    .wal stats            durability counters (lsn, ops, log bytes, ...)
+    .checkpoint           atomic snapshot + log prune (requires .wal on)
+    .recover <dir>        replace the session database with the one
+                          recovered from a WAL directory
     .quit                 leave the shell
 
 Everything else on a line is handed to the command-language interpreter,
@@ -137,6 +142,43 @@ def _meta_command(
         else:
             save_database(db, args[0])
             emit(f"saved to {args[0]}")
+    elif command == ".wal":
+        if args and args[0] == "on":
+            if len(args) != 2:
+                emit("usage: .wal on <dir>")
+            else:
+                db.enable_wal(args[1])
+                emit(f"write-ahead log attached at {args[1]} (initial checkpoint taken)")
+        elif args and args[0] == "stats":
+            if db.wal is None:
+                emit("no write-ahead log attached (use .wal on <dir>)")
+            else:
+                for key, value in db.wal.stats_dict().items():
+                    emit(f"  {key}: {value}")
+        else:
+            emit("usage: .wal on <dir> | .wal stats")
+    elif command == ".checkpoint":
+        path = db.checkpoint()  # raises StorageError when no WAL is attached
+        emit(
+            f"checkpoint written to {path} "
+            f"({db.wal.last_checkpoint_seconds * 1000:.1f} ms)"
+        )
+    elif command == ".recover":
+        if not args:
+            emit("usage: .recover <dir>")
+        else:
+            recovered = TseDatabase.recover(args[0])
+            state["db"] = recovered
+            views = recovered.view_names()
+            if state["view"] not in views and views:
+                state["view"] = views[0]
+            wal = recovered.wal
+            emit(
+                f"recovered from {args[0]}: {wal.records_replayed} record(s) "
+                f"replayed, lsn {wal.lsn}, ops_committed {wal.ops_committed} "
+                f"({wal.last_recovery_seconds * 1000:.1f} ms); "
+                f"now using view {state['view']!r}"
+            )
     elif command == ".quit":
         return False
     else:
@@ -155,21 +197,23 @@ def run_shell(
     Returns the final session state (current view name, commands executed,
     errors encountered) so tests can assert on it.
     """
-    state = {"view": view_name, "executed": 0, "errors": 0}
+    # ``db`` lives in the state dict so ``.recover`` can swap the session
+    # over to the recovered database mid-stream
+    state = {"view": view_name, "executed": 0, "errors": 0, "db": db}
     for raw in lines:
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
         if line.startswith("."):
             try:
-                if not _meta_command(db, state, line, emit):
+                if not _meta_command(state["db"], state, line, emit):
                     break
             except TseError as exc:
                 state["errors"] += 1
                 emit(f"error: {exc}")
             continue
         try:
-            result = Interpreter(db, state["view"]).execute(line)
+            result = Interpreter(state["db"], state["view"]).execute(line)
         except TseError as exc:
             state["errors"] += 1
             emit(f"error: {exc}")
@@ -212,8 +256,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--view", default=None, help="view to start in (default: first view)"
     )
+    parser.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="durability directory: recover from it when it holds a "
+        "checkpoint/log, otherwise attach a fresh write-ahead log",
+    )
     args = parser.parse_args(argv)
-    db = _bootstrap_database(args.database)
+    if args.wal:
+        from pathlib import Path
+
+        from repro.storage.wal import CHECKPOINT_NAME, LOG_NAME
+
+        wal_dir = Path(args.wal)
+        log_path = wal_dir / LOG_NAME
+        populated = (wal_dir / CHECKPOINT_NAME).exists() or (
+            log_path.exists() and log_path.stat().st_size > 0
+        )
+        if populated:
+            db = TseDatabase.recover(wal_dir)
+            print(
+                f"recovered from {wal_dir}: "
+                f"{db.wal.records_replayed} record(s) replayed"
+            )
+        else:
+            db = _bootstrap_database(args.database)
+            db.enable_wal(wal_dir)
+    else:
+        db = _bootstrap_database(args.database)
     views = db.view_names()
     if not views:
         print("database has no views; create one programmatically first")

@@ -71,6 +71,9 @@ class TseDatabase:
             events=self.obs.events,
             metrics=self.obs.metrics,
         )
+        #: durability subsystem (:class:`repro.storage.wal.WalManager`);
+        #: ``None`` until :meth:`enable_wal` or :meth:`recover` attaches one
+        self.wal = None
         self._register_metrics()
 
     # ------------------------------------------------------------------
@@ -84,9 +87,21 @@ class TseDatabase:
         inherits_from: Sequence[str] = (ROOT_CLASS,),
     ):
         """Author a base class in the global schema."""
-        return self.schema.add_base_class(
+        result = self.schema.add_base_class(
             name, properties=tuple(properties), inherits_from=tuple(inherits_from)
         )
+        if self.wal is not None:
+            from repro.persistence import property_to_dict
+
+            self.wal.record(
+                "define_class",
+                {
+                    "name": name,
+                    "properties": [property_to_dict(p) for p in properties],
+                    "inherits_from": list(inherits_from),
+                },
+            )
+        return result
 
     def define_virtual_class(self, name: str, derivation: Derivation) -> str:
         """Run one ``defineVC`` statement; returns the effective class name
@@ -101,6 +116,13 @@ class TseDatabase:
             effective=outcome.class_name,
             created=outcome.created,
         )
+        if self.wal is not None:
+            from repro.persistence import derivation_to_dict
+
+            self.wal.record(
+                "definevc",
+                {"name": name, "derivation": derivation_to_dict(derivation)},
+            )
         return outcome.class_name
 
     # ------------------------------------------------------------------
@@ -115,7 +137,18 @@ class TseDatabase:
         closure: str = "complete",
     ) -> ViewHandle:
         """Create a view over global classes and return a live handle."""
+        classes = list(classes)
         self.views.create_view(name, classes, renames, closure=closure)
+        if self.wal is not None:
+            self.wal.record(
+                "create_view",
+                {
+                    "name": name,
+                    "classes": classes,
+                    "renames": dict(renames) if renames else None,
+                    "closure": closure,
+                },
+            )
         return ViewHandle(self, name)
 
     def view(self, name: str) -> ViewHandle:
@@ -143,6 +176,17 @@ class TseDatabase:
             first_version=first_version,
             second_version=second_version,
         )
+        if self.wal is not None:
+            self.wal.record(
+                "merge_views",
+                {
+                    "first": first,
+                    "second": second,
+                    "into": into,
+                    "first_version": first_version,
+                    "second_version": second_version,
+                },
+            )
         return ViewHandle(self, into)
 
     # ------------------------------------------------------------------
@@ -215,6 +259,8 @@ class TseDatabase:
                     progress = True
         if removed:
             self.evaluator.invalidate()
+        if self.wal is not None:
+            self.wal.record("vacuum", {})
         return sorted(removed)
 
     # ------------------------------------------------------------------
@@ -244,16 +290,24 @@ class TseDatabase:
         def scope():
             tracer = self.obs.tracer
             checkpoint = self._checkpoint()
+            if self.wal is not None:
+                self.wal.begin_savepoint()
             try:
                 yield self
             except BaseException:
                 with tracer.span("abort", scope="savepoint"):
                     self._restore(checkpoint)
+                if self.wal is not None:
+                    # abort is a no-op on disk: buffered records are dropped
+                    self.wal.abort_savepoint()
                 self.transactions.aborts += 1
                 raise
             with tracer.span("commit", scope="savepoint"):
-                pass  # savepoint release: nothing to write, but the phase
-                # is real — it closes the all-or-nothing unit of work
+                # savepoint release: the WAL buffer (records journaled by
+                # the block) reaches the disk here, in one barrier — this
+                # closes the all-or-nothing unit of work
+                if self.wal is not None:
+                    self.wal.commit_savepoint()
             self.transactions.commits += 1
 
         return scope()
@@ -311,7 +365,12 @@ class TseDatabase:
             raise ObjectModelError(
                 f"{attribute!r} of {class_name!r} is not a stored attribute"
             )
-        return self.indexes.create_index(resolved.storage_class, attribute)
+        index = self.indexes.create_index(resolved.storage_class, attribute)
+        if self.wal is not None:
+            self.wal.record(
+                "create_index", {"class": class_name, "attribute": attribute}
+            )
+        return index
 
     # ------------------------------------------------------------------
     # persistence
@@ -323,6 +382,63 @@ class TseDatabase:
         from repro.persistence import save_database
 
         save_database(self, path)
+
+    # ------------------------------------------------------------------
+    # durability (write-ahead log + checkpoints)
+    # ------------------------------------------------------------------
+
+    def enable_wal(self, directory, sync: str = "flush", crash_injector=None):
+        """Attach a write-ahead log rooted at ``directory`` and take an
+        initial checkpoint, making the current state the recovery baseline.
+
+        From here on every mutation issued through the public surface
+        (generic updates, schema changes, view authoring, renames, vacuum,
+        indexes) is journaled and flushed before control returns — after a
+        crash, :meth:`recover` reconstructs exactly the committed prefix.
+        Refuses a directory that already holds a checkpoint or a non-empty
+        log: that is a database to :meth:`recover`, not to overwrite.
+        """
+        from pathlib import Path
+
+        from repro.errors import StorageError
+        from repro.storage.wal import CHECKPOINT_NAME, LOG_NAME, WalManager
+
+        if self.wal is not None:
+            raise StorageError("a write-ahead log is already attached")
+        directory = Path(directory)
+        log_path = directory / LOG_NAME
+        if (directory / CHECKPOINT_NAME).exists() or (
+            log_path.exists() and log_path.stat().st_size > 0
+        ):
+            raise StorageError(
+                f"{directory} already holds a WAL database — use "
+                f"TseDatabase.recover() instead of enable_wal()"
+            )
+        manager = WalManager(
+            self, directory, sync=sync, crash_injector=crash_injector
+        )
+        manager.attach()
+        manager.checkpoint()
+        return manager
+
+    def checkpoint(self):
+        """Write an atomic snapshot and prune the log (requires a WAL)."""
+        from repro.errors import StorageError
+
+        if self.wal is None:
+            raise StorageError("no write-ahead log attached — call enable_wal()")
+        return self.wal.checkpoint()
+
+    @classmethod
+    def recover(cls, directory, methods=None, sync: str = "flush") -> "TseDatabase":
+        """Rebuild a database from a WAL directory: load the newest
+        checkpoint, replay the surviving log suffix (truncating any torn
+        tail a crash left), and re-attach a live WAL so the recovered
+        database keeps journaling.  ``methods`` rebinds method bodies as in
+        :meth:`load`."""
+        from repro.storage.wal import recover_database
+
+        return recover_database(directory, methods=methods, sync=sync)
 
     @classmethod
     def load(cls, path, methods=None) -> "TseDatabase":

@@ -184,6 +184,10 @@ class ViewHandle:
             closure="ignore",
             provenance=f"rename_class {old} -> {new}",
         )
+        if self._db.wal is not None:
+            self._db.wal.record(
+                "rename_class", {"view": self.view_name, "old": old, "new": new}
+            )
         return self
 
     def rename_property(self, view_class: str, old: str, new: str) -> "ViewHandle":
@@ -241,6 +245,16 @@ class ViewHandle:
             closure="ignore",
             provenance=f"rename_property {view_class}.{old} -> {new}",
         )
+        if self._db.wal is not None:
+            self._db.wal.record(
+                "rename_property",
+                {
+                    "view": self.view_name,
+                    "class": view_class,
+                    "old": old,
+                    "new": new,
+                },
+            )
         return self
 
     def insert_class(self, name: str, between: tuple) -> "ViewHandle":

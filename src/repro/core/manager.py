@@ -81,6 +81,12 @@ class TseManager:
         self.events = events if events is not None else EventBus()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.log: List[EvolutionRecord] = []
+        #: optional :class:`repro.storage.wal.WalManager`; when set, the
+        #: pipeline journals ``schema_begin`` before translating,
+        #: ``schema_commit`` (with the replayable operator arguments) after
+        #: the view substitution, and ``schema_abort`` on failure.  Only the
+        #: commit record is effectful on replay — begin/abort are audit.
+        self.journal = None
 
     # ------------------------------------------------------------------
     # the eight primitive operators (user-facing, view-name based)
@@ -91,6 +97,7 @@ class TseManager:
             view_name,
             "add_attribute",
             lambda view: self.translator.add_attribute(view, prop, to),
+            journal_args={"prop": prop, "to": to},
         )
 
     def delete_attribute(self, view_name: str, name: str, from_: str) -> ViewSchema:
@@ -98,6 +105,7 @@ class TseManager:
             view_name,
             "delete_attribute",
             lambda view: self.translator.delete_attribute(view, name, from_),
+            journal_args={"name": name, "from_": from_},
         )
 
     def add_method(self, view_name: str, prop: Method, to: str) -> ViewSchema:
@@ -105,6 +113,7 @@ class TseManager:
             view_name,
             "add_method",
             lambda view: self.translator.add_method(view, prop, to),
+            journal_args={"prop": prop, "to": to},
         )
 
     def delete_method(self, view_name: str, name: str, from_: str) -> ViewSchema:
@@ -112,6 +121,7 @@ class TseManager:
             view_name,
             "delete_method",
             lambda view: self.translator.delete_method(view, name, from_),
+            journal_args={"name": name, "from_": from_},
         )
 
     def add_edge(self, view_name: str, sup: str, sub: str) -> ViewSchema:
@@ -119,6 +129,7 @@ class TseManager:
             view_name,
             "add_edge",
             lambda view: self.translator.add_edge(view, sup, sub),
+            journal_args={"sup": sup, "sub": sub},
         )
 
     def delete_edge(
@@ -132,6 +143,7 @@ class TseManager:
             view_name,
             "delete_edge",
             lambda view: self.translator.delete_edge(view, sup, sub, connected_to),
+            journal_args={"sup": sup, "sub": sub, "connected_to": connected_to},
         )
 
     def add_class(
@@ -141,6 +153,7 @@ class TseManager:
             view_name,
             "add_class",
             lambda view: self.translator.add_class(view, name, connected_to),
+            journal_args={"name": name, "connected_to": connected_to},
         )
 
     def delete_class(self, view_name: str, name: str) -> ViewSchema:
@@ -148,18 +161,28 @@ class TseManager:
             view_name,
             "delete_class",
             lambda view: self.translator.delete_class(view, name),
+            journal_args={"name": name},
         )
 
     # ------------------------------------------------------------------
     # pipeline
     # ------------------------------------------------------------------
 
-    def _change(self, view_name: str, operation: str, plan_for) -> ViewSchema:
+    def _change(
+        self,
+        view_name: str,
+        operation: str,
+        plan_for,
+        journal_args: Optional[Dict[str, object]] = None,
+    ) -> ViewSchema:
         """One full schema-change pipeline: translate, then run the plan.
 
         The root ``schema_change`` span covers every stage; the lifecycle
         event bus publishes each milestone so external probes never need to
-        patch pipeline internals.
+        patch pipeline internals.  ``journal_args`` is the replayable
+        argument record the WAL persists on commit — the *request*, not the
+        resulting script, because replay re-runs the whole pipeline and the
+        classifier re-derives identical primed classes.
         """
         view = self.views.current(view_name)
         with self.tracer.span(
@@ -168,6 +191,8 @@ class TseManager:
             self.events.emit(
                 "schema_change_requested", operation=operation, view=view_name
             )
+            if self.journal is not None:
+                self.journal.schema_begin(view_name, operation)
             try:
                 with self.tracer.span("translate", operation=operation) as span:
                     plan = plan_for(view)
@@ -188,6 +213,10 @@ class TseManager:
                     error=type(exc).__name__,
                 )
                 self.metrics.counter("schema_changes_failed").inc()
+                if self.journal is not None:
+                    self.journal.schema_abort(
+                        view_name, operation, type(exc).__name__
+                    )
                 raise
             root.set(new_version=result.version)
             self.events.emit(
@@ -197,6 +226,8 @@ class TseManager:
                 new_version=result.version,
             )
             self.metrics.counter("schema_changes_applied").inc()
+            if self.journal is not None:
+                self.journal.schema_commit(view_name, operation, journal_args or {})
             return result
 
     def _run(self, view_name: str, view: ViewSchema, plan: ChangePlan) -> ViewSchema:

@@ -291,9 +291,12 @@ class TseTranslator:
             operation=operation,
             provenance=f"{operation} {name} from {from_}",
         )
+        retains = self._retention_oracle(view, target, underlying, target_entry)
         hide_names: Dict[str, str] = {}
         for sub in self._subclasses_in_view(view, target):
             if not self._has_property(sub, underlying):
+                continue
+            if sub != target and retains(sub):
                 continue
             primed = self._fresh(sub, plan)
             plan.statements.append(
@@ -330,6 +333,52 @@ class TseTranslator:
                 )
                 plan.replacements[sub] = restored
         return plan
+
+    def _retention_oracle(self, view, target, prop_name, target_entry):
+        """Predicate: does a view class still see ``prop_name`` once the
+        definition is hidden at ``target``?
+
+        Multiple inheritance makes the paper's plain hide-in-all-subclasses
+        loop over-delete (the figure 11 principle applied to 6.2): a subclass
+        whose only path to the definition avoids ``target`` — a second view
+        parent carrying the same definition, an override with its own
+        definition, or inheritance flowing in from outside the view — must
+        keep the property; only classes fed solely through ``target`` are
+        hidden."""
+        edges: EdgeSet = set(view.edges)
+        deleted = target_entry.identity()
+
+        def carries(cls: str) -> FrozenSet[tuple]:
+            entry = self.schema.type_of(cls).get(prop_name)
+            if entry is None:
+                return frozenset()
+            candidates = (
+                entry.candidates if isinstance(entry, Ambiguity) else (entry,)
+            )
+            return frozenset(c.identity() for c in candidates)
+
+        memo: Dict[str, bool] = {target: False}
+
+        def retains(cls: str) -> bool:
+            if cls in memo:
+                return memo[cls]
+            memo[cls] = False  # acyclic guard
+            idents = carries(cls)
+            if not idents:
+                result = False
+            elif idents != frozenset({deleted}):
+                result = True  # an overriding/extra definition survives
+            else:
+                feeders = [
+                    p for p in _edge_parents(edges, cls) if deleted in carries(p)
+                ]
+                # no view parent supplies it: the definition flows in from
+                # outside the view and the view-scoped delete can't cut it
+                result = not feeders or any(retains(p) for p in feeders)
+            memo[cls] = result
+            return result
+
+        return retains
 
     def _suppressed_definition(self, target: str, prop_name: str) -> Optional[str]:
         """The class whose same-named property ``target`` suppresses, if any.

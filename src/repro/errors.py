@@ -30,6 +30,12 @@ class SliceNotFound(StorageError):
     """A slice id does not name a live slice in the object store."""
 
 
+class RecoveryError(StorageError):
+    """Write-ahead-log replay could not reconstruct the database (corrupt
+    record mid-log, or a replayed operation diverged from what the log
+    recorded — e.g. an OID mismatch)."""
+
+
 class TransactionError(StorageError):
     """Base class for transaction failures."""
 

@@ -24,6 +24,8 @@ scraper — or a test — can consume the same numbers).
 from __future__ import annotations
 
 import re
+import time
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
@@ -221,6 +223,40 @@ class MetricsRegistry:
             self._check_free(name)
             self._order.append(("group", name))
         self._groups[name] = provider
+
+    # -- timing helpers ----------------------------------------------------
+
+    def timed_observe(
+        self,
+        name: str,
+        seconds: float,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> None:
+        """Record one duration into the ``name`` histogram family.
+
+        Keyword arguments become histogram labels, so one family can hold
+        e.g. checkpoint vs. recovery timings side by side
+        (``timed_observe("durability_seconds", dt, op="checkpoint")``).
+        """
+        self.histogram(name, buckets=buckets, labels=labels or None).observe(seconds)
+
+    @contextmanager
+    def timed(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ):
+        """Context manager timing its block into the ``name`` histogram —
+        the duration is recorded even when the block raises."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timed_observe(
+                name, time.perf_counter() - start, buckets=buckets, **labels
+            )
 
     def _check_free(self, name: str) -> None:
         if (

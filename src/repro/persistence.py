@@ -22,6 +22,7 @@ when invoked.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -69,12 +70,21 @@ def property_from_dict(
     data: dict, owner: str, registry: Optional[MethodRegistry]
 ) -> Property:
     if data["kind"] == "attribute":
+        compute = None
+        if not data["stored"] and registry:
+            # derived attributes rebind their compute callable exactly the
+            # way methods rebind bodies; unbound they stay declared but
+            # yield no value until rebound
+            compute = registry.get(f"{owner}.{data['name']}") or registry.get(
+                data["name"]
+            )
         return Attribute(
             name=data["name"],
             domain=data["domain"],
             required=data["required"],
             default=data["default"],
             stored=data["stored"],
+            compute=compute,
         )
     body = None
     if registry:
@@ -296,9 +306,27 @@ def _rebuild_object(db: TseDatabase, entry: dict, oid: Oid):
 # file front door
 # ---------------------------------------------------------------------------
 
+def atomic_write_json(path: "Path | str", data: object, indent: int = 1) -> None:
+    """Write JSON durably: temp file, flush, ``fsync``, atomic rename.
+
+    A crash at any point leaves either the previous file or the new one —
+    never a torn half-written document.  The WAL checkpoint protocol
+    (:meth:`repro.storage.wal.WalManager.checkpoint`) follows the same
+    steps, inlined there so its crash injector can interpose.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(data, handle, indent=indent)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
 def save_database(db: TseDatabase, path: "Path | str") -> None:
-    """Persist a database to one JSON file."""
-    Path(path).write_text(json.dumps(database_to_dict(db), indent=1))
+    """Persist a database to one JSON file (atomically — see
+    :func:`atomic_write_json`)."""
+    atomic_write_json(path, database_to_dict(db))
 
 
 def load_database(

@@ -19,6 +19,13 @@ from repro.storage.transactions import (
     TransactionManager,
     TxStatus,
 )
+from repro.storage.wal import (
+    CrashInjector,
+    SimulatedCrash,
+    WalManager,
+    WriteAheadLog,
+    recover_database,
+)
 
 __all__ = [
     "OID_SIZE_BYTES",
@@ -35,4 +42,9 @@ __all__ = [
     "Transaction",
     "TransactionManager",
     "TxStatus",
+    "CrashInjector",
+    "SimulatedCrash",
+    "WalManager",
+    "WriteAheadLog",
+    "recover_database",
 ]

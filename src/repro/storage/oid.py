@@ -67,6 +67,29 @@ class OidAllocator:
         """Number of OIDs handed out over the allocator's lifetime."""
         return self._allocated
 
+    @property
+    def next_value(self) -> int:
+        """The integer the next allocated OID will carry.
+
+        Log replay records this watermark per allocating operation so that
+        operations which consumed OIDs without leaving state (a rejected
+        ``create``, a rolled-back savepoint) do not desynchronise OID
+        assignment between the original run and its replay.
+        """
+        return self._next
+
+    def fast_forward(self, next_value: int) -> None:
+        """Advance the allocator so the next OID carries ``next_value``.
+
+        Only forward movement is allowed — OIDs are never reissued.
+        """
+        if next_value < self._next:
+            raise ValueError(
+                f"cannot rewind OID allocator from {self._next} to {next_value}"
+            )
+        while self._next < next_value:
+            self.allocate()
+
     def snapshot(self) -> dict:
         """Return a JSON-serialisable snapshot of the allocator state."""
         return {"next": self._next, "allocated": self._allocated}

@@ -66,6 +66,15 @@ class ObjectStore:
     def oids_allocated(self) -> int:
         return self._oids.allocated_count
 
+    @property
+    def oid_next(self) -> int:
+        """The value the next allocated OID will carry (WAL watermark)."""
+        return self._oids.next_value
+
+    def fast_forward_oids(self, next_value: int) -> None:
+        """Advance OID allocation to ``next_value`` (log replay only)."""
+        self._oids.fast_forward(next_value)
+
     # -- slices ----------------------------------------------------------------
 
     def create_slice(self, cluster_key: str, values: Optional[dict] = None) -> Oid:

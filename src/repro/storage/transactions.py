@@ -141,6 +141,10 @@ class Transaction:
         with self._manager.tracer.span(
             "commit", tx_id=self.tx_id, locks=len(self._locks)
         ):
+            # WAL discipline: the log is flushed durably *before* the commit
+            # becomes visible (locks released); an abort never touches disk
+            if self._manager.wal is not None:
+                self._manager.wal.flush()
             self._journal.clear()
             self.status = TxStatus.COMMITTED
             self._manager._release_all(self)
@@ -183,6 +187,10 @@ class TransactionManager:
         #: lifetime outcome counters, surfaced via ``Database.stats()``
         self.commits = 0
         self.aborts = 0
+        #: optional :class:`repro.storage.wal.WalManager`; when attached,
+        #: :meth:`Transaction.commit` flushes the log before the commit
+        #: becomes visible (write-ahead discipline)
+        self.wal = None
 
     def begin(self) -> Transaction:
         tx = Transaction(self, self._next_tx_id)

@@ -124,6 +124,56 @@ class TestPropositions:
         assert created.oid in db.extent(view.schema.global_name_of("Student"))
 
 
+class TestMultipleInheritanceRetention:
+    """Hide-in-all-subclasses over-deletes under multiple inheritance: a
+    subclass whose path to the definition avoids the deletion host must keep
+    the property (the figure 11 principle applied to 6.2)."""
+
+    def _diamond(self):
+        db = TseDatabase()
+        db.define_class("P", [Attribute("badge", domain="str")])
+        db.define_class("L", [Attribute("left")], inherits_from=("P",))
+        db.define_class("R", [Attribute("right")], inherits_from=("P",))
+        db.define_class("D", [Attribute("deep")], inherits_from=("L", "R"))
+        view = db.create_view("V", ["L", "R", "D"], closure="ignore")
+        return db, view
+
+    def test_sibling_path_keeps_the_attribute(self):
+        db, view = self._diamond()
+        # 'badge' flows into both L and R from P (outside the view); deleting
+        # it "from R" must not take it away from D, which still sees it via L
+        view.delete_attribute("badge", from_="R")
+        assert "badge" not in view["R"].property_names()
+        assert "badge" in view["L"].property_names()
+        assert "badge" in view["D"].property_names()
+
+    def test_only_the_host_is_primed(self):
+        db, view = self._diamond()
+        view.delete_attribute("badge", from_="R")
+        script = db.evolution_log()[-1].script
+        assert "hide badge from R" in script
+        assert "from D" not in script and "from L" not in script
+
+    def test_matches_the_oracle(self):
+        db, view = self._diamond()
+        oracle = oracle_from_view(db, view)
+        oracle.delete_attribute("badge", "R")
+        view.delete_attribute("badge", from_="R")
+        assert view_snapshot(db, view) == oracle.snapshot()
+
+    def test_overriding_subclass_keeps_its_own_definition(self):
+        db = TseDatabase()
+        db.define_class("Super", [Attribute("rate", domain="int")])
+        db.define_class("Sub", [], inherits_from=("Super",))
+        db.schema.define_local_property("Sub", Attribute("rate", domain="float"))
+        view = db.create_view("W", ["Super", "Sub"], closure="ignore")
+        view.delete_attribute("rate", from_="Super")
+        assert "rate" not in view["Super"].property_names()
+        # Sub's own overriding definition is not the deleted one
+        entry = db.schema.type_of(view.schema.global_name_of("Sub"))["rate"]
+        assert entry.origin_class == "Sub"
+
+
 class TestDeleteMethod:
     def test_delete_method_mirrors_delete_attribute(self, fig3):
         db, view, _ = fig3
