@@ -1,0 +1,167 @@
+"""Reader throughput under a concurrent schema-changing writer.
+
+The session layer's promise (DESIGN.md section 11) is that snapshot
+readers never block behind an in-flight schema change: they keep answering
+from the last published epoch while the writer runs the pipeline inside
+the write latch.  The observable consequence is *bounded degradation* —
+reader throughput while a writer loops schema changes must stay within 2x
+of the undisturbed baseline (the writer steals CPU and the epoch mutex,
+but never parks a reader on the latch).
+
+For each thread count in ``--threads`` (default ``1,4,8``) the bench
+measures reads/second twice — once idle, once against a writer looping
+add/delete-attribute changes — and asserts the <2x bound.  Writes
+``BENCH_concurrency.json`` at the repo root and
+``benchmarks/results/concurrency.md``.
+"""
+
+import threading
+import time
+from pathlib import Path
+
+from conftest import format_table, write_bench_json, write_report
+
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+
+BENCH_CONCURRENCY_JSON = Path(__file__).parent.parent / "BENCH_concurrency.json"
+
+#: seconds of measurement per (thread count, idle/contended) cell
+DURATION = 0.5
+#: writer pause between schema changes — keeps the writer's duty cycle low
+#: so the measurement reflects latch behaviour, not GIL starvation
+WRITER_PAUSE = 0.02
+
+
+def build_db() -> TseDatabase:
+    db = TseDatabase()
+    db.define_class(
+        "Person",
+        [Attribute("name", domain="str"), Attribute("age", domain="int", default=0)],
+    )
+    db.define_class(
+        "Student", [Attribute("major", domain="str")], inherits_from=("Person",)
+    )
+    db.create_view("campus", ["Person", "Student"])
+    view = db.view("campus")
+    for index in range(120):
+        if index % 3:
+            view["Person"].create(name=f"p{index}", age=index % 80)
+        else:
+            view["Student"].create(name=f"s{index}", age=20, major="cs")
+    return db
+
+
+def measure(sessions, n_threads: int, with_writer: bool, change_seq: list) -> dict:
+    stop = threading.Event()
+    reads = [0] * n_threads
+    changes = [0]
+
+    def make_reader(index):
+        def reader():
+            while not stop.is_set():
+                with sessions.reader() as r:
+                    r.count("campus", "Person")
+                    r.extent_oids("campus", "Student")
+                reads[index] += 1
+
+        return reader
+
+    def writer():
+        while not stop.is_set():
+            seq = change_seq[0]
+            change_seq[0] += 1
+            with sessions.writer() as w:
+                if seq % 2 == 0:
+                    w.view("campus").add_attribute(f"tmp{seq}", to="Person")
+                else:
+                    w.view("campus").delete_attribute(f"tmp{seq - 1}", from_="Person")
+            changes[0] += 1
+            time.sleep(WRITER_PAUSE)
+
+    workers = [threading.Thread(target=make_reader(i)) for i in range(n_threads)]
+    if with_writer:
+        workers.append(threading.Thread(target=writer))
+    for worker in workers:
+        worker.start()
+    time.sleep(DURATION)
+    stop.set()
+    for worker in workers:
+        worker.join()
+    # keep the add/delete pairing intact for the next cell
+    if change_seq[0] % 2 == 1:
+        with sessions.writer() as w:
+            w.view("campus").delete_attribute(
+                f"tmp{change_seq[0] - 1}", from_="Person"
+            )
+        change_seq[0] += 1
+    return {"reads_per_s": round(sum(reads) / DURATION, 1), "changes": changes[0]}
+
+
+def test_reader_throughput_during_schema_change(reader_thread_counts):
+    db = build_db()
+    sessions = db.sessions()
+    change_seq = [0]
+    rows = []
+    configs = []
+    for n_threads in reader_thread_counts:
+        idle = measure(sessions, n_threads, with_writer=False, change_seq=change_seq)
+        busy = measure(sessions, n_threads, with_writer=True, change_seq=change_seq)
+        assert busy["changes"] >= 1, "writer never committed a schema change"
+        degradation = round(idle["reads_per_s"] / max(busy["reads_per_s"], 1e-9), 3)
+        rows.append(
+            (
+                n_threads,
+                idle["reads_per_s"],
+                busy["reads_per_s"],
+                busy["changes"],
+                degradation,
+            )
+        )
+        configs.append(
+            {
+                "reader_threads": n_threads,
+                "idle_reads_per_s": idle["reads_per_s"],
+                "contended_reads_per_s": busy["reads_per_s"],
+                "schema_changes_committed": busy["changes"],
+                "degradation": degradation,
+            }
+        )
+
+    # the acceptance bound: snapshot readers degrade <2x while schema
+    # changes commit around them
+    for config in configs:
+        assert config["degradation"] < 2.0, configs
+
+    write_bench_json(
+        "reader_throughput",
+        {
+            "duration_s": DURATION,
+            "writer_pause_s": WRITER_PAUSE,
+            "configs": configs,
+            "session_stats": sessions.stats_dict(),
+        },
+        db=db,
+        target=BENCH_CONCURRENCY_JSON,
+    )
+    body = (
+        f"Reads/second over {DURATION}s windows, idle vs. against a writer "
+        f"looping add/delete-attribute schema changes (pause "
+        f"{WRITER_PAUSE * 1000:.0f} ms between commits):\n\n"
+        + format_table(
+            [
+                "reader threads",
+                "idle reads/s",
+                "contended reads/s",
+                "changes committed",
+                "degradation",
+            ],
+            rows,
+        )
+        + "\n\nBound asserted: degradation < 2.0 at every thread count."
+    )
+    write_report(
+        "concurrency",
+        "Snapshot-reader throughput during schema changes",
+        body,
+    )

@@ -20,6 +20,15 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_extents.json"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--threads",
+        action="store",
+        default="1,4,8",
+        help="comma-separated reader thread counts for the concurrency bench",
+    )
+
+
 def write_report(name: str, title: str, body: str) -> Path:
     """Persist one experiment's reproduced output."""
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -98,3 +107,13 @@ def trace_phases(db) -> dict:
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture
+def reader_thread_counts(request):
+    """Thread counts for the concurrency bench (``--threads 1,4,8``)."""
+    raw = request.config.getoption("--threads")
+    counts = [int(part) for part in raw.split(",") if part.strip()]
+    if not counts or any(n < 1 for n in counts):
+        raise ValueError(f"--threads must be positive integers, got {raw!r}")
+    return counts

@@ -16,6 +16,9 @@ updates, ``merge``) plus a handful of meta-commands:
                           `reset` zeroes every resettable counter
     .metrics [--prom]     unified metrics registry as JSON (or Prometheus
                           text format with --prom)
+    .sessions [on]        concurrent-session layer: attach it with `on`;
+                          without arguments, show the latch / epoch /
+                          session counters
     .trace on|off         enable/disable pipeline tracing
     .trace show [n]       render the last n recorded span trees (default 5)
     .save <path>          persist the database
@@ -112,6 +115,17 @@ def _meta_command(
             import json as _json
 
             emit(_json.dumps(db.stats(), indent=2, default=str))
+    elif command == ".sessions":
+        if args and args[0] == "on":
+            db.sessions()
+            emit("session layer attached (schema latch + epoch snapshots)")
+        elif args:
+            emit("usage: .sessions [on]")
+        elif db._sessions is None:
+            emit("no session layer attached (use .sessions on)")
+        else:
+            for key, value in db._sessions.stats_dict().items():
+                emit(f"  {key}: {value}")
     elif command == ".trace":
         if not args:
             status = "on" if db.obs.tracer.enabled else "off"

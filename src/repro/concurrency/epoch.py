@@ -1,0 +1,234 @@
+"""Copy-on-write schema epochs: what snapshot-isolated readers actually read.
+
+An *epoch* is an immutable capture of everything a reader needs to answer
+queries against one committed moment of the database:
+
+* the set of class names in the global schema and its generation counter;
+* every view's current :class:`~repro.views.schema.ViewSchema` (these are
+  immutable once registered, so the capture shares them — copy-on-write in
+  the literal sense: the only copied state is the membership data below);
+* per-class extent membership as ``frozenset`` of OIDs;
+* a CRC **checksum** over a canonical rendering of all of the above,
+  computed at publish time while the writer still holds the schema latch.
+
+Readers pin the current epoch with one small mutex hold (pointer grab +
+refcount) — crucially *without* touching the schema latch, so a reader
+session never blocks behind an in-flight schema change; it simply keeps
+answering from the epoch published by the last commit.  The manager
+retires an epoch when it is no longer current and its last reader unpins
+(retire-on-last-reader), so memory is bounded by the number of epochs
+still visible to someone.
+
+:meth:`SchemaEpoch.verify` recomputes the checksum and re-checks the
+structural invariants (every class a view selects exists; every selected
+class has captured membership).  A torn capture — one that interleaved
+with a mutation — cannot pass both; the stress tests call it on every
+read.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+from repro.errors import TseError, UnknownView
+from repro.storage.oid import Oid
+
+__all__ = ["EpochManager", "SchemaEpoch"]
+
+
+class SchemaEpoch:
+    """One immutable committed-whole capture of schema + extents."""
+
+    __slots__ = (
+        "epoch_id",
+        "schema_generation",
+        "class_names",
+        "views",
+        "view_versions",
+        "extents",
+        "checksum",
+        "_pins",
+        "_retired",
+    )
+
+    def __init__(
+        self,
+        epoch_id: int,
+        schema_generation: int,
+        class_names: FrozenSet[str],
+        views: Mapping[str, object],
+        extents: Mapping[str, FrozenSet[Oid]],
+        ) -> None:
+        self.epoch_id = epoch_id
+        self.schema_generation = schema_generation
+        self.class_names = frozenset(class_names)
+        #: view name -> the (immutable) ViewSchema current at publish
+        self.views = dict(views)
+        self.view_versions: Dict[str, int] = {
+            name: schema.version for name, schema in self.views.items()
+        }
+        self.extents: Dict[str, FrozenSet[Oid]] = {
+            name: frozenset(members) for name, members in extents.items()
+        }
+        self.checksum = self._compute_checksum()
+        self._pins = 0
+        self._retired = False
+
+    # -- integrity ---------------------------------------------------------
+
+    def _compute_checksum(self) -> int:
+        canonical = json.dumps(
+            {
+                "generation": self.schema_generation,
+                "classes": sorted(self.class_names),
+                "views": {
+                    name: self.view_versions[name] for name in sorted(self.views)
+                },
+                "extents": {
+                    name: sorted(o.value for o in members)
+                    for name, members in sorted(self.extents.items())
+                },
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return zlib.crc32(canonical)
+
+    def verify(self) -> bool:
+        """True iff the capture is internally consistent (committed-whole).
+
+        Recomputes the checksum and re-checks the structural invariants:
+        every class selected by a captured view exists in the captured
+        class set and owns captured extent membership.
+        """
+        if self.checksum != self._compute_checksum():
+            return False
+        for schema in self.views.values():
+            for global_name in schema.selected:
+                if global_name not in self.class_names:
+                    return False
+                if global_name not in self.extents:
+                    return False
+        return True
+
+    # -- reader queries ----------------------------------------------------
+
+    def view(self, view_name: str):
+        try:
+            return self.views[view_name]
+        except KeyError:
+            raise UnknownView(
+                f"view {view_name!r} did not exist in epoch {self.epoch_id}"
+            ) from None
+
+    def extent_of(self, view_name: str, view_class: str) -> FrozenSet[Oid]:
+        """Membership of one view class as of this epoch."""
+        schema = self.view(view_name)
+        global_name = schema.global_name_of(view_class)
+        return self.extents.get(global_name, frozenset())
+
+    def class_names_of(self, view_name: str) -> List[str]:
+        return self.view(view_name).class_names()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<epoch {self.epoch_id} gen={self.schema_generation} "
+            f"views={len(self.views)} pins={self._pins}>"
+        )
+
+
+class EpochManager:
+    """Publishes, pins and retires :class:`SchemaEpoch` objects.
+
+    The writer calls :meth:`publish` at commit, while still inside the
+    schema latch's write side — the capture therefore reads a stable,
+    committed-whole database.  Readers call :meth:`pin` / :meth:`unpin`;
+    neither touches the latch.
+    """
+
+    def __init__(self, db) -> None:
+        self._db = db
+        self._mutex = threading.Lock()
+        self._current: Optional[SchemaEpoch] = None
+        self._next_id = 0
+        # lifetime counters for the ``concurrency`` stats group
+        self.published = 0
+        self.retired = 0
+        self.pins_taken = 0
+
+    # -- publishing --------------------------------------------------------
+
+    def publish(self) -> SchemaEpoch:
+        """Capture the database's committed state as the new current epoch.
+
+        Must be called where no mutation is concurrently in flight — in
+        practice from the writer while it holds the schema latch (the
+        session layer wires this into the pipeline's commit), or from
+        single-threaded setup code.
+        """
+        db = self._db
+        views = {
+            name: db.views.current(name) for name in db.views.history.view_names()
+        }
+        class_names = frozenset(db.schema.class_names())
+        extents = {name: db.evaluator.extent(name) for name in class_names}
+        with self._mutex:
+            self._next_id += 1
+            epoch = SchemaEpoch(
+                epoch_id=self._next_id,
+                schema_generation=db.schema.generation,
+                class_names=class_names,
+                views=views,
+                extents=extents,
+            )
+            previous, self._current = self._current, epoch
+            self.published += 1
+            if previous is not None and previous._pins == 0:
+                previous._retired = True
+                self.retired += 1
+        return epoch
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin(self) -> SchemaEpoch:
+        """The current epoch, pinned: it survives until :meth:`unpin`."""
+        with self._mutex:
+            epoch = self._current
+            if epoch is None:
+                raise TseError(
+                    "no epoch published yet — the session layer publishes one "
+                    "on attach; call publish() after direct construction"
+                )
+            epoch._pins += 1
+            self.pins_taken += 1
+            return epoch
+
+    def unpin(self, epoch: SchemaEpoch) -> None:
+        with self._mutex:
+            if epoch._pins <= 0:
+                raise TseError(f"unpin of epoch {epoch.epoch_id} with no pins")
+            epoch._pins -= 1
+            if epoch._pins == 0 and epoch is not self._current and not epoch._retired:
+                # retire-on-last-reader: nobody can reach it any more
+                epoch._retired = True
+                self.retired += 1
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def current(self) -> Optional[SchemaEpoch]:
+        with self._mutex:
+            return self._current
+
+    def stats_dict(self) -> Dict[str, object]:
+        with self._mutex:
+            current = self._current
+            return {
+                "published": self.published,
+                "retired": self.retired,
+                "pins_taken": self.pins_taken,
+                "current_epoch": current.epoch_id if current else None,
+                "current_pins": current._pins if current else 0,
+            }

@@ -74,6 +74,10 @@ class TseDatabase:
         #: durability subsystem (:class:`repro.storage.wal.WalManager`);
         #: ``None`` until :meth:`enable_wal` or :meth:`recover` attaches one
         self.wal = None
+        #: concurrency session layer (:class:`repro.concurrency.sessions.SessionManager`);
+        #: ``None`` until :meth:`sessions` creates it — single-threaded use
+        #: pays nothing for it
+        self._sessions = None
         self._register_metrics()
 
     # ------------------------------------------------------------------
@@ -262,6 +266,26 @@ class TseDatabase:
         if self.wal is not None:
             self.wal.record("vacuum", {})
         return sorted(removed)
+
+    # ------------------------------------------------------------------
+    # concurrent sessions
+    # ------------------------------------------------------------------
+
+    def sessions(self):
+        """The concurrency session layer (created on first use).
+
+        Returns the database's :class:`~repro.concurrency.sessions.SessionManager`:
+        ``sessions().reader()`` gives a snapshot-isolated reader pinned to
+        the current schema epoch, ``sessions().writer()`` exclusive access
+        for a block of changes.  Attaching the layer wires the schema latch
+        into the TSE manager, so every schema change — from sessions or
+        from plain handles — serialises behind one writer at a time.
+        """
+        if self._sessions is None:
+            from repro.concurrency.sessions import SessionManager
+
+            self._sessions = SessionManager(self)
+        return self._sessions
 
     # ------------------------------------------------------------------
     # transactions (database-level savepoints)

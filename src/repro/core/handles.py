@@ -25,6 +25,24 @@ from repro.storage.oid import Oid
 from repro.views.schema import ViewSchema
 
 
+def _latched_read(db, resolve):
+    """Run ``resolve()`` under the schema latch's read side when the
+    database has a session layer attached; plain call otherwise.
+
+    Live handles resolve schema/extent state per access; once threads are
+    in play (``db.sessions()``), the latch guarantees the resolution never
+    interleaves with a half-applied schema change.  The write-holding
+    thread re-enters the read side, so the pipeline's own handle use is
+    deadlock-free.  Session-less databases skip even the attribute test's
+    cost of a context manager.
+    """
+    sessions = db._sessions
+    if sessions is None:
+        return resolve()
+    with sessions.latch.read():
+        return resolve()
+
+
 class ViewHandle:
     """A user's live connection to a view.
 
@@ -53,11 +71,15 @@ class ViewHandle:
     def schema(self) -> ViewSchema:
         """The current version (re-resolved on every access) or, for a
         pinned handle, the pinned historical version."""
-        if self.pinned_version is not None:
-            return self._db.views.history.version(
-                self.view_name, self.pinned_version
-            )
-        return self._db.views.current(self.view_name)
+
+        def resolve() -> ViewSchema:
+            if self.pinned_version is not None:
+                return self._db.views.history.version(
+                    self.view_name, self.pinned_version
+                )
+            return self._db.views.current(self.view_name)
+
+        return _latched_read(self._db, resolve)
 
     def pin(self, version: Optional[int] = None) -> "ViewHandle":
         """A handle pinned to ``version`` (default: the version current
@@ -289,11 +311,14 @@ class ViewClassHandle:
 
     @property
     def schema(self) -> ViewSchema:
-        if self.pinned_version is not None:
-            return self._db.views.history.version(
-                self.view_name, self.pinned_version
-            )
-        return self._db.views.current(self.view_name)
+        def resolve() -> ViewSchema:
+            if self.pinned_version is not None:
+                return self._db.views.history.version(
+                    self.view_name, self.pinned_version
+                )
+            return self._db.views.current(self.view_name)
+
+        return _latched_read(self._db, resolve)
 
     @property
     def global_name(self) -> str:
@@ -333,7 +358,10 @@ class ViewClassHandle:
     # -- extent and queries --------------------------------------------------------
 
     def extent_oids(self) -> List[Oid]:
-        return sorted(self._db.evaluator.extent(self.global_name))
+        return _latched_read(
+            self._db,
+            lambda: sorted(self._db.evaluator.extent(self.global_name)),
+        )
 
     def extent(self) -> List["ObjectHandle"]:
         return [
@@ -342,7 +370,10 @@ class ViewClassHandle:
         ]
 
     def count(self) -> int:
-        return len(self._db.evaluator.extent(self.global_name))
+        return _latched_read(
+            self._db,
+            lambda: len(self._db.evaluator.extent(self.global_name)),
+        )
 
     def select_where(self, predicate: Predicate) -> List["ObjectHandle"]:
         """Ad-hoc selection over the extent (no virtual class is created).

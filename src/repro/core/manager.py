@@ -87,6 +87,13 @@ class TseManager:
         #: the view substitution, and ``schema_abort`` on failure.  Only the
         #: commit record is effectful on replay — begin/abort are audit.
         self.journal = None
+        #: optional :class:`repro.concurrency.latch.SchemaLatch`; when the
+        #: session layer attaches one, every pipeline run holds its write
+        #: side so concurrent readers never observe a half-applied change
+        self.latch = None
+        #: optional zero-arg commit hook (the session layer republishes a
+        #: schema epoch here, while the write latch is still held)
+        self.on_commit = None
 
     # ------------------------------------------------------------------
     # the eight primitive operators (user-facing, view-name based)
@@ -184,6 +191,22 @@ class TseManager:
         resulting script, because replay re-runs the whole pipeline and the
         classifier re-derives identical primed classes.
         """
+        if self.latch is not None:
+            # single-writer admission: pipelines from concurrent sessions
+            # queue FIFO; re-entrant, so a WriterSession block nests freely
+            with self.latch.write():
+                return self._change_locked(
+                    view_name, operation, plan_for, journal_args
+                )
+        return self._change_locked(view_name, operation, plan_for, journal_args)
+
+    def _change_locked(
+        self,
+        view_name: str,
+        operation: str,
+        plan_for,
+        journal_args: Optional[Dict[str, object]] = None,
+    ) -> ViewSchema:
         view = self.views.current(view_name)
         with self.tracer.span(
             "schema_change", operation=operation, view=view_name
@@ -228,6 +251,10 @@ class TseManager:
             self.metrics.counter("schema_changes_applied").inc()
             if self.journal is not None:
                 self.journal.schema_commit(view_name, operation, journal_args or {})
+            if self.on_commit is not None:
+                # publish-on-commit: still inside the write latch, so the
+                # epoch captures a committed-whole schema
+                self.on_commit()
             return result
 
     def _run(self, view_name: str, view: ViewSchema, plan: ChangePlan) -> ViewSchema:

@@ -28,6 +28,7 @@ transition in the database.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping
 
@@ -74,6 +75,10 @@ class EventBus:
     def __init__(self) -> None:
         self._subscribers: Dict[str, List[Callable[[Event], None]]] = {}
         self.emitted = 0
+        #: guards subscriber-list mutation and the emitted counter; callbacks
+        #: are invoked *outside* the lock (on a copied tuple) so a handler
+        #: that subscribes/unsubscribes — or emits — never deadlocks
+        self._lock = threading.Lock()
 
     def subscribe(
         self, kind: str, callback: Callable[[Event], None]
@@ -86,7 +91,8 @@ class EventBus:
             try: ...
             finally: undo()
         """
-        self._subscribers.setdefault(kind, []).append(callback)
+        with self._lock:
+            self._subscribers.setdefault(kind, []).append(callback)
 
         def unsubscribe() -> None:
             self.unsubscribe(kind, callback)
@@ -94,19 +100,24 @@ class EventBus:
         return unsubscribe
 
     def unsubscribe(self, kind: str, callback: Callable[[Event], None]) -> None:
-        handlers = self._subscribers.get(kind)
-        if handlers and callback in handlers:
-            handlers.remove(callback)
+        with self._lock:
+            handlers = self._subscribers.get(kind)
+            if handlers and callback in handlers:
+                handlers.remove(callback)
 
     def emit(self, kind: str, **payload: object) -> Event:
         """Publish one event; returns it (handy for tests)."""
         event = Event(kind, payload)
-        self.emitted += 1
-        for callback in tuple(self._subscribers.get(kind, ())):
+        with self._lock:
+            self.emitted += 1
+            direct = tuple(self._subscribers.get(kind, ()))
+            wildcard = tuple(self._subscribers.get(ANY, ()))
+        for callback in direct:
             callback(event)
-        for callback in tuple(self._subscribers.get(ANY, ())):
+        for callback in wildcard:
             callback(event)
         return event
 
     def subscriber_count(self, kind: str) -> int:
-        return len(self._subscribers.get(kind, ()))
+        with self._lock:
+            return len(self._subscribers.get(kind, ()))

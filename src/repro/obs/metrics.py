@@ -19,11 +19,21 @@ Everything is exportable two ways: :meth:`MetricsRegistry.snapshot` (the
 JSON/dict shape ``Database.stats()`` now delegates to) and
 :meth:`MetricsRegistry.to_prometheus` (the text exposition format, so a
 scraper — or a test — can consume the same numbers).
+
+Instruments and the registry are thread-safe: each instrument guards its
+own mutation/read with a small per-instrument lock (a ``Histogram`` update
+touches ``sum``, ``count`` *and* a bucket — three separate writes that
+threads would otherwise tear, leaving ``count != sum(bucket counts)`` in a
+snapshot), and the registry serialises its get-or-create maps so two
+threads asking for the same name always receive the same object.  Gauge
+callbacks are invoked *outside* the registry lock — they read live
+component state and may themselves take component locks.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
@@ -50,26 +60,29 @@ def _sanitize(name: str) -> str:
 class Counter:
     """A monotonically increasing value (resettable for benchmarking)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
     """A point-in-time value: set directly, or observed via callback."""
 
-    __slots__ = ("name", "help", "_value", "_callback")
+    __slots__ = ("name", "help", "_value", "_callback", "_lock")
 
     def __init__(
         self,
@@ -81,27 +94,31 @@ class Gauge:
         self.help = help
         self._value: object = 0
         self._callback = callback
+        self._lock = threading.Lock()
 
     def set(self, value: object) -> None:
         if self._callback is not None:
             raise ValueError(f"gauge {self.name!r} is callback-backed")
-        self._value = value
+        with self._lock:
+            self._value = value
 
     @property
     def value(self) -> object:
         if self._callback is not None:
-            return self._callback()
-        return self._value
+            return self._callback()  # outside the lock: may consult live state
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         if self._callback is None:
-            self._value = 0
+            with self._lock:
+                self._value = 0
 
 
 class Histogram:
     """Fixed-boundary bucketed distribution of observed values."""
 
-    __slots__ = ("name", "help", "labels", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "help", "labels", "buckets", "counts", "sum", "count", "_lock")
 
     def __init__(
         self,
@@ -119,31 +136,40 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+        # sum/count/bucket are three writes; the lock keeps the invariant
+        # count == sum(bucket counts) visible to any concurrent snapshot
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.counts[-1] += 1
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.buckets) + 1)
-        self.sum = 0.0
-        self.count = 0
+        with self._lock:
+            self.counts = [0] * (len(self.buckets) + 1)
+            self.sum = 0.0
+            self.count = 0
 
     def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+            observed_sum = self.sum
         cumulative = 0
         buckets = {}
-        for bound, bucket_count in zip(self.buckets, self.counts):
+        for bound, bucket_count in zip(self.buckets, counts):
             cumulative += bucket_count
             buckets[str(bound)] = cumulative
-        buckets["+Inf"] = self.count
+        buckets["+Inf"] = total
         return {
-            "count": self.count,
-            "sum": round(self.sum, 6),
+            "count": total,
+            "sum": round(observed_sum, 6),
             "buckets": buckets,
         }
 
@@ -166,16 +192,20 @@ class MetricsRegistry:
         self._histograms: Dict[str, Dict[Tuple[Tuple[str, str], ...], Histogram]] = {}
         #: snapshot key order across all instrument kinds
         self._order: List[Tuple[str, str]] = []
+        #: guards the get-or-create maps and ``_order``; re-entrant because
+        #: ``timed_observe`` calls :meth:`histogram` which may re-enter
+        self._lock = threading.RLock()
 
     # -- registration ------------------------------------------------------
 
     def counter(self, name: str, help: str = "") -> Counter:
-        instrument = self._counters.get(name)
-        if instrument is None:
-            self._check_free(name)
-            instrument = Counter(name, help)
-            self._counters[name] = instrument
-            self._order.append(("counter", name))
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_free(name)
+                instrument = Counter(name, help)
+                self._counters[name] = instrument
+                self._order.append(("counter", name))
         return instrument
 
     def gauge(
@@ -184,12 +214,13 @@ class MetricsRegistry:
         help: str = "",
         callback: Optional[Callable[[], object]] = None,
     ) -> Gauge:
-        instrument = self._gauges.get(name)
-        if instrument is None:
-            self._check_free(name)
-            instrument = Gauge(name, help, callback)
-            self._gauges[name] = instrument
-            self._order.append(("gauge", name))
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_free(name)
+                instrument = Gauge(name, help, callback)
+                self._gauges[name] = instrument
+                self._order.append(("gauge", name))
         return instrument
 
     def histogram(
@@ -199,17 +230,18 @@ class MetricsRegistry:
         help: str = "",
         labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
-        family = self._histograms.get(name)
-        if family is None:
-            self._check_free(name)
-            family = {}
-            self._histograms[name] = family
-            self._order.append(("histogram", name))
-        key = tuple(sorted((labels or {}).items()))
-        instrument = family.get(key)
-        if instrument is None:
-            instrument = Histogram(name, buckets=buckets, help=help, labels=labels)
-            family[key] = instrument
+        with self._lock:
+            family = self._histograms.get(name)
+            if family is None:
+                self._check_free(name)
+                family = {}
+                self._histograms[name] = family
+                self._order.append(("histogram", name))
+            key = tuple(sorted((labels or {}).items()))
+            instrument = family.get(key)
+            if instrument is None:
+                instrument = Histogram(name, buckets=buckets, help=help, labels=labels)
+                family[key] = instrument
         return instrument
 
     def register_group(
@@ -219,10 +251,11 @@ class MetricsRegistry:
 
         Re-registering a name replaces the provider (databases rebuild
         component wiring on restore)."""
-        if name not in self._groups:
-            self._check_free(name)
-            self._order.append(("group", name))
-        self._groups[name] = provider
+        with self._lock:
+            if name not in self._groups:
+                self._check_free(name)
+                self._order.append(("group", name))
+            self._groups[name] = provider
 
     # -- timing helpers ----------------------------------------------------
 
@@ -271,8 +304,10 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, object]:
         """All instruments as one JSON-ready dict, in registration order."""
+        with self._lock:
+            order = list(self._order)
         result: Dict[str, object] = {}
-        for kind, name in self._order:
+        for kind, name in order:
             if kind == "counter":
                 result[name] = self._counters[name].value
             elif kind == "gauge":
@@ -292,8 +327,10 @@ class MetricsRegistry:
 
     def to_prometheus(self, prefix: str = "tse_") -> str:
         """The registry in Prometheus text exposition format."""
+        with self._lock:
+            order = list(self._order)
         lines: List[str] = []
-        for kind, name in self._order:
+        for kind, name in order:
             metric = prefix + _sanitize(name)
             if kind == "counter":
                 counter = self._counters[name]
@@ -321,16 +358,14 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {metric} histogram")
                 for _, hist in sorted(self._histograms[name].items()):
                     label_prefix = dict(hist.labels)
-                    cumulative = 0
-                    for bound, bucket_count in zip(hist.buckets, hist.counts):
-                        cumulative += bucket_count
-                        labels = _labels({**label_prefix, "le": _fmt(bound)})
+                    state = hist.as_dict()  # locked, internally consistent
+                    for bound, cumulative in state["buckets"].items():
+                        le = bound if bound == "+Inf" else _fmt(float(bound))
+                        labels = _labels({**label_prefix, "le": le})
                         lines.append(f"{metric}_bucket{labels} {cumulative}")
-                    labels = _labels({**label_prefix, "le": "+Inf"})
-                    lines.append(f"{metric}_bucket{labels} {hist.count}")
                     base = _labels(label_prefix)
-                    lines.append(f"{metric}_sum{base} {_fmt(hist.sum)}")
-                    lines.append(f"{metric}_count{base} {hist.count}")
+                    lines.append(f"{metric}_sum{base} {_fmt(state['sum'])}")
+                    lines.append(f"{metric}_count{base} {state['count']}")
         return "\n".join(lines) + "\n"
 
     # -- maintenance -------------------------------------------------------

@@ -20,10 +20,18 @@ Design constraints, in order:
 3. **Plain data out.**  Finished spans expose ``as_dict()`` /
    ``render_lines()`` so the CLI, tests and benchmarks consume the same
    structure.
+4. **Thread-aware.**  Each thread nests spans on its *own* stack
+   (``threading.local``), so concurrent sessions never splice their spans
+   into each other's trees; finished roots from every thread land in one
+   shared ring buffer whose append is guarded together with the
+   ``spans_recorded`` counter.  Readers of the ring take no lock — they
+   copy the deque (append/iterate are safe under CPython) and may at worst
+   miss a span finishing concurrently.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from typing import Dict, Iterator, List, Optional
@@ -179,9 +187,17 @@ class Tracer:
     def __init__(self, metrics=None, ring_size: int = 64) -> None:
         self.enabled = False
         self._metrics = metrics
-        self._stack: List[Span] = []
+        self._local = threading.local()  # per-thread span stack
         self._ring: deque = deque(maxlen=ring_size)
         self.spans_recorded = 0
+        self._lock = threading.Lock()  # guards ring append + spans_recorded
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- switching ---------------------------------------------------------
 
@@ -189,7 +205,10 @@ class Tracer:
         self.enabled = True
 
     def disable(self) -> None:
-        """Turn tracing off and drop any half-open span stack."""
+        """Turn tracing off and drop any half-open span stack.
+
+        Only the calling thread's stack can be dropped; other threads'
+        in-flight spans finish harmlessly into their own stacks."""
         self.enabled = False
         self._stack.clear()
 
@@ -209,14 +228,16 @@ class Tracer:
         self._stack.append(span)
 
     def _pop(self, span: Span) -> None:
+        stack = self._stack  # this thread's stack: no lock needed
         # tolerate a stack cleared by disable() mid-span
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        if self._stack:
-            self._stack[-1].children.append(span)
-        else:
-            self._ring.append(span)
-        self.spans_recorded += 1
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                self._ring.append(span)
+            self.spans_recorded += 1
         if self._metrics is not None:
             self._metrics.histogram(
                 "span_duration_seconds",
@@ -238,8 +259,9 @@ class Tracer:
         return self._ring[-1] if self._ring else None
 
     def clear(self) -> None:
-        self._ring.clear()
-        self.spans_recorded = 0
+        with self._lock:
+            self._ring.clear()
+            self.spans_recorded = 0
 
 
 def phase_breakdown(spans: List[Span]) -> Dict[str, Dict[str, float]]:

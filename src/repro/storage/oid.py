@@ -11,6 +11,7 @@ tiny value type so that the benchmarks can count and size OIDs faithfully.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -45,16 +46,27 @@ class OidAllocator:
     The allocator also keeps a running count so Table 1's ``#oids`` column can
     be read off directly after a workload, and supports snapshot/restore so
     the store can persist its state.
+
+    Allocation is atomic: the increment of ``_next``/``_allocated`` happens
+    under a mutex, so concurrent creates from different sessions can never
+    mint the same OID (which would silently corrupt the Table 1 ``#oids``
+    accounting and alias two objects' identities).  ``fast_forward`` and
+    ``snapshot`` take the same mutex so a WAL watermark or checkpoint never
+    observes a half-applied increment.
     """
 
     _next: int = 1
     _allocated: int = 0
+    _mutex: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def allocate(self) -> Oid:
         """Return a fresh, never-before-issued OID."""
-        oid = Oid(self._next)
-        self._next += 1
-        self._allocated += 1
+        with self._mutex:
+            oid = Oid(self._next)
+            self._next += 1
+            self._allocated += 1
         return oid
 
     def allocate_many(self, count: int) -> Iterator[Oid]:
@@ -83,16 +95,19 @@ class OidAllocator:
 
         Only forward movement is allowed — OIDs are never reissued.
         """
-        if next_value < self._next:
-            raise ValueError(
-                f"cannot rewind OID allocator from {self._next} to {next_value}"
-            )
-        while self._next < next_value:
-            self.allocate()
+        with self._mutex:
+            if next_value < self._next:
+                raise ValueError(
+                    f"cannot rewind OID allocator from {self._next} to {next_value}"
+                )
+            while self._next < next_value:
+                self._next += 1
+                self._allocated += 1
 
     def snapshot(self) -> dict:
         """Return a JSON-serialisable snapshot of the allocator state."""
-        return {"next": self._next, "allocated": self._allocated}
+        with self._mutex:
+            return {"next": self._next, "allocated": self._allocated}
 
     @classmethod
     def from_snapshot(cls, state: dict) -> "OidAllocator":

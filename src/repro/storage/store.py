@@ -18,6 +18,7 @@ meaning.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
@@ -54,6 +55,10 @@ class ObjectStore:
         self._pages = PageManager(slots_per_page=slots_per_page, cache_pages=cache_pages)
         self._slices: Dict[Oid, SliceRecord] = {}
         self._by_key: Dict[str, List[Oid]] = {}
+        #: guards slice-table bookkeeping (create/drop) and the snapshot
+        #: restore swap; value reads go straight to the page manager — the
+        #: session layer's epoch snapshots isolate readers from writers
+        self._mutex = threading.RLock()
 
     # -- OIDs ----------------------------------------------------------------
 
@@ -84,10 +89,11 @@ class ObjectStore:
         """
         slice_id = self._oids.allocate()
         payload = dict(values) if values else {}
-        page_id, slot = self._pages.place(cluster_key, payload)
-        record = SliceRecord(slice_id, cluster_key, page_id, slot)
-        self._slices[slice_id] = record
-        self._by_key.setdefault(cluster_key, []).append(slice_id)
+        with self._mutex:
+            page_id, slot = self._pages.place(cluster_key, payload)
+            record = SliceRecord(slice_id, cluster_key, page_id, slot)
+            self._slices[slice_id] = record
+            self._by_key.setdefault(cluster_key, []).append(slice_id)
         return slice_id
 
     def _record(self, slice_id: Oid) -> SliceRecord:
@@ -130,15 +136,16 @@ class ObjectStore:
 
     def drop_slice(self, slice_id: Oid) -> None:
         """Destroy a slice and free its slot."""
-        record = self._record(slice_id)
-        self._pages.delete(record.page_id, record.slot)
-        del self._slices[slice_id]
-        bucket = self._by_key.get(record.cluster_key)
-        if bucket is not None:
-            try:
-                bucket.remove(slice_id)
-            except ValueError:
-                pass
+        with self._mutex:
+            record = self._record(slice_id)
+            self._pages.delete(record.page_id, record.slot)
+            del self._slices[slice_id]
+            bucket = self._by_key.get(record.cluster_key)
+            if bucket is not None:
+                try:
+                    bucket.remove(slice_id)
+                except ValueError:
+                    pass
 
     def slice_exists(self, slice_id: Oid) -> bool:
         return slice_id in self._slices
@@ -227,10 +234,13 @@ class ObjectStore:
         database-level savepoints.
         """
         fresh = ObjectStore.from_snapshot(state)
-        self._oids = fresh._oids
-        self._pages = fresh._pages
-        self._slices = fresh._slices
-        self._by_key = fresh._by_key
+        # swap all four structures in one critical section so a concurrent
+        # slice create/drop never interleaves with a half-restored store
+        with self._mutex:
+            self._oids = fresh._oids
+            self._pages = fresh._pages
+            self._slices = fresh._slices
+            self._by_key = fresh._by_key
 
     def save(self, path: "Path | str") -> None:
         """Persist the store to a JSON file."""

@@ -1,21 +1,36 @@
 """Transactions over the object store.
 
 GemStone provided TSE with concurrency control (section 5).  We reproduce the
-minimum a single-process reproduction needs: strict two-phase locking at
+minimum a multi-session reproduction needs: strict two-phase locking at
 slice granularity with an undo journal, giving atomic commit/abort.  The TSE
 layer wraps every schema-change pipeline in a transaction so that a failure
 midway (e.g. a rejected algebra statement) rolls the database back to a
 consistent state — exercised by the failure-injection tests.
 
-Locks are per-transaction-manager, not per-thread: the reproduction is
-single-process, so "concurrency control" here means protecting one logical
-unit of work against another that is interleaved programmatically, which is
-what the tests do.
+Locks are per-transaction-manager and the lock table itself is guarded by a
+mutex, so transactions issued from different threads (the
+``repro.concurrency`` session layer) arbitrate correctly:
+
+* transaction-id allocation is atomic — two concurrent ``begin()`` calls can
+  never mint the same id (which would alias their lock ownership);
+* lock acquisition is re-entrant for a transaction that already holds the
+  slice, including the SHARED→EXCLUSIVE *upgrade* when it is the sole
+  holder — previously the holder check and the table mutation were separate
+  steps, so a concurrent reader slipping in between them turned a legal
+  sole-holder upgrade into a spurious :class:`~repro.errors.LockConflict`
+  (or, worse, left an EXCLUSIVE entry with two holders);
+* conflicts are detected and raised while the mutex is held, so the error
+  reflects a real, not a torn, table state.
+
+Conflicts fail fast (no blocking waits): the schema latch in
+``repro.concurrency.latch`` is the blocking primitive; slice locks only
+arbitrate overlapping logical units of work.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -184,6 +199,9 @@ class TransactionManager:
         self.tracer = tracer if tracer is not None else Tracer()
         self._next_tx_id = 1
         self._lock_table: Dict[Oid, Tuple[LockMode, Set[int]]] = {}
+        #: guards tx-id allocation and every lock-table read-modify-write;
+        #: re-entrant so tracing/metrics callbacks can consult the table
+        self._mutex = threading.RLock()
         #: lifetime outcome counters, surfaced via ``Database.stats()``
         self.commits = 0
         self.aborts = 0
@@ -193,41 +211,53 @@ class TransactionManager:
         self.wal = None
 
     def begin(self) -> Transaction:
-        tx = Transaction(self, self._next_tx_id)
-        self._next_tx_id += 1
+        with self._mutex:
+            tx = Transaction(self, self._next_tx_id)
+            self._next_tx_id += 1
         return tx
 
     # -- lock table ---------------------------------------------------------
 
     def _acquire(self, tx: Transaction, slice_id: Oid, mode: LockMode) -> None:
-        entry = self._lock_table.get(slice_id)
-        if entry is None:
-            self._lock_table[slice_id] = (mode, {tx.tx_id})
-            return
-        held_mode, holders = entry
-        if holders == {tx.tx_id}:
-            # lock upgrade by the sole holder is always allowed
-            if mode is LockMode.EXCLUSIVE and held_mode is LockMode.SHARED:
-                self._lock_table[slice_id] = (LockMode.EXCLUSIVE, holders)
-            return
-        if mode is LockMode.SHARED and held_mode is LockMode.SHARED:
-            holders.add(tx.tx_id)
-            return
-        raise LockConflict(
-            f"transaction {tx.tx_id} cannot take {mode.value} lock on "
-            f"{slice_id}: held {held_mode.value} by {sorted(holders)}"
-        )
+        with self._mutex:
+            entry = self._lock_table.get(slice_id)
+            if entry is None:
+                self._lock_table[slice_id] = (mode, {tx.tx_id})
+                return
+            held_mode, holders = entry
+            if tx.tx_id in holders:
+                if len(holders) == 1:
+                    # re-entrant by the sole holder: same-mode re-acquire,
+                    # EXCLUSIVE→SHARED (covered), SHARED→EXCLUSIVE upgrade
+                    if mode is LockMode.EXCLUSIVE and held_mode is LockMode.SHARED:
+                        self._lock_table[slice_id] = (LockMode.EXCLUSIVE, holders)
+                    return
+                if mode is LockMode.SHARED:
+                    return  # already a co-holder of the shared lock
+                raise LockConflict(
+                    f"transaction {tx.tx_id} cannot upgrade to exclusive on "
+                    f"{slice_id}: shared with {sorted(holders - {tx.tx_id})}"
+                )
+            if mode is LockMode.SHARED and held_mode is LockMode.SHARED:
+                holders.add(tx.tx_id)
+                return
+            raise LockConflict(
+                f"transaction {tx.tx_id} cannot take {mode.value} lock on "
+                f"{slice_id}: held {held_mode.value} by {sorted(holders)}"
+            )
 
     def _release_all(self, tx: Transaction) -> None:
-        for slice_id in list(self._lock_table):
-            mode, holders = self._lock_table[slice_id]
-            holders.discard(tx.tx_id)
-            if not holders:
-                del self._lock_table[slice_id]
+        with self._mutex:
+            for slice_id in list(self._lock_table):
+                mode, holders = self._lock_table[slice_id]
+                holders.discard(tx.tx_id)
+                if not holders:
+                    del self._lock_table[slice_id]
 
     @property
     def locked_slice_count(self) -> int:
-        return len(self._lock_table)
+        with self._mutex:
+            return len(self._lock_table)
 
     def stats_dict(self) -> Dict[str, int]:
         """Outcome counters for the metrics registry's ``transactions`` group."""
