@@ -1,0 +1,64 @@
+"""Throughput of the differential fuzzing harness.
+
+The fuzzer's value scales with how many command applications it can push
+through the real-pipeline/oracle pair per second — every command replays
+against *two* systems and triggers a full observable-equivalence sweep.
+This bench measures commands/second over a seeded sweep, asserts a loose
+floor (so an accidental quadratic in the equivalence check or the oracle
+shows up as a failure, not a silently slower CI lane), and records the
+number alongside the other reproduction metrics.
+"""
+
+import time
+
+import pytest
+from conftest import format_table, write_bench_json, write_report
+
+from repro.checking.runner import run_sequence
+
+N_SEQUENCES = 12
+LENGTH = 20
+
+#: conservative floor in commands/second — the harness does ~800 cmd/s on
+#: a laptop-class core; below 50 something is structurally wrong
+MIN_COMMANDS_PER_SEC = 50
+
+
+@pytest.mark.bench_smoke
+def test_fuzz_throughput():
+    start = time.perf_counter()
+    total_commands = 0
+    divergences = []
+    for seed in range(N_SEQUENCES):
+        commands, divergence = run_sequence(seed, length=LENGTH)
+        total_commands += len(commands)
+        if divergence is not None:
+            divergences.append((seed, str(divergence)))
+    elapsed = time.perf_counter() - start
+
+    assert not divergences, divergences
+    commands_per_sec = total_commands / elapsed
+    assert commands_per_sec >= MIN_COMMANDS_PER_SEC, (
+        f"differential harness slowed to {commands_per_sec:.0f} cmd/s "
+        f"({total_commands} commands in {elapsed:.1f}s)"
+    )
+
+    write_bench_json(
+        "fuzz_throughput",
+        {
+            "sequences": N_SEQUENCES,
+            "length": LENGTH,
+            "total_commands": total_commands,
+            "elapsed_s": round(elapsed, 3),
+            "commands_per_sec": round(commands_per_sec, 1),
+        },
+    )
+    write_report(
+        "fuzz_throughput",
+        "Differential fuzzing throughput",
+        format_table(
+            ["sequences", "commands", "elapsed (s)", "commands/s"],
+            [(N_SEQUENCES, total_commands, f"{elapsed:.2f}",
+              f"{commands_per_sec:.0f}")],
+        ),
+    )

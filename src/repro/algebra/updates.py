@@ -366,7 +366,11 @@ class UpdateEngine:
                     )
         except Exception:
             for oid, target in reversed(added):
-                self.pool.remove_membership(oid, target)
+                # the forward pass only recorded memberships (slices appear
+                # lazily), so a slice for ``target`` can only pre-exist —
+                # e.g. as ancestor storage of another membership — and the
+                # rollback must not destroy its values
+                self.pool.remove_membership(oid, target, keep_slice=True)
             raise
         if self.journal is not None and oids:
             self.journal.log_add(class_name, oids, union_target)
@@ -392,8 +396,16 @@ class UpdateEngine:
                 raise NotAMember(
                     f"{oid} has no direct membership among {sorted(targets)}"
                 )
+            remaining = set(obj.direct_classes) - set(removable)
             for member_class in removable:
-                self.pool.remove_membership(oid, member_class)
+                # the slice stays when the removed class is still an ancestor
+                # of a remaining membership: the object keeps that part of its
+                # type, so removing the direct membership must not lose values
+                keep = any(
+                    self.schema.is_ancestor(member_class, direct)
+                    for direct in remaining
+                )
+                self.pool.remove_membership(oid, member_class, keep_slice=keep)
         if self.journal is not None and oids:
             self.journal.log_remove(class_name, oids, target)
         return UpdateReport("remove", class_name, oids, tuple(sorted(targets)))

@@ -1,0 +1,51 @@
+"""Differential checking: an executable reference semantics for TSE.
+
+This package is correctness *tooling*, not part of the production pipeline:
+
+* :mod:`repro.checking.oracle` — a deliberately naive reference model of
+  the paper's observable semantics (flat dicts, extents recomputed from
+  scratch, no incremental maintenance, no WAL, no slicing);
+* :mod:`repro.checking.commands` — a typed, JSON-serializable command
+  vocabulary covering the section 3 schema changes, the five generic
+  updates, savepoints, crash/recovery and reader sessions;
+* :mod:`repro.checking.runner` — the differential harness: applies each
+  command to the real system *and* the oracle and asserts observable
+  equivalence after every step;
+* :mod:`repro.checking.minimize` — ddmin-style shrinking of diverging
+  command lists plus the failure-corpus JSON format.
+"""
+
+from repro.checking.commands import (
+    Command,
+    CommandGenerator,
+    command_from_dict,
+    command_to_dict,
+)
+from repro.checking.minimize import (
+    load_corpus_entry,
+    minimize_commands,
+    save_corpus_entry,
+)
+from repro.checking.oracle import OracleReject, RefModel
+from repro.checking.runner import (
+    Divergence,
+    DifferentialHarness,
+    run_commands,
+    run_sequence,
+)
+
+__all__ = [
+    "Command",
+    "CommandGenerator",
+    "DifferentialHarness",
+    "Divergence",
+    "OracleReject",
+    "RefModel",
+    "command_from_dict",
+    "command_to_dict",
+    "load_corpus_entry",
+    "minimize_commands",
+    "run_commands",
+    "run_sequence",
+    "save_corpus_entry",
+]

@@ -1,0 +1,139 @@
+"""ddmin shrinking of diverging command lists + the failure-corpus format.
+
+When the differential runner finds a divergence, the raw sequence is
+usually dozens of commands of which only a handful matter.
+:func:`minimize_commands` is a classic delta-debugging loop: remove
+chunks (halving granularity until single commands) and keep any removal
+that still reproduces a divergence with the *same signature*
+``(kind, op)``, iterating to a fixpoint.  Removal is safe by
+construction — commands address schema elements through blind indices,
+so a shrunk prefix can change what a later command refers to but never
+how it parses; a reference that no longer resolves becomes an agreed
+skip on both systems.
+
+Shrunk failures are serialized as corpus JSON (one file per divergence)
+under a corpus directory; ``tests/test_differential.py`` replays every
+committed corpus entry as an ordinary tier-1 regression test.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.checking.commands import Command, command_from_dict, command_to_dict
+from repro.checking.runner import Divergence, run_commands
+
+#: cap on reproduction runs during one shrink (each run replays the whole
+#: candidate list against a fresh database pair)
+DEFAULT_BUDGET = 400
+
+
+def minimize_commands(
+    commands: List[Command],
+    fails: Optional[Callable[[List[Command]], bool]] = None,
+    budget: int = DEFAULT_BUDGET,
+) -> Tuple[List[Command], Optional[Divergence]]:
+    """Shrink ``commands`` to a (locally) minimal list that still fails.
+
+    ``fails`` decides whether a candidate still reproduces; by default the
+    candidate must diverge with the same ``(kind, op)`` signature as the
+    full list.  Returns ``(minimal_commands, final_divergence)`` — the
+    divergence is re-captured from the minimal list so its step/detail
+    match what a replay will see (``None`` only when ``fails`` is custom
+    and the final probe was not a divergence run).
+    """
+    runs = [0]
+
+    if fails is None:
+        initial = run_commands(commands)
+        if initial is None:
+            raise ValueError("minimize_commands needs a failing command list")
+        signature = initial.signature()
+
+        def fails(candidate: List[Command]) -> bool:
+            divergence = run_commands(candidate)
+            return divergence is not None and divergence.signature() == signature
+
+    def probe(candidate: List[Command]) -> bool:
+        if runs[0] >= budget:
+            return False
+        runs[0] += 1
+        return fails(candidate)
+
+    current = list(commands)
+    # phase 1: chunked ddmin with doubling granularity
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + chunk:]
+            if candidate and probe(candidate):
+                current = candidate
+            else:
+                index += chunk
+        if chunk == 1:
+            break
+        chunk //= 2
+    # phase 2: element-wise passes to a fixpoint (chunk removals can
+    # expose single commands that are now redundant)
+    changed = True
+    while changed and runs[0] < budget:
+        changed = False
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + 1:]
+            if candidate and probe(candidate):
+                current = candidate
+                changed = True
+            else:
+                index += 1
+    return current, run_commands(current)
+
+
+# ---------------------------------------------------------------------------
+# corpus serialization
+# ---------------------------------------------------------------------------
+
+CORPUS_FORMAT = 1
+
+
+def save_corpus_entry(
+    directory,
+    name: str,
+    commands: List[Command],
+    divergence: Optional[Divergence] = None,
+    seed: Optional[int] = None,
+    note: str = "",
+) -> Path:
+    """Write one corpus entry as JSON; returns the file path.
+
+    Entries with a recorded ``divergence`` document a historical failure
+    (the replay test asserts the bug stays *fixed*, i.e. replaying now
+    yields no divergence); entries without one are pinned known-good
+    sequences.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    payload = {
+        "format": CORPUS_FORMAT,
+        "name": name,
+        "seed": seed,
+        "note": note,
+        "commands": [command_to_dict(c) for c in commands],
+        "divergence": divergence.to_dict() if divergence is not None else None,
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus_entry(path) -> Tuple[List[Command], dict]:
+    """Read one corpus entry; returns ``(commands, metadata)``."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != CORPUS_FORMAT:
+        raise ValueError(f"unsupported corpus format in {path}")
+    commands = [command_from_dict(d) for d in data["commands"]]
+    meta = {k: v for k, v in data.items() if k != "commands"}
+    return commands, meta

@@ -297,8 +297,15 @@ class TseManager:
         # that actually ended up in the schema
         for stmt_name, target in plan.union_propagation.items():
             cls = self.schema[effective.get(stmt_name, stmt_name)]
-            if isinstance(cls, VirtualClass) and cls.derivation.op == "union":
-                cls.propagation_source = effective.get(target, target)
+            resolved = effective.get(target, target)
+            # when the classifier deduplicated the union into the very class
+            # the propagation points at, leave routing to sources[0]
+            if (
+                isinstance(cls, VirtualClass)
+                and cls.derivation.op == "union"
+                and resolved != cls.name
+            ):
+                cls.propagation_source = resolved
 
         # (3) assemble the successor view: substitute primed classes, keep
         # the old view names for them, apply additions and removals

@@ -521,9 +521,12 @@ class TseTranslator:
                 continue  # still a superclass through another relationship
             keepers = self._keepers(remaining, v, g_sub, plan.replacements)
             primed = self._fresh(v, plan)
-            self._emit_shrunk_extent(plan, primed, v, g_sub, keepers)
+            inner = self._emit_shrunk_extent(plan, primed, v, g_sub, keepers)
             plan.replacements[v] = primed
-            plan.union_propagation[primed] = v
+            # create/add through the shrunk class must keep landing in ``v``
+            # as before the change; routing to the diff part achieves that
+            # (``v`` itself is not a source of the keeper-union chain)
+            plan.union_propagation[primed] = inner
 
         # Second loop: hide from C_sub and its view subclasses every property
         # inherited solely through the deleted edge (findProperties macro).
@@ -552,9 +555,11 @@ class TseTranslator:
         v: str,
         g_sub: str,
         keepers: Sequence[str],
-    ) -> None:
+    ) -> str:
         """Emit ``v' = union(diff(v, C_sub), X)`` with X the union of the
-        commonSub classes; collapses to a plain difference when X is empty."""
+        commonSub classes; collapses to a plain difference when X is empty.
+        Returns the outermost union's first source — the class that
+        ``create``/``add`` propagation should route through."""
         if not keepers:
             plan.statements.append(
                 DefineStatement(
@@ -563,7 +568,7 @@ class TseTranslator:
                     primes=v,
                 )
             )
-            return
+            return primed
         diff_name = self._fresh_internal(f"diff_{v}_{g_sub}", plan)
         plan.statements.append(
             DefineStatement(
@@ -582,7 +587,9 @@ class TseTranslator:
                     primes=v if last else None,
                 )
             )
+            previous = current
             current = union_name
+        return previous
 
     @staticmethod
     def _keepers(
@@ -737,13 +744,21 @@ class TseTranslator:
 
     def _origin_classes(self, class_name: str) -> FrozenSet[str]:
         """Origin base classes: recursively trace derivation sources back
-        until base classes are met (section 3.4, footnote 18)."""
+        until base classes are met (section 3.4, footnote 18).
+
+        Only *monotone* source positions are traced: a ``difference``
+        subtrahend is contravariant, so replaying it over a fresh (smaller)
+        base would grow the replayed extent and break the subsumption the
+        replay exists to guarantee — it is reused verbatim instead.
+        """
         cls = self.schema[class_name]
         if isinstance(cls, BaseClass):
             return frozenset({class_name})
         assert isinstance(cls, VirtualClass)
+        der = cls.derivation
+        sources = der.sources[:1] if der.op == "difference" else der.sources
         result: Set[str] = set()
-        for source in cls.derivation.sources:
+        for source in sources:
             result |= self._origin_classes(source)
         return frozenset(result)
 
@@ -764,10 +779,32 @@ class TseTranslator:
             return class_name
         assert isinstance(cls, VirtualClass)
         der = cls.derivation
-        new_sources = tuple(
-            self._replay_derivation(plan, source, mapping) for source in der.sources
-        )
+        if der.op == "difference":
+            # Contravariant subtrahend stays verbatim: diff(fresh ⊆ A, B)
+            # is provably ⊆ diff(A, B); replaying B would invert that.
+            new_sources = (
+                self._replay_derivation(plan, der.sources[0], mapping),
+                der.sources[1],
+            )
+        else:
+            new_sources = tuple(
+                self._replay_derivation(plan, source, mapping)
+                for source in der.sources
+            )
         replay_name = final_name or self._fresh_internal(f"replay_{class_name}", plan)
+        new_properties = der.new_properties
+        shared_properties = der.shared_properties
+        if der.op == "refine" and new_properties:
+            # a replayed refine must *share* the template's capacity-adding
+            # properties, not redefine them: a second definition would be a
+            # second storage site for the same logical property, making it
+            # ambiguous wherever the replayed class later meets the
+            # template's descendants (e.g. the insert-class union)
+            shared_properties = shared_properties + tuple(
+                SharedProperty(from_class=class_name, name=prop.name)
+                for prop in new_properties
+            )
+            new_properties = ()
         plan.statements.append(
             DefineStatement(
                 name=replay_name,
@@ -776,8 +813,8 @@ class TseTranslator:
                     sources=new_sources,
                     predicate=der.predicate,
                     hidden=der.hidden,
-                    new_properties=der.new_properties,
-                    shared_properties=der.shared_properties,
+                    new_properties=new_properties,
+                    shared_properties=shared_properties,
                 ),
             )
         )

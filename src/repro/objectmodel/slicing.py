@@ -224,18 +224,28 @@ class InstancePool:
             self._dirty()
             self._emit(PoolDelta("add_membership", oid=oid, class_name=class_name))
 
-    def remove_membership(self, oid: Oid, class_name: str) -> None:
-        """Remove direct membership (generic ``remove``); drops the slice."""
+    def remove_membership(
+        self, oid: Oid, class_name: str, keep_slice: bool = False
+    ) -> None:
+        """Remove direct membership (generic ``remove``); drops the slice.
+
+        ``keep_slice=True`` preserves the implementation slice: the caller
+        (who knows the schema) has established that ``class_name`` is still
+        an ancestor of one of the object's remaining memberships, so its
+        stored attributes are still part of the object's type and must not
+        be lost with the direct membership.
+        """
         obj = self.get(oid)
         if class_name not in obj.direct_classes:
             raise NotAMember(f"{oid} is not a direct member of {class_name!r}")
         obj.direct_classes.discard(class_name)
         self._discard_direct(oid, class_name)
-        impl = obj.implementations.pop(class_name, None)
-        if impl is not None:
-            self.store.drop_slice(impl.slice_id)
-            for listener in self._slice_drop_listeners:
-                listener(oid, class_name)
+        if not keep_slice:
+            impl = obj.implementations.pop(class_name, None)
+            if impl is not None:
+                self.store.drop_slice(impl.slice_id)
+                for listener in self._slice_drop_listeners:
+                    listener(oid, class_name)
         if obj.current_class == class_name:
             obj.current_class = None
         self._dirty()

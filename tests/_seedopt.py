@@ -1,0 +1,22 @@
+"""Support for ``pytest --seed N``: pin randomized tests to one seed.
+
+``conftest.pytest_configure`` stores the option here before test modules
+are imported; hypothesis-based modules then build their seed strategies
+through :func:`seed_strategy`, which collapses to ``st.just(N)`` when a
+seed was forced.  Assertion messages print the seed to pass back in.
+"""
+
+FORCED_SEED = None
+
+
+def seed_strategy(lo: int, hi: int):
+    import hypothesis.strategies as st
+
+    if FORCED_SEED is not None:
+        return st.just(FORCED_SEED)
+    return st.integers(lo, hi)
+
+
+def replay_hint(seed) -> str:
+    """The one-liner a failing randomized test appends to its message."""
+    return f"(replay with: pytest --seed {seed})"

@@ -1,6 +1,19 @@
-"""Shared fixtures: the paper's example databases."""
+"""Shared fixtures: the paper's example databases, plus ``--seed``.
+
+``pytest --seed N`` forces every randomized test (soak, proposition-A
+sweeps, differential short fuzz) to run exactly the seed that failed,
+instead of its default sweep — the assertion messages of those tests
+print the seed to pass here.
+"""
+
+import sys
+from pathlib import Path
 
 import pytest
+
+# make tests/_seedopt.py importable from pytest_configure, which runs
+# before pytest's own rootdir-based sys.path insertion
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.workloads.university import (
     build_figure3_database,
@@ -8,6 +21,29 @@ from repro.workloads.university import (
     build_figure10_database,
     populate_students,
 )
+
+
+def pytest_configure(config):
+    import _seedopt
+
+    _seedopt.FORCED_SEED = config.getoption("--seed")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed",
+        action="store",
+        type=int,
+        default=None,
+        help="replay randomized tests with this single seed "
+        "(taken from a failing test's assertion message)",
+    )
+
+
+@pytest.fixture()
+def forced_seed(request):
+    """The ``--seed`` value, or ``None`` when the default sweep should run."""
+    return request.config.getoption("--seed")
 
 
 @pytest.fixture()

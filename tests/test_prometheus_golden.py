@@ -1,0 +1,99 @@
+"""Golden-file pin of the ``.metrics --prom`` exposition format.
+
+External scrapers couple to metric *names* and *label shapes*, not to
+sample values — so the golden file stores the full exposition output of a
+fixed scenario with every sample value replaced by ``<V>``.  Renaming a
+metric, changing a label key, reordering registration, or dropping a
+``# TYPE`` line fails this test; counter increments and timing jitter do
+not.
+
+To regenerate after an intentional format change::
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src pytest tests/test_prometheus_golden.py
+"""
+
+import os
+import re
+from pathlib import Path
+
+from repro.cli import run_shell
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics_prom.txt"
+
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? <V>$"
+)
+
+
+def _scenario_lines():
+    """A fixed shell session touching every instrument family: gauges
+    (schema/object/page/extent stats), counters (pipeline outcomes), and
+    the span-duration histogram (tracing on)."""
+    db = TseDatabase()
+    db.define_class("Person", [Attribute("name", domain="str")])
+    db.define_class("Student", inherits_from=["Person"])
+    db.create_view("main", ["Person", "Student"], closure="ignore")
+    run_shell(
+        db,
+        "main",
+        [
+            ".trace on",
+            "add_attribute gpa : int to Student",
+            'create Student [name = "Ada", gpa = 4]',
+            "set Student [gpa = 5]",
+            "delete_attribute gpa from Student",
+        ],
+        emit=lambda _line: None,
+    )
+    out = []
+    run_shell(db, "main", [".metrics --prom"], emit=out.append)
+    return out
+
+
+def _normalize(lines):
+    """Keep HELP/TYPE lines verbatim; blank out sample values."""
+    normalized = []
+    for line in lines:
+        if line.startswith("#"):
+            normalized.append(line)
+        else:
+            head, _, _value = line.rpartition(" ")
+            normalized.append(head + " <V>")
+    return "\n".join(normalized) + "\n"
+
+
+def test_prometheus_format_matches_golden():
+    actual = _normalize(_scenario_lines())
+    if os.environ.get("UPDATE_GOLDEN"):
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(actual)
+    assert GOLDEN.exists(), (
+        f"golden file {GOLDEN} missing — regenerate with UPDATE_GOLDEN=1"
+    )
+    expected = GOLDEN.read_text()
+    assert actual == expected, (
+        "Prometheus exposition format drifted from tests/golden/"
+        "metrics_prom.txt. If the change is intentional, regenerate with "
+        "UPDATE_GOLDEN=1 and review the diff."
+    )
+
+
+def test_every_sample_line_is_prometheus_legal():
+    """Names and label pairs match the exposition-format grammar."""
+    for line in _normalize(_scenario_lines()).splitlines():
+        if line.startswith("#") or not line:
+            continue
+        assert _METRIC_LINE.match(line), f"illegal sample line: {line!r}"
+
+
+def test_histogram_family_is_complete():
+    """Every histogram ships buckets, a +Inf bound, _sum and _count."""
+    lines = _scenario_lines()
+    buckets = [l for l in lines if "_bucket{" in l]
+    assert buckets, "scenario produced no histogram samples"
+    assert any('le="+Inf"' in l for l in buckets)
+    assert any(l.startswith("tse_span_duration_seconds_sum") for l in lines)
+    assert any(l.startswith("tse_span_duration_seconds_count") for l in lines)

@@ -17,6 +17,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from _seedopt import replay_hint, seed_strategy
+
 from repro.core.database import TseDatabase
 from repro.baselines.direct import view_snapshot
 from repro.schema.classes import ROOT_CLASS
@@ -30,52 +32,59 @@ COMMON = dict(
 )
 
 
-def assert_schema_invariants(db: TseDatabase) -> None:
+def assert_schema_invariants(db: TseDatabase, seed=None) -> None:
     schema = db.schema
     schema.validate()  # acyclic, rooted, type-monotone
     # every is-a edge is extent-sound on actual instances
     for sup in schema.class_names():
         for sub in schema.direct_subs(sup):
             assert db.evaluator.extent(sub) <= db.evaluator.extent(sup), (
-                sup,
-                sub,
+                f"{sub} not within {sup}"
+                + (f" — seed {seed} {replay_hint(seed)}" if seed is not None else "")
             )
 
 
 class TestSchemaInvariants:
     @settings(**COMMON)
-    @given(seed=st.integers(0, 10_000), n_changes=st.integers(1, 8))
+    @given(seed=seed_strategy(0, 10_000), n_changes=st.integers(1, 8))
     def test_invariants_hold_under_random_evolution(self, seed, n_changes):
         generator = WorkloadGenerator(seed)
         db, view = generator.build_database(n_classes=5, n_objects=8)
         generator.run_trace(db, view, n_changes)
-        assert_schema_invariants(db)
+        assert_schema_invariants(db, seed=seed)
 
     @settings(**COMMON)
-    @given(seed=st.integers(0, 10_000), n_changes=st.integers(1, 8))
+    @given(seed=seed_strategy(0, 10_000), n_changes=st.integers(1, 8))
     def test_view_hierarchy_is_subgraph_of_subsumption(self, seed, n_changes):
         generator = WorkloadGenerator(seed)
         db, view = generator.build_database(n_classes=5, n_objects=6)
         generator.run_trace(db, view, n_changes)
         schema = view.schema
         for sup, sub in schema.edges:
-            assert db.evaluator.extent(sub) <= db.evaluator.extent(sup)
-            assert set(db.schema.type_of(sup)) <= set(db.schema.type_of(sub))
+            assert db.evaluator.extent(sub) <= db.evaluator.extent(sup), (
+                f"seed {seed}: edge ({sup}, {sub}) {replay_hint(seed)}"
+            )
+            assert set(db.schema.type_of(sup)) <= set(db.schema.type_of(sub)), (
+                f"seed {seed}: edge ({sup}, {sub}) {replay_hint(seed)}"
+            )
 
 
 class TestTheorem1:
     @settings(**COMMON)
-    @given(seed=st.integers(0, 10_000), n_changes=st.integers(1, 6))
+    @given(seed=seed_strategy(0, 10_000), n_changes=st.integers(1, 6))
     def test_every_view_class_stays_updatable(self, seed, n_changes):
         generator = WorkloadGenerator(seed)
         db, view = generator.build_database(n_classes=4, n_objects=5)
         generator.run_trace(db, view, n_changes)
         for view_class in view.class_names():
             global_name = view.schema.global_name_of(view_class)
-            assert db.engine.is_updatable(global_name)
+            assert db.engine.is_updatable(global_name), (
+                f"seed {seed}: {view_class} ({global_name}) "
+                f"{replay_hint(seed)}"
+            )
 
     @settings(**COMMON)
-    @given(seed=st.integers(0, 10_000), n_changes=st.integers(1, 5))
+    @given(seed=seed_strategy(0, 10_000), n_changes=st.integers(1, 5))
     def test_create_lands_in_class_and_origins(self, seed, n_changes):
         generator = WorkloadGenerator(seed)
         db, view = generator.build_database(n_classes=4, n_objects=5)
@@ -97,7 +106,7 @@ class TestTheorem1:
 
 class TestTransparency:
     @settings(**COMMON)
-    @given(seed=st.integers(0, 10_000), n_changes=st.integers(1, 6))
+    @given(seed=seed_strategy(0, 10_000), n_changes=st.integers(1, 6))
     def test_random_changes_never_touch_other_views(self, seed, n_changes):
         generator = WorkloadGenerator(seed)
         db, view = generator.build_database(n_classes=5, n_objects=8)
@@ -106,13 +115,15 @@ class TestTransparency:
         )
         baseline = view_snapshot(db, bystander)
         generator.run_trace(db, view, n_changes)
-        assert view_snapshot(db, bystander) == baseline
-        assert bystander.version == 1
+        assert view_snapshot(db, bystander) == baseline, (
+            f"seed {seed} {replay_hint(seed)}"
+        )
+        assert bystander.version == 1, f"seed {seed} {replay_hint(seed)}"
 
 
 class TestProverSoundness:
     @settings(**COMMON)
-    @given(seed=st.integers(0, 10_000), n_changes=st.integers(1, 6))
+    @given(seed=seed_strategy(0, 10_000), n_changes=st.integers(1, 6))
     def test_proved_subsets_hold_on_instances(self, seed, n_changes):
         generator = WorkloadGenerator(seed)
         db, view = generator.build_database(n_classes=4, n_objects=8)
@@ -123,14 +134,14 @@ class TestProverSoundness:
             for sup in names:
                 if relations.subset(sub, sup):
                     assert db.evaluator.extent(sub) <= db.evaluator.extent(sup), (
-                        sub,
-                        sup,
+                        f"seed {seed}: proved {sub} <= {sup} "
+                        f"{replay_hint(seed)}"
                     )
 
 
 class TestPersistenceRoundTrip:
     @settings(**COMMON)
-    @given(seed=st.integers(0, 10_000), n_changes=st.integers(1, 6))
+    @given(seed=seed_strategy(0, 10_000), n_changes=st.integers(1, 6))
     def test_save_load_preserves_every_view(self, seed, n_changes, tmp_path_factory):
         """After arbitrary evolution, a save/load round trip leaves every
         view's observable state (types + extents) identical."""
@@ -144,7 +155,7 @@ class TestPersistenceRoundTrip:
         for name in db.view_names():
             assert view_snapshot(db, db.view(name)) == view_snapshot(
                 loaded, loaded.view(name)
-            )
+            ), f"seed {seed}: view {name} {replay_hint(seed)}"
         loaded.schema.validate()
 
 

@@ -32,7 +32,12 @@ def check_invariants(db: TseDatabase) -> None:
 
 
 @pytest.mark.parametrize("seed", [11, 47])
-def test_long_mixed_workload(seed):
+def test_long_mixed_workload(seed, forced_seed):
+    if forced_seed is not None:
+        if seed != 11:
+            pytest.skip("--seed replays a single soak run")
+        seed = forced_seed
+    hint = f"(replay with: pytest --seed {seed})"
     rng = random.Random(seed)
     generator = WorkloadGenerator(seed)
     db, view = generator.build_database(n_classes=6, n_objects=25)
@@ -65,22 +70,26 @@ def test_long_mixed_workload(seed):
             pass  # predicate-guarded or otherwise inapplicable; fine
         if step % CHECK_EVERY == CHECK_EVERY - 1:
             check_invariants(db)
-            assert bystander_schema_surface() == bystander_baseline
-            assert bystander.version == 1
+            assert bystander_schema_surface() == bystander_baseline, (
+                f"seed {seed}, step {step} {hint}"
+            )
+            assert bystander.version == 1, f"seed {seed}, step {step} {hint}"
 
-    assert applied >= N_CHANGES // 3  # the trace did real work
-    assert view.version > 1
+    assert applied >= N_CHANGES // 3, (  # the trace did real work
+        f"seed {seed}: only {applied} changes applied {hint}"
+    )
+    assert view.version > 1, f"seed {seed} {hint}"
 
     # merge the survivor views, vacuum, and round-trip through persistence
     merged = db.merge_views("main", "bystander", "merged_soak")
     assert merged.class_names()
     db.vacuum()
     check_invariants(db)
-    assert bystander_schema_surface() == bystander_baseline
+    assert bystander_schema_surface() == bystander_baseline, f"seed {seed} {hint}"
 
     loaded = database_from_dict(database_to_dict(db))
     for name in db.view_names():
         assert view_snapshot(db, db.view(name)) == view_snapshot(
             loaded, loaded.view(name)
-        )
+        ), f"seed {seed}: view {name} {hint}"
     check_invariants(loaded)

@@ -1,0 +1,161 @@
+"""Theorem 1 for set-operation derived classes (section 3.4).
+
+The paper's update semantics for the three set operators:
+
+* **union(C1, C2)** — insertions route to one *designated* source (the
+  explicit ``union_target`` or, absent one, the first source); removal
+  takes the object out of every source it is a member of.
+* **difference(C1, C2)** — insertions go into the first source (the
+  object must stay outside the subtrahend to satisfy value closure);
+  removal requires direct membership of the first source.
+* **intersect(C1, C2)** — insertions go into *both* sources; removal
+  takes a designated side (or both), either way leaving the
+  intersection.
+
+All three stay updatable because their sources are updatable —
+Theorem 1's marker propagation — and every insertion/removal is
+observable through the ordinary extent evaluator.
+"""
+
+import pytest
+
+from repro.algebra.define import DefineStatement
+from repro.algebra.operators import difference, intersect, union
+from repro.core.database import TseDatabase
+from repro.errors import TseError
+from repro.schema.properties import Attribute
+
+
+def _db():
+    """Siblings A and B under one root P, which declares the shared
+    attribute (one storage site, so union/intersect types stay
+    unambiguous)."""
+    db = TseDatabase()
+    db.define_class("P", [Attribute(name="x", default=0)])
+    db.define_class("A", inherits_from=["P"])
+    db.define_class("B", inherits_from=["P"])
+    return db
+
+
+def _derive(db, name, derivation):
+    """Define one virtual class and return its effective global name."""
+    return db.algebra.execute(
+        DefineStatement(name=name, derivation=derivation)
+    ).class_name
+
+
+class TestUnionUpdatability:
+    def test_union_of_bases_is_updatable(self):
+        db = _db()
+        u = _derive(db, "U_AB", union(db.schema, "A", "B"))
+        assert db.engine.is_updatable(u)
+
+    def test_create_routes_to_designated_source(self):
+        db = _db()
+        u = _derive(db, "U_AB", union(db.schema, "A", "B"))
+        oid = db.engine.create(u, {"x": 1}, union_target="B")
+        assert oid in db.evaluator.extent(u)
+        assert oid in db.evaluator.extent("B")
+        assert oid not in db.evaluator.extent("A")
+
+    def test_create_defaults_to_first_source(self):
+        db = _db()
+        u = _derive(db, "U_AB", union(db.schema, "A", "B"))
+        oid = db.engine.create(u, {"x": 2})
+        assert oid in db.evaluator.extent("A")
+        assert oid not in db.evaluator.extent("B")
+
+    def test_create_rejects_foreign_target(self):
+        db = _db()
+        db.define_class("C", inherits_from=["P"])
+        u = _derive(db, "U_AB", union(db.schema, "A", "B"))
+        with pytest.raises(TseError):
+            db.engine.create(u, {"x": 3}, union_target="C")
+
+    def test_remove_takes_object_out_of_every_source(self):
+        db = _db()
+        u = _derive(db, "U_AB", union(db.schema, "A", "B"))
+        oid = db.engine.create("A", {"x": 4})
+        db.engine.add([oid], "B")
+        assert oid in db.evaluator.extent(u)
+        db.engine.remove([oid], u)
+        assert oid not in db.evaluator.extent(u)
+        assert oid not in db.evaluator.extent("A")
+        assert oid not in db.evaluator.extent("B")
+
+
+class TestDifferenceUpdatability:
+    def test_difference_of_bases_is_updatable(self):
+        db = _db()
+        d = _derive(db, "D_AB", difference(db.schema, "A", "B"))
+        assert db.engine.is_updatable(d)
+
+    def test_extent_excludes_subtrahend_members(self):
+        db = _db()
+        d = _derive(db, "D_AB", difference(db.schema, "A", "B"))
+        only_a = db.engine.create("A", {"x": 1})
+        both = db.engine.create("A", {"x": 2})
+        db.engine.add([both], "B")
+        assert only_a in db.evaluator.extent(d)
+        assert both not in db.evaluator.extent(d)
+
+    def test_create_lands_in_minuend_only(self):
+        db = _db()
+        d = _derive(db, "D_AB", difference(db.schema, "A", "B"))
+        oid = db.engine.create(d, {"x": 5})
+        assert oid in db.evaluator.extent("A")
+        assert oid not in db.evaluator.extent("B")
+        assert oid in db.evaluator.extent(d)
+
+    def test_remove_requires_direct_minuend_membership(self):
+        db = _db()
+        d = _derive(db, "D_AB", difference(db.schema, "A", "B"))
+        oid = db.engine.create(d, {"x": 6})
+        db.engine.remove([oid], d)
+        assert oid not in db.evaluator.extent("A")
+        assert oid not in db.evaluator.extent(d)
+
+
+class TestIntersectUpdatability:
+    def test_intersect_of_bases_is_updatable(self):
+        db = _db()
+        i = _derive(db, "I_AB", intersect(db.schema, "A", "B"))
+        assert db.engine.is_updatable(i)
+
+    def test_create_lands_in_both_sources(self):
+        db = _db()
+        i = _derive(db, "I_AB", intersect(db.schema, "A", "B"))
+        oid = db.engine.create(i, {"x": 1})
+        assert oid in db.evaluator.extent("A")
+        assert oid in db.evaluator.extent("B")
+        assert oid in db.evaluator.extent(i)
+
+    def test_remove_designated_side_leaves_intersection(self):
+        db = _db()
+        i = _derive(db, "I_AB", intersect(db.schema, "A", "B"))
+        oid = db.engine.create(i, {"x": 2})
+        db.engine.remove([oid], i, target="A")
+        assert oid not in db.evaluator.extent("A")
+        assert oid in db.evaluator.extent("B")
+        assert oid not in db.evaluator.extent(i)
+
+    def test_remove_without_target_leaves_both_sources(self):
+        db = _db()
+        i = _derive(db, "I_AB", intersect(db.schema, "A", "B"))
+        oid = db.engine.create(i, {"x": 3})
+        db.engine.remove([oid], i)
+        assert oid not in db.evaluator.extent("A")
+        assert oid not in db.evaluator.extent("B")
+        assert oid not in db.evaluator.extent(i)
+
+
+class TestMarkerPropagation:
+    def test_nested_set_ops_stay_updatable(self):
+        """Theorem 1 propagates through derivation chains: a union over a
+        difference over bases is still updatable."""
+        db = _db()
+        d = _derive(db, "D_AB", difference(db.schema, "A", "B"))
+        u = _derive(db, "U_DB", union(db.schema, d, "B"))
+        assert db.engine.is_updatable(u)
+        oid = db.engine.create(u, {"x": 9}, union_target="B")
+        assert oid in db.evaluator.extent(u)
