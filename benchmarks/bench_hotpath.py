@@ -1,0 +1,242 @@
+"""Hot-path before/after: what PR 6's compilation + batching actually buys.
+
+Three layers of comparison, all measured in the SAME process/run so the
+machine state is held constant:
+
+1. **After** — the shipped defaults: compiled predicates, row matchers,
+   bulk equivalence sweeps, batched ``apply_many``.
+2. **Toggle-before** — the same tree with every runtime switch flipped to
+   its historical behaviour: ``REPRO_COMPILED_PREDICATES`` off (interpreted
+   tree-walk), ``bulk_sweep=False`` (accessor-at-a-time equivalence sweep),
+   ``batched=False`` (per-update application).  This isolates the
+   *switchable* part of the work; the non-switchable micro-optimisations
+   (pre-bound column readers, oracle memoisation, C-level ``Oid`` sort
+   keys, single-access slot writes) benefit both sides.
+3. **Pre-PR** — a ``git worktree`` of the seed commit is benchmarked in a
+   subprocess with the same interpreter, giving the true end-to-end
+   speedup.  Skipped (and recorded as such) when git or the commit is
+   unavailable (e.g. shallow CI clones).
+
+Results land in ``BENCH_hotpath.json`` at the repo root next to the stored
+floors that ``tests/test_bench_smoke.py::test_hotpath_floor`` enforces on
+every tier-1 run.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+from conftest import format_table, write_bench_json, write_report
+
+from repro.algebra import compiler
+from repro.checking.commands import CommandGenerator
+from repro.checking.runner import DifferentialHarness
+from repro.workloads.extent_maintenance import measure_mixed_workload
+
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_hotpath.json"
+
+#: the growth-seed commit: the tree exactly as it was before this PR
+BASELINE_COMMIT = "fb5929e2e5e3b75bf3d0ab5cda3233dbde74fb6c"
+
+FUZZ_LENGTH = 20
+FUZZ_SEEDS = range(100, 112)
+REPEATS = 3
+MIXED_OBJECTS = 200
+MIXED_ROUNDS = 300
+
+
+def _run_fuzz_once(seed: int, length: int, before: bool) -> int:
+    commands = CommandGenerator(seed).generate(length)
+    harness = DifferentialHarness()
+    if before:
+        harness.bulk_sweep = False
+        harness.batched = False
+    try:
+        for command in commands:
+            harness.apply(command)
+    finally:
+        harness.close()
+    return len(commands)
+
+
+def _fuzz_rate(before: bool) -> float:
+    """Median-of-N commands/second; warm-up excluded from the clock."""
+    compiler.set_compilation(not before)
+    try:
+        _run_fuzz_once(0, FUZZ_LENGTH, before)  # warm-up
+        rates = []
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            n = sum(_run_fuzz_once(s, FUZZ_LENGTH, before) for s in FUZZ_SEEDS)
+            rates.append(n / (time.perf_counter() - start))
+        return statistics.median(rates)
+    finally:
+        compiler.set_compilation(True)
+
+
+def _mixed_rate(before: bool) -> dict:
+    compiler.set_compilation(not before)
+    try:
+        result = measure_mixed_workload(
+            n_objects=MIXED_OBJECTS, rounds=MIXED_ROUNDS
+        )
+        return {
+            "incremental_ops_per_sec": round(result["incremental"]["ops_per_sec"]),
+            "baseline_ops_per_sec": round(result["baseline"]["ops_per_sec"]),
+        }
+    finally:
+        compiler.set_compilation(True)
+
+
+#: subprocess payload run inside the pre-PR worktree — measures the same
+#: two workloads with that tree's own modules (no toggles: the knobs do
+#: not exist there)
+_PRE_PR_SCRIPT = r"""
+import json, statistics, sys, time
+from repro.checking.runner import run_sequence
+from repro.workloads.extent_maintenance import measure_mixed_workload
+
+length, repeats, n_objects, rounds = (int(a) for a in sys.argv[1:5])
+run_sequence(0, length=length)  # warm-up
+rates = []
+for _ in range(repeats):
+    start = time.perf_counter()
+    n = 0
+    for seed in range(100, 112):
+        commands, div = run_sequence(seed, length=length)
+        assert div is None, div
+        n += len(commands)
+    rates.append(n / (time.perf_counter() - start))
+mixed = measure_mixed_workload(n_objects=n_objects, rounds=rounds)
+print(json.dumps({
+    "fuzz_commands_per_sec": round(statistics.median(rates), 1),
+    "mixed_incremental_ops_per_sec": round(mixed["incremental"]["ops_per_sec"]),
+    "mixed_baseline_ops_per_sec": round(mixed["baseline"]["ops_per_sec"]),
+}))
+"""
+
+
+def _measure_pre_pr() -> dict:
+    """Benchmark the seed commit in a worktree subprocess; {} when the
+    commit is unreachable (shallow clone) or git is unavailable."""
+    with tempfile.TemporaryDirectory(prefix="tse-prepr-") as tmp:
+        worktree = Path(tmp) / "tree"
+        added = subprocess.run(
+            ["git", "worktree", "add", "--detach", str(worktree), BASELINE_COMMIT],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        if added.returncode != 0:
+            return {}
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-c", _PRE_PR_SCRIPT, str(FUZZ_LENGTH),
+                 str(REPEATS), str(MIXED_OBJECTS), str(MIXED_ROUNDS)],
+                cwd=worktree, capture_output=True, text=True, timeout=1800,
+                env={"PYTHONPATH": str(worktree / "src"), "PATH": "/usr/bin:/bin"},
+            )
+            if proc.returncode != 0:
+                return {}
+            return json.loads(proc.stdout.strip().splitlines()[-1])
+        finally:
+            subprocess.run(
+                ["git", "worktree", "remove", "--force", str(worktree)],
+                cwd=REPO_ROOT, capture_output=True,
+            )
+
+
+def test_hotpath_before_after():
+    after_fuzz = _fuzz_rate(before=False)
+    toggle_fuzz = _fuzz_rate(before=True)
+    after_mixed = _mixed_rate(before=False)
+    toggle_mixed = _mixed_rate(before=True)
+    pre_pr = _measure_pre_pr()
+
+    payload = {
+        "fuzz": {
+            "length": FUZZ_LENGTH,
+            "sequences": len(FUZZ_SEEDS),
+            "repeats": REPEATS,
+            "after_commands_per_sec": round(after_fuzz, 1),
+            "toggle_before_commands_per_sec": round(toggle_fuzz, 1),
+            "toggle_speedup": round(after_fuzz / toggle_fuzz, 2),
+        },
+        "mixed": {
+            "n_objects": MIXED_OBJECTS,
+            "rounds": MIXED_ROUNDS,
+            "after": after_mixed,
+            "toggle_before": toggle_mixed,
+            "toggle_speedup_incremental": round(
+                after_mixed["incremental_ops_per_sec"]
+                / toggle_mixed["incremental_ops_per_sec"], 2),
+            "toggle_speedup_baseline_evaluator": round(
+                after_mixed["baseline_ops_per_sec"]
+                / toggle_mixed["baseline_ops_per_sec"], 2),
+        },
+        # floors enforced by tests/test_bench_smoke.py::test_hotpath_floor
+        # on every tier-1 run (ratios are machine-independent; the absolute
+        # floor only catches structural collapse)
+        "floors": {
+            "fuzz_commands_per_sec_min": 150,
+            "fuzz_toggle_speedup_min": 1.3,
+            "mixed_compiled_vs_interpreted_min": 0.95,
+        },
+    }
+    if pre_pr:
+        payload["pre_pr"] = dict(pre_pr, commit=BASELINE_COMMIT)
+        payload["fuzz"]["speedup_vs_pre_pr"] = round(
+            after_fuzz / pre_pr["fuzz_commands_per_sec"], 2
+        )
+        payload["mixed"]["speedup_vs_pre_pr_incremental"] = round(
+            after_mixed["incremental_ops_per_sec"]
+            / pre_pr["mixed_incremental_ops_per_sec"], 2)
+        payload["mixed"]["speedup_vs_pre_pr_baseline_evaluator"] = round(
+            after_mixed["baseline_ops_per_sec"]
+            / pre_pr["mixed_baseline_ops_per_sec"], 2)
+
+    write_bench_json("hotpath", payload, target=BENCH_JSON)
+
+    rows = [
+        ("fuzz (cmd/s)", f"{toggle_fuzz:.0f}", f"{after_fuzz:.0f}",
+         f"{after_fuzz / toggle_fuzz:.2f}x"),
+        ("mixed incremental (ops/s)",
+         toggle_mixed["incremental_ops_per_sec"],
+         after_mixed["incremental_ops_per_sec"],
+         f"{payload['mixed']['toggle_speedup_incremental']:.2f}x"),
+        ("mixed baseline-eval (ops/s)",
+         toggle_mixed["baseline_ops_per_sec"],
+         after_mixed["baseline_ops_per_sec"],
+         f"{payload['mixed']['toggle_speedup_baseline_evaluator']:.2f}x"),
+    ]
+    if pre_pr:
+        rows.append(
+            ("fuzz vs pre-PR (cmd/s)", pre_pr["fuzz_commands_per_sec"],
+             f"{after_fuzz:.0f}", f"{payload['fuzz']['speedup_vs_pre_pr']:.2f}x")
+        )
+        rows.append(
+            ("mixed incr vs pre-PR (ops/s)",
+             pre_pr["mixed_incremental_ops_per_sec"],
+             after_mixed["incremental_ops_per_sec"],
+             f"{payload['mixed']['speedup_vs_pre_pr_incremental']:.2f}x")
+        )
+    write_report(
+        "hotpath",
+        "Hot-path before/after (compiled predicates, batched updates, "
+        "bulk sweeps)",
+        format_table(["workload", "before", "after", "speedup"], rows),
+    )
+
+    # the toggled-off configuration must never win: compilation and
+    # batching have to pay for themselves on the paths they target
+    assert after_fuzz > toggle_fuzz
+    assert (
+        after_mixed["baseline_ops_per_sec"]
+        >= toggle_mixed["baseline_ops_per_sec"] * 0.95
+    )

@@ -27,6 +27,28 @@ def pytest_addoption(parser):
         default="1,4,8",
         help="comma-separated reader thread counts for the concurrency bench",
     )
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="after timing, run one cProfile pass of the hot-path benchmarks "
+        "and print/persist the top functions by internal time",
+    )
+
+
+def profile_top(fn, limit: int = 25) -> str:
+    """Run ``fn`` under cProfile; return the top-``limit`` rows by tottime."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    out = io.StringIO()
+    pstats.Stats(profiler, stream=out).sort_stats("tottime").print_stats(limit)
+    return out.getvalue()
 
 
 def write_report(name: str, title: str, body: str) -> Path:

@@ -22,7 +22,8 @@ across a run — the discipline :mod:`repro.checking.oracle` relies on.
 The vocabulary covers the section 3 surface: all eight schema-change
 primitives plus the two composed operators (``insert_class``,
 ``delete_class_2``) and the rename operators; the five generic updates;
-savepoint transactions (commit and abort); WAL checkpoints, clean
+savepoint transactions (commit and abort); atomic update batches
+(``apply_many``); WAL checkpoints, clean
 recovery, and crash injection at every :data:`CRASH_POINTS` seam; and
 pinned reader sessions (open / check / refresh / close).
 """
@@ -69,6 +70,7 @@ DURABILITY_OPS = ("checkpoint", "crash", "recover_clean")
 
 ALL_OPS = UPDATE_OPS + SCHEMA_OPS + READER_OPS + AUTHORING_OPS + DURABILITY_OPS + (
     "txn",
+    "apply_many",
 )
 
 READER_SLOTS = 3
@@ -102,6 +104,7 @@ _DEFAULT_WEIGHTS = {
     "schema": 30,
     "reader": 9,
     "txn": 5,
+    "batch": 6,
     "durability": 8,
     "authoring": 6,
 }
@@ -223,6 +226,8 @@ class CommandGenerator:
             op = self.rng.choice(READER_OPS)
         elif family == "txn":
             op = "txn"
+        elif family == "batch":
+            op = "apply_many"
         elif family == "durability":
             op = self.rng.choice(DURABILITY_OPS)
         else:
@@ -408,6 +413,19 @@ class CommandGenerator:
             op = rng.choice(UPDATE_OPS)
             inner.append(command_to_dict(self.gen_op(op, rng)))
         return Command("txn", {"abort": rng.random() < 0.4, "inner": inner})
+
+    def _gen_apply_many(self, rng) -> Command:
+        """A ``TseDatabase.apply_many`` batch of 2-5 generic updates.
+
+        Unlike ``txn`` there is no abort flag: the batch's atomicity comes
+        from the real system itself — any rejected update must roll back
+        the whole batch, which the runner checks against the oracle.
+        """
+        inner = []
+        for _ in range(rng.randint(2, 5)):
+            op = rng.choice(UPDATE_OPS)
+            inner.append(command_to_dict(self.gen_op(op, rng)))
+        return Command("apply_many", {"inner": inner})
 
     def _gen_checkpoint(self, rng) -> Command:
         return Command("checkpoint", {})

@@ -43,6 +43,14 @@ class OracleReject(Exception):
     """The reference model refuses the operation (mirrors ``TseError``)."""
 
 
+def _oid_key(o):
+    """Sort key for extent members: real ``Oid``s order by their int value
+    (C-level, instead of the Python-level ``Oid.__lt__`` per comparison);
+    placeholder tuples and dummy strings order by themselves, preserving the
+    plain ``sorted()`` behaviour for homogeneous non-Oid extents."""
+    return getattr(o, "value", o)
+
+
 @dataclass(frozen=True)
 class Spec:
     """One property definition (globally unique name)."""
@@ -145,12 +153,63 @@ class RefModel:
         #: last published epoch: view -> {"version", "classes", "extents"}
         self.published: Dict[str, dict] = {}
         self._placeholders = itertools.count()
+        #: monotone counter: bumped on every observable mutation so callers
+        #: (the differential harness) can skip redundant equivalence sweeps
+        self.mutations = 0
+        self._extent_memo: Dict[Token, FrozenSet[object]] = {}
+        self._types_memo: Dict[Token, FrozenSet[str]] = {}
+        self._cone_memo: Dict[Token, FrozenSet[Token]] = {}
+
+    def _touch(self) -> None:
+        """Record a structural mutation: invalidate memos, bump the counter.
+
+        The memos are *per-state* caches, not incremental structures — any
+        change to object membership or to the token graph simply wipes them.
+        Correct because every mutating public method calls ``_touch`` after
+        the mutation (including rollback branches), so a memo entry can only
+        be observed between mutations, when it is trivially fresh.
+        """
+        self.mutations += 1
+        self._extent_memo.clear()
+        self._types_memo.clear()
+        self._cone_memo.clear()
+
+    def clone_for_updates(self) -> "RefModel":
+        """A cheap copy that tolerates *update* operations only.
+
+        ``create``/``add``/``remove``/``set_values``/``delete`` mutate just
+        ``objects`` and ``values``, so the clone deep-copies those two maps
+        and shares the (immutable-under-updates) schema structures: specs,
+        tokens, views, published epochs.  Used for shadow replays (aborted
+        transactions, rejected batches) where ``copy.deepcopy`` of the whole
+        model dominated the runtime.  Applying a *schema* operation to the
+        clone would corrupt the original — callers must not do that.
+        """
+        clone = RefModel.__new__(RefModel)
+        clone.__dict__.update(self.__dict__)
+        clone.objects = {oid: set(tokens) for oid, tokens in self.objects.items()}
+        clone.values = dict(self.values)
+        clone._placeholders = itertools.count()
+        clone._extent_memo = {}
+        clone._types_memo = {}
+        clone._cone_memo = {}
+        return clone
 
     # ------------------------------------------------------------------
-    # type and extent evaluation (from scratch, every time)
+    # type and extent evaluation (from scratch on each mutation, memoised
+    # between mutations — the harness sweep reads every class of every
+    # view after every command, so intra-state reuse is the common case)
     # ------------------------------------------------------------------
 
     def type_names(self, token: Token) -> FrozenSet[str]:
+        cached = self._types_memo.get(token)
+        if cached is not None:
+            return cached
+        names = self._type_names_uncached(token)
+        self._types_memo[token] = names
+        return names
+
+    def _type_names_uncached(self, token: Token) -> FrozenSet[str]:
         if token.kind == "base":
             names: Set[str] = set(token.local)
             for parent in token.parents:
@@ -174,8 +233,11 @@ class RefModel:
             )
         raise AssertionError(f"unhandled op {token.op!r}")  # pragma: no cover
 
-    def _base_cone(self, token: Token) -> Set[Token]:
+    def _base_cone(self, token: Token) -> FrozenSet[Token]:
         """``token`` plus its base descendants (membership feeds upward)."""
+        cached = self._cone_memo.get(token)
+        if cached is not None:
+            return cached
         cone: Set[Token] = set()
         frontier = [token]
         while frontier:
@@ -184,9 +246,19 @@ class RefModel:
                 continue
             cone.add(current)
             frontier.extend(current.children)
-        return cone
+        frozen = frozenset(cone)
+        self._cone_memo[token] = frozen
+        return frozen
 
     def extent(self, token: Token) -> FrozenSet[object]:
+        cached = self._extent_memo.get(token)
+        if cached is not None:
+            return cached
+        result = self._extent_uncached(token)
+        self._extent_memo[token] = result
+        return result
+
+    def _extent_uncached(self, token: Token) -> FrozenSet[object]:
         if token.kind == "base":
             cone = self._base_cone(token)
             return frozenset(
@@ -267,7 +339,7 @@ class RefModel:
         return sorted(self._view(view).anc[cls])
 
     def extent_oids(self, view: str, cls: str) -> List[object]:
-        return sorted(self.extent(self._token(view, cls)))
+        return sorted(self.extent(self._token(view, cls)), key=_oid_key)
 
     def _alias_of(self, view: str, cls: str, underlying: str) -> str:
         per_class = self._view(view).aliases.get(cls, {})
@@ -305,6 +377,54 @@ class RefModel:
             alias = self._alias_of(view, cls, name)
             result[alias] = self.values.get((oid, name), spec.default)
         return result
+
+    def dump(self, view: str) -> Dict[str, object]:
+        """Every per-class observable of ``view`` in one pass.
+
+        The same shape as ``ViewHandle.dump()['by_class']`` plus the
+        version: the runner compares the two wholesale (one dict equality
+        in the common all-agreeing case) instead of re-deriving aliases
+        and extents once per observable accessor.
+        """
+        state = self._view(view)
+        by_class: Dict[str, dict] = {}
+        for cls, token in state.token.items():
+            per_class = state.aliases.get(cls, {})
+            inverse: Dict[str, str] = {}
+            for alias, original in per_class.items():
+                inverse.setdefault(original, alias)
+            attrs: List[str] = []
+            methods: List[str] = []
+            columns = []  # (visible alias, underlying name, declared default)
+            for name in self.type_names(token):
+                spec = self.specs[name]
+                alias = inverse.get(name, name)
+                if spec.kind == "attr":
+                    attrs.append(alias)
+                    columns.append((alias, name, spec.default))
+                else:
+                    methods.append(alias)
+            extent = sorted(self.extent(token), key=_oid_key)
+            values = self.values
+            objects = {
+                oid: {
+                    alias: values.get((oid, name), default)
+                    for alias, name, default in columns
+                }
+                for oid in extent
+            }
+            by_class[cls] = {
+                "attributes": sorted(attrs),
+                "methods": sorted(methods),
+                "extent": extent,
+                "count": len(extent),
+                "objects": objects,
+            }
+        return {
+            "version": state.version,
+            "classes": sorted(state.token),
+            "by_class": by_class,
+        }
 
     # -- epoch publication (readers pin these) --------------------------------
 
@@ -357,6 +477,7 @@ class RefModel:
         self.base[name] = token
         self.global_names.add(name)
         self.user_bases.append(name)
+        self._touch()
 
     def create_view(self, name: str, classes: Sequence[str]) -> None:
         if name in self.views:
@@ -382,6 +503,7 @@ class RefModel:
                 frontier.extend(parent.parents)
             state.anc[cls] = ancestors
         self.views[name] = state
+        self._touch()
 
     # ------------------------------------------------------------------
     # generic updates (section 3.3/3.4)
@@ -421,10 +543,12 @@ class RefModel:
         self.objects[oid] = set(targets)
         for name, value in translated.items():
             self.values[(oid, name)] = value
+        self._touch()
         if oid not in self.extent(token):
             del self.objects[oid]
             for name in translated:
                 self.values.pop((oid, name), None)
+            self._touch()
             raise OracleReject("value-closure violation on create")
         return oid
 
@@ -436,8 +560,10 @@ class RefModel:
             raise OracleReject(f"unknown object {oid!r}")
         added = [t for t in targets if t not in members]
         members.update(added)
+        self._touch()
         if oid not in self.extent(token):
             members.difference_update(added)
+            self._touch()
             raise OracleReject("value-closure violation on add")
 
     @staticmethod
@@ -470,6 +596,7 @@ class RefModel:
             if removed not in kept_types:
                 for name in removed.local:
                     self.values.pop((oid, name), None)
+        self._touch()
 
     def set_values(
         self, view: str, cls: str, oid: object, assignments: Dict[str, object]
@@ -486,6 +613,9 @@ class RefModel:
         }
         for name, value in translated.items():
             self.values[(oid, name)] = value
+        # values never feed extents here (the oracle has no select tokens),
+        # so bump the counter without dropping the extent/type memos
+        self.mutations += 1
         if oid not in self.extent(token):  # pragma: no cover - no select tokens
             for name, old in undo.items():
                 if old is _MISSING:
@@ -498,6 +628,7 @@ class RefModel:
         self.objects.pop(oid, None)
         for key in [k for k in self.values if k[0] == oid]:
             del self.values[key]
+        self._touch()
 
     # ------------------------------------------------------------------
     # schema evolution (section 6, written out naively per view)
@@ -505,6 +636,7 @@ class RefModel:
 
     def _bump(self, state: ViewState, publish: bool = True) -> None:
         state.version += 1
+        self._touch()
         if publish:
             self.publish()
 

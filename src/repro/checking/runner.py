@@ -62,6 +62,24 @@ def _noop_method(handle, *args):
     return None
 
 
+def _copy_published(published: dict) -> dict:
+    """Two-level copy of a published epoch snapshot.
+
+    The snapshot's leaves (version ints, class names, OIDs) are immutable,
+    so copying the containers is as isolating as ``copy.deepcopy`` at a
+    fraction of the cost — reader pins are taken on every reader open and
+    refresh.
+    """
+    return {
+        view: {
+            "version": snap["version"],
+            "classes": list(snap["classes"]),
+            "extents": {cls: list(oids) for cls, oids in snap["extents"].items()},
+        }
+        for view, snap in published.items()
+    }
+
+
 class Divergence(AssertionError):
     """The real system and the oracle disagree."""
 
@@ -92,18 +110,40 @@ _PREP_OPS = UPDATE_OPS + SCHEMA_OPS + ("define_class", "create_view")
 class DifferentialHarness:
     """One real database + one oracle, stepped in lockstep."""
 
-    def __init__(self, wal_dir=None) -> None:
+    def __init__(self, wal_dir=None, sync: str = "off") -> None:
         self._tmp: Optional[str] = None
         if wal_dir is None:
             self._tmp = tempfile.mkdtemp(prefix="tse-diff-")
             wal_dir = self._tmp
         self.wal_dir = wal_dir
+        # crash commands simulate crashes (the process survives), so
+        # fsyncing the throwaway WAL buys nothing — "off" keeps every
+        # append flushed to the OS, which is all recovery needs here
+        self.sync = sync
         self.db = TseDatabase()
         self.model = RefModel()
         self.readers: Dict[int, object] = {}
         self.pins: Dict[int, dict] = {}
         self.step = 0
         self.outcomes: List[Tuple[int, str, str]] = []
+        # the equivalence sweep normally reads each view in bulk (one
+        # latched read per view, schema-derived plans cached across
+        # steps); False falls back to the historical accessor-at-a-time
+        # sweep — kept for the hot-path benchmark's "before" mode and as
+        # a cross-check of the bulk reader itself
+        self.bulk_sweep = True
+        self._dump_plans: Dict[tuple, list] = {}
+        # batched=False routes apply_many through the legacy per-update
+        # path (per-update WAL commits, no atomicity) — the benchmark's
+        # "before" mode
+        self.batched = True
+        # sweep memo: commands that provably changed nothing observable
+        # (read-only selects, rejected updates) reuse the previous sweep's
+        # verdict.  The key covers both sides' change counters plus a
+        # db-incarnation number so a recovery that lands on coincidentally
+        # equal generation counters can never mask a recovery divergence.
+        self._db_incarnation = 0
+        self._last_sweep_key: Optional[tuple] = None
 
     def close(self) -> None:
         for session in self.readers.values():
@@ -577,7 +617,7 @@ class DifferentialHarness:
     def _op_enable_wal(self, args) -> str:
         if self.db.wal is not None:
             return "skipped"
-        self.db.enable_wal(self.wal_dir)
+        self.db.enable_wal(self.wal_dir, sync=self.sync)
         return "applied"
 
     def _op_checkpoint(self, args) -> str:
@@ -640,7 +680,7 @@ class DifferentialHarness:
     def _op_recover_clean(self, args) -> str:
         if self.db.wal is None:
             return "skipped"
-        recovered = TseDatabase.recover(self.wal_dir)
+        recovered = TseDatabase.recover(self.wal_dir, sync=self.sync)
         # recovery must be deterministic: recovering the same directory
         # twice yields byte-identical databases (reuses the WAL suite's
         # equivalence assertion when it is importable, i.e. under pytest)
@@ -649,7 +689,7 @@ class DifferentialHarness:
         except ImportError:  # pragma: no cover - outside the test tree
             assert_equivalent = None
         if assert_equivalent is not None:
-            twin = TseDatabase.recover(self.wal_dir)
+            twin = TseDatabase.recover(self.wal_dir, sync=self.sync)
             try:
                 assert_equivalent(recovered, twin)
             except AssertionError as exc:
@@ -661,11 +701,13 @@ class DifferentialHarness:
         return "applied"
 
     def _recover_after_crash(self) -> None:
-        self._install_recovered(TseDatabase.recover(self.wal_dir))
+        self._install_recovered(TseDatabase.recover(self.wal_dir, sync=self.sync))
 
     def _install_recovered(self, recovered) -> None:
         self.readers.clear()
         self.pins.clear()
+        self._dump_plans.clear()  # plans hold closures over the dead db
+        self._db_incarnation += 1  # force a fresh sweep of the recovered db
         self.db = recovered
         if self.model.sessions_attached:
             self.db.sessions()  # re-attach; publishes the baseline epoch
@@ -683,7 +725,9 @@ class DifferentialHarness:
                 for cmd in inner:
                     self._apply_inner(cmd)
             return "applied"
-        shadow = copy.deepcopy(self.model)
+        # inner commands are generic updates only, so the cheap
+        # updates-only clone is a faithful shadow
+        shadow = self.model.clone_for_updates()
         live, self.model = self.model, shadow
         try:
             with self.db.transaction():
@@ -700,6 +744,195 @@ class DifferentialHarness:
         prep = self._prepare(command.op, dict(command.args))
         if prep is not None:
             self._two_sided(command.op, *prep)
+
+    # ------------------------------------------------------------------
+    # batched updates (TseDatabase.apply_many)
+    # ------------------------------------------------------------------
+
+    def _op_apply_many(self, args) -> str:
+        """One real ``db.apply_many`` batch vs the oracle.
+
+        Every inner update resolves its blind indices against the
+        *pre-batch* oracle state (batches contain only generic updates, so
+        the schema is stable throughout) into an engine-level spec plus an
+        oracle closure.  The real side then runs the whole batch through
+        the batched API — single latch acquisition, one WAL group commit —
+        and the outcomes must agree *as a batch*:
+
+        * real applied everything → the oracle must apply every update
+          (feeding real create OIDs in order);
+        * real raised (rolling the whole batch back) → replaying the
+          updates on a throwaway deep-copied shadow must hit an
+          ``OracleReject`` somewhere, proving the oracle agrees the batch
+          contained a rejected update; the shadow is discarded either way.
+        """
+        inner = [command_from_dict(d) for d in args["inner"]]
+        specs: List[tuple] = []
+        oracle_fns: List[Callable] = []
+        for cmd in inner:
+            built = self._prep_batch_item(cmd)
+            if built is not None:
+                spec, fn = built
+                specs.append(spec)
+                oracle_fns.append(fn)
+        if not specs:
+            return "skipped"
+        if not self.batched:
+            return self._apply_many_legacy(specs, oracle_fns)
+        try:
+            results = self.db.apply_many(specs, batched=self.batched)
+        except TseError as exc:
+            shadow = self.model.clone_for_updates()
+            try:
+                for index, fn in enumerate(oracle_fns):
+                    fn(shadow, f"batch-dummy-{index}")
+            except OracleReject:
+                return "rejected"  # whole batch rolled back on both sides
+            raise Divergence(
+                "outcome",
+                "apply_many",
+                self.step,
+                f"real rolled the batch back ({type(exc).__name__}: {exc}), "
+                f"oracle applied all {len(specs)} updates",
+            )
+        for index, fn in enumerate(oracle_fns):
+            try:
+                fn(self.model, results[index])
+            except OracleReject as exc:
+                raise Divergence(
+                    "outcome",
+                    "apply_many",
+                    self.step,
+                    f"real applied the whole batch, oracle rejected update "
+                    f"#{index}: {exc}",
+                )
+        return "applied"
+
+    def _apply_many_legacy(
+        self, specs: List[tuple], oracle_fns: List[Callable]
+    ) -> str:
+        """Before-mode batch: one update at a time, outcomes checked per
+        item (``batched=False`` has no atomicity, so a rejected update
+        leaves the already-applied prefix in place on both sides)."""
+        rejected = 0
+        for index, (spec, fn) in enumerate(zip(specs, oracle_fns)):
+            try:
+                value = self.db.apply_many([spec], batched=False)[0]
+            except TseError as exc:
+                shadow = self.model.clone_for_updates()
+                try:
+                    fn(shadow, f"batch-dummy-{index}")
+                except OracleReject:
+                    rejected += 1
+                    continue
+                raise Divergence(
+                    "outcome",
+                    "apply_many",
+                    self.step,
+                    f"real rejected update #{index} "
+                    f"({type(exc).__name__}: {exc}), oracle applied it",
+                )
+            try:
+                fn(self.model, value)
+            except OracleReject as exc:
+                raise Divergence(
+                    "outcome",
+                    "apply_many",
+                    self.step,
+                    f"real applied update #{index}, oracle rejected it: {exc}",
+                )
+        return "rejected" if rejected else "applied"
+
+    def _prep_batch_item(self, command: Command):
+        """Resolve one batch update into ``(engine_spec, oracle_fn)``.
+
+        ``engine_spec`` is the ``(op, kwargs)`` pair ``apply_many`` feeds
+        the update engine; ``oracle_fn(model, real_value)`` applies the
+        same update to a reference model.  Name translation (view class →
+        global class, visible property → underlying property) happens here
+        because batches carry no schema changes — the pre-batch schema is
+        the schema every update sees.  Returns ``None`` for an
+        unresolvable reference (agreed skip, as in :meth:`_prepare`).
+        """
+        op, args = command.op, dict(command.args)
+        view = self._r_view(args["view_i"])
+        if view is None:
+            return None
+        if op == "create":
+            cls = self._r_class(view, args["cls_i"])
+            if cls is None:
+                return None
+            attrs = self.model.attribute_names(view, cls)
+            assigns: Dict[str, object] = {}
+            for i, value in args["assigns"]:
+                if attrs:
+                    assigns[attrs[i % len(attrs)]] = value
+            handle = self.db.view(view)[cls]
+            translated = {
+                handle._underlying(name): value for name, value in assigns.items()
+            }
+            spec = ("create", {"class_name": handle.global_name, "assignments": translated})
+            return spec, lambda model, value: model.create(view, cls, assigns, value)
+        if op == "add":
+            src = self._r_class(view, args["src_cls_i"])
+            dest = self._r_class(view, args["cls_i"])
+            if src is None or dest is None:
+                return None
+            oid = self._r_oid(view, src, args["obj_i"])
+            if oid is None:
+                return None
+            global_dest = self.db.view(view)[dest].global_name
+            spec = ("add", {"oids": [oid], "class_name": global_dest})
+            return spec, lambda model, _value: model.add(view, dest, oid)
+        if op == "remove":
+            cls = self._r_class(view, args["cls_i"])
+            if cls is None:
+                return None
+            oid = self._r_oid(view, cls, args["obj_i"])
+            if oid is None:
+                return None
+            global_cls = self.db.view(view)[cls].global_name
+            spec = ("remove", {"oids": [oid], "class_name": global_cls})
+            return spec, lambda model, _value: model.remove(view, cls, oid)
+        if op == "set":
+            cls = self._r_class(view, args["cls_i"])
+            if cls is None:
+                return None
+            oid = self._r_oid(view, cls, args["obj_i"])
+            attr = self._r_attr(view, cls, args["attr_i"])
+            if oid is None or attr is None:
+                return None
+            value = args["value"]
+            handle = self.db.view(view)[cls]
+            spec = (
+                "set",
+                {
+                    "oids": [oid],
+                    "class_name": handle.global_name,
+                    "assignments": {handle._underlying(attr): value},
+                },
+            )
+            return spec, lambda model, _value: model.set_values(
+                view, cls, oid, {attr: value}
+            )
+        if op == "delete":
+            cls = self._r_class(view, args["cls_i"])
+            if cls is None:
+                return None
+            oid = self._r_oid(view, cls, args["obj_i"])
+            if oid is None:
+                return None
+
+            def oracle_delete(model, _value, _oid=oid):
+                # the engine rejects deleting a dead object (the whole
+                # batch rolls back); RefModel.delete is a silent no-op, so
+                # mirror the engine's liveness guard here
+                if _oid not in model.objects:
+                    raise OracleReject(f"object {_oid!r} is already deleted")
+                model.delete(_oid)
+
+            return ("delete", {"oids": [oid]}), oracle_delete
+        raise ValueError(f"unexpected batch op {op!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # reader sessions
@@ -719,7 +952,7 @@ class DifferentialHarness:
         session = self.db.sessions().reader()
         session.__enter__()
         self.readers[slot] = session
-        self.pins[slot] = copy.deepcopy(self.model.published)
+        self.pins[slot] = _copy_published(self.model.published)
         return "applied"
 
     def _op_reader_refresh(self, args) -> str:
@@ -728,7 +961,7 @@ class DifferentialHarness:
         if session is None:
             return "skipped"
         session.refresh()
-        self.pins[slot] = copy.deepcopy(self.model.published)
+        self.pins[slot] = _copy_published(self.model.published)
         return "applied"
 
     def _op_reader_close(self, args) -> str:
@@ -805,28 +1038,70 @@ class DifferentialHarness:
         return pairs
 
     def _check_equivalence(self, op: str) -> None:
+        """Compare every observable of every view against the oracle.
+
+        The bulk sweep (default) reads each view through one
+        ``ViewHandle.dump()`` — a single latched resolution per view — and
+        compares the result; the slow sweep walks the per-call accessor
+        surface (one handle call per observable, one ``get_object`` per
+        member).  Both check the same observables; the slow path survives
+        as the hot-path benchmark's "before" mode and as a cross-check
+        that the bulk reader answers exactly what the accessors do.
+        """
         def div(what: str, detail: str):
             raise Divergence(f"observe:{what}", op, self.step, detail)
+
+        # Skip the sweep when neither side changed since the last *passing*
+        # sweep: the real side's schema/pool generation counters cover every
+        # schema change and every membership/value mutation, the oracle's
+        # mutation counter covers its whole observable surface, and the
+        # incarnation number changes whenever a recovered database is
+        # swapped in (its counters could coincide with the dead one's).
+        state_key = (
+            self._db_incarnation,
+            self.db.schema.generation,
+            self.db.pool.generation,
+            self.model.mutations,
+        )
+        if self.bulk_sweep and state_key == self._last_sweep_key:
+            return
 
         real_views = sorted(self.db.view_names())
         if real_views != self.model.view_names():
             div("views", f"real {real_views} != oracle {self.model.view_names()}")
         for view in real_views:
             handle = self.db.view(view)
-            real_classes = sorted(handle.class_names())
+            if self.bulk_sweep:
+                dump = handle.dump(self._dump_plans)
+                oracle_dump = self.model.dump(view)
+                if (
+                    dump["version"] == oracle_dump["version"]
+                    and sorted(dump["classes"]) == oracle_dump["classes"]
+                    and dump["by_class"] == oracle_dump["by_class"]
+                    and self._closure(dump["edges"]) == self.model.anc_pairs(view)
+                ):
+                    continue  # everything agrees; skip the drill-down
+                real_classes = sorted(dump["classes"])
+                real_version = dump["version"]
+                real_edges = dump["edges"]
+            else:
+                dump = None
+                real_classes = sorted(handle.class_names())
+                real_version = handle.version
+                real_edges = handle.edges()
             if real_classes != self.model.class_names(view):
                 div(
                     "classes",
                     f"{view!r}: real {real_classes} != oracle "
                     f"{self.model.class_names(view)}",
                 )
-            if handle.version != self.model.version(view):
+            if real_version != self.model.version(view):
                 div(
                     "version",
-                    f"{view!r}: real v{handle.version} != oracle "
+                    f"{view!r}: real v{real_version} != oracle "
                     f"v{self.model.version(view)}",
                 )
-            real_pairs = self._closure(handle.edges())
+            real_pairs = self._closure(real_edges)
             oracle_pairs = self.model.anc_pairs(view)
             if real_pairs != oracle_pairs:
                 div(
@@ -836,40 +1111,48 @@ class DifferentialHarness:
                     f"{sorted(oracle_pairs - real_pairs)}",
                 )
             for cls in real_classes:
-                cls_handle = handle[cls]
-                if sorted(cls_handle.attribute_names()) != self.model.attribute_names(
-                    view, cls
-                ):
+                if dump is not None:
+                    entry = dump["by_class"][cls]
+                    real_attrs = entry["attributes"]
+                    real_methods = entry["methods"]
+                    real_extent = entry["extent"]
+                    real_count = entry["count"]
+                    real_objects = entry["objects"]
+                else:
+                    cls_handle = handle[cls]
+                    real_attrs = sorted(cls_handle.attribute_names())
+                    real_methods = sorted(cls_handle.method_names())
+                    real_extent = sorted(cls_handle.extent_oids())
+                    real_count = cls_handle.count()
+                    real_objects = None
+                if real_attrs != self.model.attribute_names(view, cls):
                     div(
                         "attributes",
-                        f"{view!r}.{cls!r}: real "
-                        f"{sorted(cls_handle.attribute_names())} != oracle "
+                        f"{view!r}.{cls!r}: real {real_attrs} != oracle "
                         f"{self.model.attribute_names(view, cls)}",
                     )
-                if sorted(cls_handle.method_names()) != self.model.method_names(
-                    view, cls
-                ):
+                if real_methods != self.model.method_names(view, cls):
                     div(
                         "methods",
-                        f"{view!r}.{cls!r}: real "
-                        f"{sorted(cls_handle.method_names())} != oracle "
+                        f"{view!r}.{cls!r}: real {real_methods} != oracle "
                         f"{self.model.method_names(view, cls)}",
                     )
                 extent = self.model.extent_oids(view, cls)
-                real_extent = sorted(cls_handle.extent_oids())
                 if real_extent != extent:
                     div(
                         "extent",
                         f"{view!r}.{cls!r}: real {real_extent} != oracle {extent}",
                     )
-                if cls_handle.count() != len(extent):
+                if real_count != len(extent):
                     div(
                         "count",
-                        f"{view!r}.{cls!r}: count {cls_handle.count()} != "
-                        f"{len(extent)}",
+                        f"{view!r}.{cls!r}: count {real_count} != {len(extent)}",
                     )
                 for oid in extent:
-                    real_values = cls_handle.get_object(oid).values()
+                    if real_objects is not None:
+                        real_values = real_objects[oid]
+                    else:
+                        real_values = cls_handle.get_object(oid).values()
                     oracle_values = self.model.object_values(view, cls, oid)
                     if real_values != oracle_values:
                         div(
@@ -877,6 +1160,7 @@ class DifferentialHarness:
                             f"{view!r}.{cls!r} object {oid}: real {real_values} "
                             f"!= oracle {oracle_values}",
                         )
+        self._last_sweep_key = state_key
 
 
 class _AbortTxn(Exception):
@@ -923,7 +1207,7 @@ try:  # pragma: no cover - import guard
     from hypothesis.stateful import RuleBasedStateMachine, initialize, rule
 
     _MACHINE_OPS = sorted(set(c.op for c in CommandGenerator(0).generate(0)) | {
-        "create", "add", "remove", "set", "delete", "txn",
+        "create", "add", "remove", "set", "delete", "txn", "apply_many",
         "checkpoint", "crash", "recover_clean",
         "reader_open", "reader_check", "reader_refresh", "reader_close",
         "define_class", "create_view",

@@ -21,6 +21,18 @@ updates, ``merge``) plus a handful of meta-commands:
                           session counters
     .trace on|off         enable/disable pipeline tracing
     .trace show [n]       render the last n recorded span trees (default 5)
+    .compile [on|off]     predicate compilation: show status (with compiler
+                          counters), or force the compiled / interpreted
+                          evaluator for this process
+    .batch begin          start collecting update statements instead of
+                          executing them
+    .batch commit         apply the collected updates as ONE atomic batch
+                          (`TseDatabase.apply_many`: one latch, one WAL
+                          group commit, all-or-nothing); where-clauses
+                          resolve against the pre-batch state, so they
+                          do not see updates queued in the same batch
+    .batch abort          discard the collected updates
+    .batch status         how many updates are pending
     .save <path>          persist the database
     .wal on <dir>         attach a write-ahead log rooted at <dir>
     .wal stats            durability counters (lsn, ops, log bytes, ...)
@@ -44,8 +56,10 @@ import sys
 from typing import Callable, Iterable, List, Optional
 
 from repro.errors import TseError
+from repro.algebra import compiler as compilermod
 from repro.core.database import TseDatabase
 from repro.lang.interpreter import Interpreter
+from repro.lang.parser import UpdateCmd, parse_command
 from repro.persistence import load_database, save_database
 
 HELP_TEXT = __doc__.split(".. code-block:: text")[1].split("Everything else")[0]
@@ -193,11 +207,129 @@ def _meta_command(
                 f"({wal.last_recovery_seconds * 1000:.1f} ms); "
                 f"now using view {state['view']!r}"
             )
+    elif command == ".compile":
+        if not args:
+            status = "on" if compilermod.compilation_enabled() else "off"
+            stats = compilermod.compiler_stats()
+            emit(f"predicate compilation is {status}")
+            for key, value in stats.items():
+                emit(f"  {key}: {value}")
+        elif args[0] in ("on", "off"):
+            compilermod.set_compilation(args[0] == "on")
+            emit(f"predicate compilation {args[0]}")
+        else:
+            emit("usage: .compile [on|off]")
+    elif command == ".batch":
+        action = args[0] if args else "status"
+        if action == "begin":
+            if state.get("batch") is not None:
+                emit("already in a batch (commit or abort it first)")
+            else:
+                state["batch"] = []
+                emit("batch started; update statements are now collected")
+        elif action == "commit":
+            pending = state.get("batch")
+            if pending is None:
+                emit("no batch in progress (use .batch begin)")
+            else:
+                state["batch"] = None
+                specs = _batch_specs(db, state["view"], pending)
+                results = db.apply_many(specs)
+                state["executed"] += len(results)
+                emit(f"batch committed: {len(results)} update(s) applied atomically")
+        elif action == "abort":
+            pending = state.get("batch")
+            state["batch"] = None
+            count = 0 if pending is None else len(pending)
+            emit(f"batch aborted ({count} pending update(s) discarded)")
+        elif action == "status":
+            pending = state.get("batch")
+            if pending is None:
+                emit("no batch in progress")
+            else:
+                emit(f"batch in progress: {len(pending)} update(s) pending")
+        else:
+            emit("usage: .batch begin|commit|abort|status")
     elif command == ".quit":
         return False
     else:
         emit(f"unknown meta-command {command!r} (try .help)")
     return True
+
+
+def _batch_specs(
+    db: TseDatabase, view_name: str, commands: List[UpdateCmd]
+) -> List[tuple]:
+    """Translate collected update statements into ``apply_many`` specs.
+
+    Set-expressions (extents and ``select`` predicates) are resolved here,
+    at commit time, against the current state — the batch reads one
+    snapshot and then writes atomically, deferred-update style.  Alias
+    translation mirrors the interpreter's per-statement paths.
+    """
+    view = db.view(view_name)
+    schema = view.schema
+
+    def targets_of(cls_handle, predicate):
+        handles = (
+            cls_handle.extent()
+            if predicate is None
+            else cls_handle.select_where(predicate)
+        )
+        return [h.oid for h in handles]
+
+    specs: List[tuple] = []
+    for cmd in commands:
+        if cmd.op == "create":
+            cls = view[cmd.target]
+            specs.append((
+                "create",
+                {
+                    "class_name": cls.global_name,
+                    "assignments": {
+                        schema.visible_property(cmd.target, name): value
+                        for name, value in cmd.assigns
+                    },
+                },
+            ))
+        elif cmd.op == "set":
+            cls = view[cmd.target]
+            specs.append((
+                "set",
+                {
+                    "oids": targets_of(cls, cmd.predicate),
+                    "class_name": cls.global_name,
+                    "assignments": {
+                        schema.visible_property(cmd.target, name): value
+                        for name, value in cmd.assigns
+                    },
+                },
+            ))
+        elif cmd.op == "delete":
+            specs.append(
+                ("delete", {"oids": targets_of(view[cmd.target], cmd.predicate)})
+            )
+        elif cmd.op == "add":
+            source_cls = view[cmd.source]
+            specs.append((
+                "add",
+                {
+                    "oids": targets_of(source_cls, cmd.predicate),
+                    "class_name": view[cmd.target].global_name,
+                },
+            ))
+        elif cmd.op == "remove":
+            cls = view[cmd.target]
+            specs.append((
+                "remove",
+                {
+                    "oids": targets_of(cls, cmd.predicate),
+                    "class_name": cls.global_name,
+                },
+            ))
+        else:  # pragma: no cover - parser only yields the five ops
+            raise TseError(f"unknown batch update {cmd.op!r}")
+    return specs
 
 
 def run_shell(
@@ -225,6 +357,22 @@ def run_shell(
             except TseError as exc:
                 state["errors"] += 1
                 emit(f"error: {exc}")
+            continue
+        if state.get("batch") is not None:
+            # inside .batch begin/.batch commit: collect updates, run nothing
+            try:
+                parsed = parse_command(line)
+                if not isinstance(parsed, UpdateCmd):
+                    raise TseError(
+                        "only generic updates (create/set/delete/add/remove) "
+                        "can be batched"
+                    )
+            except TseError as exc:
+                state["errors"] += 1
+                emit(f"error: {exc}")
+                continue
+            state["batch"].append(parsed)
+            emit(f"queued ({len(state['batch'])} pending)")
             continue
         try:
             result = Interpreter(state["db"], state["view"]).execute(line)

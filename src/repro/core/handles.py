@@ -13,9 +13,11 @@ view-visible property names; translation to global names happens internally.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import NotAMember, UnknownProperty
+from repro.algebra import compiler as compilermod
 from repro.algebra.expressions import Predicate
 from repro.schema.extents import attribute_reader, read_attribute, read_path
 from repro.schema.properties import Attribute, Method
@@ -23,6 +25,13 @@ from repro.schema import types as typemod
 from repro.schema.types import Ambiguity
 from repro.storage.oid import Oid
 from repro.views.schema import ViewSchema
+
+#: sentinel distinguishing "attribute never written" from a stored None
+_ABSENT = object()
+
+#: sort key for OID sequences — same order as ``Oid.__lt__`` but dispatched
+#: at C level (the Python-level rich comparison dominates dump profiles)
+_OID_VALUE = attrgetter("value")
 
 
 def _latched_read(db, resolve):
@@ -110,6 +119,139 @@ class ViewHandle:
 
     def describe(self) -> str:
         return self.schema.describe()
+
+    def dump(self, plan_cache: Optional[dict] = None) -> Dict[str, object]:
+        """Every observable the view exposes, in one latched resolution.
+
+        Returns ``{"version", "classes", "edges", "by_class"}`` where
+        ``by_class`` maps each view class to its sorted attribute/method
+        names, sorted extent, count, and per-object attribute values —
+        exactly what the per-call accessors (:meth:`version`,
+        :meth:`class_names`, :meth:`edges`,
+        ``ViewClassHandle.attribute_names`` / ``method_names`` /
+        ``extent_oids`` / ``count`` / ``dump_objects``) would answer,
+        but resolved against one consistent schema snapshot instead of
+        re-resolving per call.  The differential harness sweeps every
+        observable after every step; this keeps that sweep linear in the
+        data instead of in the number of accessor calls.
+
+        ``plan_cache``, when given, is a caller-owned dict that carries
+        the schema-derived part of the dump (attribute/method names and
+        alias translations per class) across calls; entries are keyed by
+        ``(view, version, schema generation)`` so any schema change takes
+        a fresh plan.  Object values are always read live.
+        """
+
+        def resolve() -> Dict[str, object]:
+            if self.pinned_version is not None:
+                view = self._db.views.history.version(
+                    self.view_name, self.pinned_version
+                )
+            else:
+                view = self._db.views.current(self.view_name)
+            schema = self._db.schema
+            evaluator = self._db.evaluator
+            pool = self._db.pool
+            store_get = pool.store.get_value
+            make_reader = evaluator.plans.reader
+            key = (self.view_name, view.version, schema.generation)
+            plan = None if plan_cache is None else plan_cache.get(key)
+            if plan is None:
+                class_plan = []
+                for view_class in view.class_names():
+                    global_name = view.global_name_of(view_class)
+                    attrs: List[str] = []
+                    methods: List[str] = []
+                    # non-ambiguous attributes, resolved once per plan:
+                    # (alias, underlying, (storage_class, bare, default)|None)
+                    # — the triple drives a direct slice read per object,
+                    # None falls back to the generic planned reader
+                    columns = []
+                    type_map = schema.type_of(global_name)
+                    for name, entry in type_map.items():
+                        ambiguous = isinstance(entry, Ambiguity)
+                        candidates = entry.candidates if ambiguous else (entry,)
+                        alias = view.property_alias(view_class, name)
+                        if any(isinstance(c.prop, Attribute) for c in candidates):
+                            attrs.append(alias)
+                        if any(isinstance(c.prop, Method) for c in candidates):
+                            methods.append(alias)
+                        if not ambiguous and isinstance(entry.prop, Attribute):
+                            underlying = view.visible_property(view_class, alias)
+                            fast = None
+                            try:
+                                resolved = typemod.resolve_qualified(
+                                    type_map, underlying, class_name=global_name
+                                )
+                            except Exception:
+                                resolved = None
+                            if (
+                                resolved is not None
+                                and isinstance(resolved.prop, Attribute)
+                                and resolved.storage_class is not None
+                            ):
+                                fast = (
+                                    resolved.storage_class,
+                                    resolved.prop.name,
+                                    resolved.prop.default,
+                                )
+                            columns.append((alias, underlying, fast))
+                    class_plan.append(
+                        (view_class, global_name, sorted(attrs), sorted(methods),
+                         columns)
+                    )
+                # class/edge listings are schema-derived too: sort them once
+                # per plan instead of once per sweep
+                plan = (class_plan, view.class_names(), view.view_edges())
+                if plan_cache is not None:
+                    # drop this view's stale generations; other views'
+                    # entries stay live (their keys still match)
+                    for stale in [
+                        k for k in plan_cache
+                        if k[0] == self.view_name and k != key
+                    ]:
+                        del plan_cache[stale]
+                    plan_cache[key] = plan
+            class_plan, class_names, view_edges = plan
+            by_class: Dict[str, dict] = {}
+            for view_class, global_name, attrs, methods, columns in class_plan:
+                extent = sorted(evaluator.extent(global_name), key=_OID_VALUE)
+                objects = {}
+                for oid in extent:
+                    impls = pool.get(oid).implementations
+                    reader = None
+                    row = {}
+                    for alias, underlying, fast in columns:
+                        if fast is not None:
+                            storage, bare, default = fast
+                            impl = impls.get(storage)
+                            if impl is None:
+                                row[alias] = default
+                            else:
+                                value = store_get(impl.slice_id, bare, _ABSENT)
+                                row[alias] = (
+                                    default if value is _ABSENT else value
+                                )
+                        else:
+                            if reader is None:
+                                reader = make_reader(global_name, oid)
+                            row[alias] = reader(underlying)
+                    objects[oid] = row
+                by_class[view_class] = {
+                    "attributes": attrs,
+                    "methods": methods,
+                    "extent": extent,
+                    "count": len(extent),
+                    "objects": objects,
+                }
+            return {
+                "version": view.version,
+                "classes": class_names,
+                "edges": view_edges,
+                "by_class": by_class,
+            }
+
+        return _latched_read(self._db, resolve)
 
     def __getitem__(self, view_class: str) -> "ViewClassHandle":
         self.schema.global_name_of(view_class)  # raises when unknown
@@ -360,7 +502,7 @@ class ViewClassHandle:
     def extent_oids(self) -> List[Oid]:
         return _latched_read(
             self._db,
-            lambda: sorted(self._db.evaluator.extent(self.global_name)),
+            lambda: sorted(self._db.evaluator.extent(self.global_name), key=_OID_VALUE),
         )
 
     def extent(self) -> List["ObjectHandle"]:
@@ -375,6 +517,37 @@ class ViewClassHandle:
             lambda: len(self._db.evaluator.extent(self.global_name)),
         )
 
+    def dump_objects(self) -> Dict[Oid, Dict[str, object]]:
+        """Attribute values of every extent member, in one latched read.
+
+        Equivalent to ``{oid: self.get_object(oid).values() for oid in
+        self.extent_oids()}``, but the view, the type map, the alias
+        translations, and the per-attribute reader plans are resolved once
+        for the whole extent instead of once per object per attribute.
+        The differential harness's equivalence sweep reads every object
+        after every step, so this is its hot path.
+        """
+
+        def resolve() -> Dict[Oid, Dict[str, object]]:
+            view = self.schema
+            global_name = view.global_name_of(self.view_class)
+            columns = []  # (visible alias, underlying property name)
+            for name, entry in self._db.schema.type_of(global_name).items():
+                if isinstance(entry, Ambiguity):
+                    continue
+                if isinstance(entry.prop, Attribute):
+                    alias = view.property_alias(self.view_class, name)
+                    underlying = view.visible_property(self.view_class, alias)
+                    columns.append((alias, underlying))
+            make_reader = self._db.evaluator.plans.reader
+            result: Dict[Oid, Dict[str, object]] = {}
+            for oid in self._db.evaluator.extent(global_name):
+                reader = make_reader(global_name, oid)
+                result[oid] = {alias: reader(under) for alias, under in columns}
+            return result
+
+        return _latched_read(self._db, resolve)
+
     def select_where(self, predicate: Predicate) -> List["ObjectHandle"]:
         """Ad-hoc selection over the extent (no virtual class is created).
 
@@ -387,21 +560,32 @@ class ViewClassHandle:
             candidates = self.extent_oids()
         else:
             extent = self._db.evaluator.extent(self.global_name)
-            candidates = sorted(oid for oid in candidates if oid in extent)
-        matched = []
-        for oid in candidates:
-            raw_reader = attribute_reader(
-                self._db.schema, self._db.pool, self.global_name, oid
+            candidates = sorted(
+                (oid for oid in candidates if oid in extent), key=_OID_VALUE
             )
+        matched = []
+        matches = compilermod.matcher(predicate)
+        global_name = self.global_name
+        make_reader = self._db.evaluator.plans.reader
+        # predicates speak view vocabulary: translate each attribute's
+        # leading segment through this view class's aliases, once
+        translations: Dict[str, str] = {}
 
-            def reader(attr_name: str, _raw=raw_reader):
-                # predicates speak view vocabulary: translate the leading
-                # segment through this view class's property aliases
+        def translate(attr_name: str) -> str:
+            translated = translations.get(attr_name)
+            if translated is None:
                 head, dot, rest = attr_name.partition(".")
                 translated = self._underlying(head) + (dot + rest if dot else "")
-                return _raw(translated)
+                translations[attr_name] = translated
+            return translated
 
-            if predicate.matches(reader):
+        for oid in candidates:
+            raw_reader = make_reader(global_name, oid)
+
+            def reader(attr_name: str, _raw=raw_reader):
+                return _raw(translate(attr_name))
+
+            if matches(reader):
                 matched.append(
                     ObjectHandle(self._db, self.view_name, self.view_class, oid, pinned_version=self.pinned_version)
                 )

@@ -25,8 +25,12 @@ from repro.errors import InvalidCast, NotAMember, ObjectNotFound
 from repro.storage.oid import OID_SIZE_BYTES, POINTER_SIZE_BYTES, Oid
 from repro.storage.store import ObjectStore
 
+#: distinguishes "attribute never written" from a stored ``None`` so
+#: :meth:`InstancePool.get_value` costs one page read instead of two
+_MISSING = object()
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class PoolDelta:
     """One typed change event emitted to delta listeners.
 
@@ -51,7 +55,7 @@ class PoolDelta:
     attr: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ImplementationObject:
     """One class-specific slice of a conceptual object.
 
@@ -68,7 +72,15 @@ class ImplementationObject:
 
 
 class ConceptualObject:
-    """The identity-bearing half of a sliced object."""
+    """The identity-bearing half of a sliced object.
+
+    ``__slots__`` because the pool holds one of these per live object and
+    the hot paths (value reads, membership checks) chase through them — a
+    slotted layout removes the per-instance ``__dict__`` both in memory and
+    in attribute-lookup indirection.
+    """
+
+    __slots__ = ("oid", "direct_classes", "implementations", "current_class")
 
     def __init__(self, oid: Oid) -> None:
         self.oid = oid
@@ -323,9 +335,30 @@ class InstancePool:
         impl = obj.implementations.get(storage_class)
         if impl is None:
             return default
-        if not self.store.has_value(impl.slice_id, attr):
-            return default
-        return self.store.get_value(impl.slice_id, attr)
+        value = self.store.get_value(impl.slice_id, attr, _MISSING)
+        return default if value is _MISSING else value
+
+    def value_reader(self, storage_class: str, attr: str, default: object = None):
+        """A pre-bound reader ``fn(oid) -> value``, equivalent to
+        :meth:`get_value` with the same arguments but with the object table
+        and the store-side column reader resolved once.  Built by the extent
+        evaluator's plans so select scans read attribute values without any
+        per-object setup."""
+        slice_read = self.store.value_reader(storage_class, attr, default)
+
+        def read(oid: Oid, _pool=self) -> object:
+            # _objects is reassigned wholesale by restore(); go through the
+            # pool attribute so savepoint rollbacks are always visible
+            try:
+                obj = _pool._objects[oid]
+            except KeyError:
+                raise ObjectNotFound(f"no live object with {oid}") from None
+            impl = obj.implementations.get(storage_class)
+            if impl is None:
+                return default
+            return slice_read(impl.slice_id)
+
+        return read
 
     def has_value(self, oid: Oid, storage_class: str, attr: str) -> bool:
         obj = self.get(oid)

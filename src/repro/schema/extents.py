@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.algebra import compiler as compilermod
 from repro.errors import PredicateError, UnknownProperty
 from repro.obs.tracing import Tracer
 from repro.schema.classes import (
@@ -166,6 +167,108 @@ def attribute_reader(
     return reader
 
 
+class ReaderPlans:
+    """Pre-resolved attribute read plans, cached per schema generation.
+
+    :func:`read_attribute` resolves ``type_of`` + ``resolve_qualified`` on
+    *every* read, yet within one schema generation the resolution of
+    ``(class_name, attr)`` never changes.  This cache resolves each pair
+    once and keeps a per-attribute closure ``fn(oid) -> value``:
+
+    * plain stored attributes collapse to a single ``pool.get_value`` call
+      with the storage class, bare name, and default pre-bound;
+    * everything else — dotted paths, derived attributes, unresolvable or
+      method reads — falls back to the generic :func:`read_path` /
+      :func:`read_attribute` *per call*, so errors surface with identical
+      type, message, and timing to the un-planned reader.
+
+    A schema generation bump discards all plans (schema changes are rare
+    next to the reads these plans serve).
+    """
+
+    __slots__ = ("schema", "pool", "_generation", "_plans")
+
+    def __init__(self, schema: GlobalSchema, pool: InstancePool) -> None:
+        self.schema = schema
+        self.pool = pool
+        self._generation = -1
+        self._plans: Dict[str, Dict[str, Callable[[Oid], object]]] = {}
+
+    def _class_plans(self, class_name: str) -> Dict[str, Callable[[Oid], object]]:
+        if self._generation != self.schema.generation:
+            self._plans = {}
+            self._generation = self.schema.generation
+        plans = self._plans.get(class_name)
+        if plans is None:
+            plans = self._plans[class_name] = {}
+        return plans
+
+    def _resolve(self, class_name: str, attr_name: str) -> Callable[[Oid], object]:
+        schema, pool = self.schema, self.pool
+        if "." not in attr_name:
+            try:
+                type_map = schema.type_of(class_name)
+                resolved = typemod.resolve_qualified(
+                    type_map, attr_name, class_name=class_name
+                )
+            except Exception:
+                resolved = None
+            if (
+                resolved is not None
+                and isinstance(resolved.prop, Attribute)
+                and resolved.storage_class is not None
+            ):
+                return pool.value_reader(
+                    resolved.storage_class,
+                    resolved.prop.name,
+                    resolved.prop.default,
+                )
+            if (
+                resolved is not None
+                and isinstance(resolved.prop, Attribute)
+                and getattr(resolved.prop, "compute", None) is None
+            ):
+                default = resolved.prop.default
+                return lambda oid: default
+
+            def generic(oid: Oid) -> object:
+                return read_attribute(schema, pool, class_name, oid, attr_name)
+
+            return generic
+
+        def dotted(oid: Oid) -> object:
+            return read_path(schema, pool, class_name, oid, attr_name)
+
+        return dotted
+
+    def oid_reader(self, class_name: str, attr_name: str) -> Callable[[Oid], object]:
+        """The planned column reader itself: ``fn(oid) -> value``.
+
+        This is the function :meth:`reader` dispatches to per attribute —
+        exposed directly so row-compiled predicates can bind each column
+        once instead of building a per-object reader closure."""
+        plans = self._class_plans(class_name)
+        fn = plans.get(attr_name)
+        if fn is None:
+            fn = plans[attr_name] = self._resolve(class_name, attr_name)
+        return fn
+
+    def reader(self, class_name: str, oid: Oid) -> Callable[[str], object]:
+        """A planned :data:`Reader` for one object in one class context —
+        drop-in for :func:`attribute_reader`, ~one dict hit per read."""
+        plans = self._class_plans(class_name)
+        resolve = self._resolve
+
+        def reader(attr_name: str) -> object:
+            fn = plans.get(attr_name)
+            if fn is None:
+                fn = resolve(class_name, attr_name)
+                plans[attr_name] = fn
+            return fn(oid)
+
+        return reader
+
+
 class ExtentEvaluator:
     """Computes global extents, cached per (schema, pool) generation.
 
@@ -188,7 +291,35 @@ class ExtentEvaluator:
         #: hot paths only ever pay an attribute read + branch
         self.tracer = tracer if tracer is not None else Tracer()
         self._cache: Dict[str, FrozenSet[Oid]] = {}
-        self._cache_key: Tuple[int, int] = (-1, -1)
+        #: value of ``_current_key()`` when the cache was last valid —
+        #: a (schema, pool) generation tuple here, a bare schema generation
+        #: in the incremental subclass
+        self._cache_key: object = (-1, -1)
+        #: pre-resolved attribute read plans (shared by all select rechecks)
+        self.plans = ReaderPlans(schema, pool)
+        #: select class -> row matcher ``fn(oid) -> bool``, valid for one
+        #: (schema generation, compiler toggle epoch) pair
+        self._matchers: Dict[str, Callable[[Oid], bool]] = {}
+        self._matchers_key: Tuple[int, int] = (-1, -1)
+
+    def _matcher(self, class_name: str, predicate, source: str) -> Callable[[Oid], bool]:
+        """The OID-level evaluator for one select class's predicate —
+        row-compiled when possible, reader-based interpreter otherwise;
+        cached because derivations are immutable per generation."""
+        key = (self.schema.generation, compilermod.compilation_epoch())
+        if key != self._matchers_key:
+            self._matchers.clear()
+            self._matchers_key = key
+        fn = self._matchers.get(class_name)
+        if fn is None:
+            plans = self.plans
+            fn = compilermod.row_matcher(
+                predicate,
+                lambda attr: plans.oid_reader(source, attr),
+                lambda oid: plans.reader(source, oid),
+            )
+            self._matchers[class_name] = fn
+        return fn
 
     def _current_key(self) -> Tuple[int, int]:
         return (self.schema.generation, self.pool.generation)
@@ -232,12 +363,8 @@ class ExtentEvaluator:
             return self._evaluate(der.source, active)
         if der.op == "select":
             source_extent = self._evaluate(der.source, active)
-            matched = set()
-            for oid in source_extent:
-                reader = attribute_reader(self.schema, self.pool, der.source, oid)
-                if der.predicate.matches(reader):
-                    matched.add(oid)
-            return frozenset(matched)
+            matches = self._matcher(class_name, der.predicate, der.source)
+            return frozenset(oid for oid in source_extent if matches(oid))
         first = self._evaluate(der.sources[0], active)
         second = self._evaluate(der.sources[1], active)
         if der.op == "union":
@@ -412,9 +539,11 @@ class IncrementalExtentEvaluator(ExtentEvaluator):
         self._deps_generation = -1
         pool.add_delta_listener(self._on_delta)
 
-    # the cache key tracks only the schema; pool changes arrive as deltas
-    def _current_key(self) -> Tuple[int, int]:
-        return (self.schema.generation, -1)
+    # the cache key tracks only the schema; pool changes arrive as deltas.
+    # A bare int (not a tuple) keeps the per-read key check allocation-free;
+    # it can never collide with the base class's tuple keys.
+    def _current_key(self):
+        return self.schema.generation
 
     def _base_extent(self, cls: BaseClass) -> FrozenSet[Oid]:
         """Union of direct-member buckets via the memoized ancestor index
@@ -460,6 +589,11 @@ class IncrementalExtentEvaluator(ExtentEvaluator):
         if kind in ("add_membership", "remove_membership"):
             seeds = self._membership_seeds(delta.oid, delta.class_name)
         else:  # set_value / remove_value
+            deps = self._dependency_index()
+            if not deps.wildcard_selects and delta.attr not in deps.attr_deps:
+                # no select reads this attribute: the write cannot move any
+                # cached extent, so skip seed construction entirely
+                return
             seeds = self._value_seeds(delta.oid, delta.attr)
         if seeds:
             self._propagate(seeds)
@@ -611,8 +745,8 @@ class IncrementalExtentEvaluator(ExtentEvaluator):
         if der.op == "select":
             if oid not in self.extent(der.source):
                 return False
-            reader = attribute_reader(self.schema, self.pool, der.source, oid)
-            return bool(der.predicate.matches(reader))
+            matches = self._matcher(name, der.predicate, der.source)
+            return bool(matches(oid))
         first = self.extent(der.sources[0])
         second = self.extent(der.sources[1])
         if der.op == "union":

@@ -25,15 +25,55 @@ OID_SIZE_BYTES = 4
 POINTER_SIZE_BYTES = 4
 
 
-@dataclass(frozen=True, order=True)
 class Oid:
     """An immutable object identifier.
 
     OIDs compare and hash by value, never by identity, because the whole
     point of an OID is stable identity across transactions and processes.
+    Hand-written rather than a frozen dataclass: OIDs key every extent
+    set and slice table in the system, so the hash is computed once at
+    construction instead of on every dict/set operation.
     """
 
-    value: int
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: int) -> None:
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(value))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"Oid is immutable (tried to set {name!r})")
+
+    def __reduce__(self):
+        # copy/deepcopy/pickle re-enter __init__ instead of poking slots
+        # (plain slot restoration would trip the immutability guard)
+        return (Oid, (self.value,))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Oid) and other.value == self.value
+
+    def __lt__(self, other: "Oid"):
+        if not isinstance(other, Oid):
+            return NotImplemented
+        return self.value < other.value
+
+    def __le__(self, other: "Oid"):
+        if not isinstance(other, Oid):
+            return NotImplemented
+        return self.value <= other.value
+
+    def __gt__(self, other: "Oid"):
+        if not isinstance(other, Oid):
+            return NotImplemented
+        return self.value > other.value
+
+    def __ge__(self, other: "Oid"):
+        if not isinstance(other, Oid):
+            return NotImplemented
+        return self.value >= other.value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"oid:{self.value}"

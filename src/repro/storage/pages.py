@@ -183,6 +183,14 @@ class PageManager:
         page.write(slot, payload)
         self._touch(page_id, write=True)
 
+    def modify(self, page_id: int, slot: int) -> object:
+        """Fetch a slot's payload for in-place mutation: one page access,
+        charged as a write (a slot update is a read-modify-write of the
+        same page, not two independent I/Os)."""
+        page = self._page(page_id)
+        self._touch(page_id, write=True)
+        return page.read(slot)
+
     def delete(self, page_id: int, slot: int) -> None:
         page = self._page(page_id)
         page.delete(slot)

@@ -10,9 +10,12 @@ from its platform exactly four things, all provided here:
   access accounting so Table 1's cost model can be measured;
 * **snapshot persistence** so a database can be saved and reloaded.
 
-The store knows nothing about schemas or views; it stores flat dictionaries
-keyed by slice id.  Higher layers (``repro.objectmodel``) give slices their
-meaning.
+The store knows nothing about schemas or views; it stores flat slotted
+payloads keyed by slice id — attribute names are interned once per cluster
+(class) in an :class:`AttributeTable` and each slice is a plain list indexed
+by interned position.  The external interface still speaks dictionaries
+(``read_slice``/``create_slice``/snapshots), so higher layers
+(``repro.objectmodel``) and the persistence format are unchanged.
 """
 
 from __future__ import annotations
@@ -28,7 +31,12 @@ from repro.storage.oid import Oid, OidAllocator
 from repro.storage.pages import DEFAULT_CACHE_PAGES, DEFAULT_SLOTS_PER_PAGE, PageManager
 
 
-@dataclass
+#: slot marker for "attribute not present in this slice" — distinguishes a
+#: stored ``None`` from an absent value in slotted payloads
+_ABSENT = object()
+
+
+@dataclass(slots=True)
 class SliceRecord:
     """Bookkeeping for one stored slice."""
 
@@ -38,12 +46,38 @@ class SliceRecord:
     slot: int
 
 
+class AttributeTable:
+    """Interned attribute names for one cluster key.
+
+    All slices of a cluster (= class) share one name table; each slice
+    payload is then a plain list indexed by the interned position, with
+    :data:`_ABSENT` holes.  Attribute names are stored once per *class*
+    instead of once per *object*, and a value read is a list index instead
+    of a string-keyed dict probe.  Positions are append-only — dropping a
+    slice never renumbers survivors.
+    """
+
+    __slots__ = ("index", "names")
+
+    def __init__(self) -> None:
+        self.index: Dict[str, int] = {}
+        self.names: List[str] = []
+
+    def intern(self, name: str) -> int:
+        pos = self.index.get(name)
+        if pos is None:
+            pos = self.index[name] = len(self.names)
+            self.names.append(name)
+        return pos
+
+
 class ObjectStore:
     """Flat slice storage with class-keyed clustering.
 
-    A slice is addressed by an :class:`~repro.storage.oid.Oid` and holds a
-    ``dict`` of attribute values.  All reads and writes are routed through the
-    page manager so the benchmarks can observe simulated I/O.
+    A slice is addressed by an :class:`~repro.storage.oid.Oid` and holds its
+    attribute values in a slotted list (see :class:`AttributeTable`).  All
+    reads and writes are routed through the page manager so the benchmarks
+    can observe simulated I/O.
     """
 
     def __init__(
@@ -55,6 +89,7 @@ class ObjectStore:
         self._pages = PageManager(slots_per_page=slots_per_page, cache_pages=cache_pages)
         self._slices: Dict[Oid, SliceRecord] = {}
         self._by_key: Dict[str, List[Oid]] = {}
+        self._attrs: Dict[str, AttributeTable] = {}
         #: guards slice-table bookkeeping (create/drop) and the snapshot
         #: restore swap; value reads go straight to the page manager — the
         #: session layer's epoch snapshots isolate readers from writers
@@ -82,14 +117,27 @@ class ObjectStore:
 
     # -- slices ----------------------------------------------------------------
 
+    def _table(self, cluster_key: str) -> AttributeTable:
+        table = self._attrs.get(cluster_key)
+        if table is None:
+            table = self._attrs[cluster_key] = AttributeTable()
+        return table
+
     def create_slice(self, cluster_key: str, values: Optional[dict] = None) -> Oid:
         """Create a new slice clustered under ``cluster_key``.
 
         Returns the slice's OID.  ``values`` seeds the slice contents.
         """
         slice_id = self._oids.allocate()
-        payload = dict(values) if values else {}
         with self._mutex:
+            table = self._table(cluster_key)
+            payload: List[object] = []
+            if values:
+                for key, value in values.items():
+                    pos = table.intern(key)
+                    if pos >= len(payload):
+                        payload.extend([_ABSENT] * (pos + 1 - len(payload)))
+                    payload[pos] = value
             page_id, slot = self._pages.place(cluster_key, payload)
             record = SliceRecord(slice_id, cluster_key, page_id, slot)
             self._slices[slice_id] = record
@@ -103,35 +151,84 @@ class ObjectStore:
             raise SliceNotFound(f"no slice with id {slice_id}") from None
 
     def read_slice(self, slice_id: Oid) -> dict:
-        """Return a copy of the slice's value dictionary (one page read)."""
+        """Return the slice's values as a fresh dictionary (one page read)."""
         record = self._record(slice_id)
         payload = self._pages.read(record.page_id, record.slot)
-        return dict(payload)  # copies protect page contents from aliasing
+        names = self._attrs[record.cluster_key].names
+        return {
+            names[pos]: value
+            for pos, value in enumerate(payload)
+            if value is not _ABSENT
+        }
 
     def get_value(self, slice_id: Oid, key: str, default: object = None) -> object:
-        """Read one attribute value from a slice."""
+        """Read one attribute value from a slice (one page read, one index)."""
         record = self._record(slice_id)
         payload = self._pages.read(record.page_id, record.slot)
-        return payload.get(key, default)
+        pos = self._attrs[record.cluster_key].index.get(key)
+        if pos is None or pos >= len(payload):
+            return default
+        value = payload[pos]
+        return default if value is _ABSENT else value
+
+    def value_reader(self, cluster_key: str, key: str, default: object = None):
+        """A pre-bound single-attribute reader: ``fn(slice_id) -> value``.
+
+        Equivalent to :meth:`get_value` for slices of ``cluster_key`` but
+        with the record table, page manager, and attribute table resolved
+        once at plan time instead of per read — the extent evaluator calls
+        this thousands of times per select scan.  Page accounting is
+        identical to :meth:`get_value` (every call is still one page read).
+        """
+        self._table(cluster_key)  # ensure the attribute table exists
+
+        def read(slice_id: Oid, _store=self) -> object:
+            # one attribute hop per structure instead of binding the dicts:
+            # restore_snapshot swaps _slices/_pages/_attrs wholesale, and a
+            # reader must follow the swap (savepoint rollbacks depend on it)
+            try:
+                record = _store._slices[slice_id]
+            except KeyError:
+                raise SliceNotFound(f"no slice with id {slice_id}") from None
+            payload = _store._pages.read(record.page_id, record.slot)
+            pos = _store._attrs[cluster_key].index.get(key)
+            if pos is None or pos >= len(payload):
+                return default
+            value = payload[pos]
+            return default if value is _ABSENT else value
+
+        return read
 
     def has_value(self, slice_id: Oid, key: str) -> bool:
         record = self._record(slice_id)
         payload = self._pages.read(record.page_id, record.slot)
-        return key in payload
+        pos = self._attrs[record.cluster_key].index.get(key)
+        return pos is not None and pos < len(payload) and payload[pos] is not _ABSENT
 
     def put_value(self, slice_id: Oid, key: str, value: object) -> None:
-        """Write one attribute value into a slice."""
+        """Write one attribute value into a slice.
+
+        The slotted payload is updated in place — no per-write dict copy;
+        aliasing is safe because :meth:`read_slice` hands out fresh dicts,
+        never the stored list.  A read-modify-write of one slot is a single
+        page access, so the page is fetched and charged once (as a write),
+        not once per direction.
+        """
         record = self._record(slice_id)
-        payload = self._pages.read(record.page_id, record.slot)
-        payload = dict(payload)
-        payload[key] = value
-        self._pages.write(record.page_id, record.slot, payload)
+        payload = self._pages.modify(record.page_id, record.slot)
+        pos = self._attrs[record.cluster_key].intern(key)
+        if pos >= len(payload):
+            payload.extend([_ABSENT] * (pos + 1 - len(payload)))
+        payload[pos] = value
 
     def remove_value(self, slice_id: Oid, key: str) -> None:
         """Delete one attribute value from a slice (no-op if absent)."""
         record = self._record(slice_id)
-        payload = dict(self._pages.read(record.page_id, record.slot))
-        payload.pop(key, None)
+        payload = self._pages.read(record.page_id, record.slot)
+        pos = self._attrs[record.cluster_key].index.get(key)
+        if pos is None or pos >= len(payload):
+            return
+        payload[pos] = _ABSENT
         self._pages.write(record.page_id, record.slot, payload)
 
     def drop_slice(self, slice_id: Oid) -> None:
@@ -198,11 +295,17 @@ class ObjectStore:
         slices = []
         for slice_id, record in sorted(self._slices.items()):
             payload = self._pages.read(record.page_id, record.slot)
+            names = self._attrs[record.cluster_key].names
+            values = {
+                names[pos]: value
+                for pos, value in enumerate(payload)
+                if value is not _ABSENT
+            }
             slices.append(
                 {
                     "slice_id": slice_id.value,
                     "cluster_key": record.cluster_key,
-                    "values": _encode_values(payload),
+                    "values": _encode_values(values),
                 }
             )
         return {"oids": self._oids.snapshot(), "slices": slices}
@@ -220,7 +323,14 @@ class ObjectStore:
         for entry in state["slices"]:
             slice_id = Oid(int(entry["slice_id"]))
             key = entry["cluster_key"]
-            payload = _decode_values(entry["values"])
+            values = _decode_values(entry["values"])
+            table = store._table(key)
+            payload: List[object] = []
+            for name, value in values.items():
+                pos = table.intern(name)
+                if pos >= len(payload):
+                    payload.extend([_ABSENT] * (pos + 1 - len(payload)))
+                payload[pos] = value
             page_id, slot = store._pages.place(key, payload)
             store._slices[slice_id] = SliceRecord(slice_id, key, page_id, slot)
             store._by_key.setdefault(key, []).append(slice_id)
@@ -241,6 +351,7 @@ class ObjectStore:
             self._pages = fresh._pages
             self._slices = fresh._slices
             self._by_key = fresh._by_key
+            self._attrs = fresh._attrs
 
     def save(self, path: "Path | str") -> None:
         """Persist the store to a JSON file."""

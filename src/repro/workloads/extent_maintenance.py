@@ -59,14 +59,20 @@ def build_select_workload(n_objects: int) -> Tuple[TseDatabase, List[Oid]]:
     db.define_virtual_class(
         "NonStudentAdults", Derivation("difference", ("Adults", "Student"))
     )
-    oids: List[Oid] = []
+    creates = []
     for index in range(n_objects):
-        classes = ("Person", "Student") if index % 2 else ("Person",)
-        obj = db.pool.create_object(classes)
-        db.pool.set_value(obj.oid, "Person", "age", 15 + index % 30)
-        if "Student" in classes:
-            db.pool.set_value(obj.oid, "Student", "gpa", index % 45)
-        oids.append(obj.oid)
+        if index % 2:
+            assignments = {"age": 15 + index % 30, "gpa": index % 45}
+            creates.append(
+                ("create", {"class_name": "Student", "assignments": assignments})
+            )
+        else:
+            creates.append((
+                "create",
+                {"class_name": "Person", "assignments": {"age": 15 + index % 30}},
+            ))
+    # populate through the batched update path: one latch + one journal unit
+    oids: List[Oid] = list(db.apply_many(creates))
     return db, oids
 
 

@@ -65,13 +65,18 @@ class WorkloadGenerator:
                 db.define_class(name, attrs)
             class_names.append(name)
         view = db.create_view("main", class_names, closure="ignore")
+        creates = []
         for _ in range(n_objects):
             target = self.rng.choice(class_names)
             assignments = {
                 attr: self.rng.randint(0, 100)
                 for attr in self._assignable_attrs(db, target)
             }
-            db.engine.create(target, assignments)
+            creates.append(
+                ("create", {"class_name": target, "assignments": assignments})
+            )
+        # one atomic batch: population pays the latch/journal fixed costs once
+        db.apply_many(creates)
         return db, view
 
     @staticmethod
