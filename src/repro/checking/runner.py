@@ -37,9 +37,11 @@ Entry points:
 from __future__ import annotations
 
 import copy
+import os
 import random
 import shutil
 import tempfile
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.checking.commands import (
@@ -49,6 +51,7 @@ from repro.checking.commands import (
     Command,
     CommandGenerator,
     command_from_dict,
+    command_to_dict,
 )
 from repro.checking.oracle import OracleReject, RefModel, Spec
 from repro.core.database import TseDatabase
@@ -110,12 +113,22 @@ _PREP_OPS = UPDATE_OPS + SCHEMA_OPS + ("define_class", "create_view")
 class DifferentialHarness:
     """One real database + one oracle, stepped in lockstep."""
 
-    def __init__(self, wal_dir=None, sync: str = "off") -> None:
+    def __init__(self, wal_dir=None, sync: str = "off", dossier_dir=None) -> None:
         self._tmp: Optional[str] = None
         if wal_dir is None:
             self._tmp = tempfile.mkdtemp(prefix="tse-diff-")
             wal_dir = self._tmp
         self.wal_dir = wal_dir
+        # where divergence dossiers land; the TSE_DOSSIER_DIR env var lets
+        # CI collect forensic bundles from any fuzz entry point without
+        # threading a parameter through every caller
+        if dossier_dir is None:
+            dossier_dir = os.environ.get("TSE_DOSSIER_DIR") or None
+        self.dossier_dir = Path(dossier_dir) if dossier_dir else None
+        #: every command applied, in order (the replayable dossier payload)
+        self.history: List[Command] = []
+        #: path of the most recent divergence dossier (None when disabled)
+        self.last_dossier: Optional[Path] = None
         # crash commands simulate crashes (the process survives), so
         # fsyncing the throwaway WAL buys nothing — "off" keeps every
         # append flushed to the OS, which is all recovery needs here
@@ -164,29 +177,72 @@ class DifferentialHarness:
 
     def apply(self, command: Command) -> str:
         """Apply one command to both systems; raise :class:`Divergence` on
-        any disagreement (outcome or observable state)."""
+        any disagreement (outcome or observable state).
+
+        Every command lands in :attr:`history` first, so a divergence can
+        ship a *replayable* crash dossier: the flight-recorder bundle plus
+        the exact command sequence that reached the disagreement."""
         self.step += 1
+        self.history.append(command)
         op = command.op
         args = dict(command.args)
         try:
-            if op in _PREP_OPS:
-                prep = self._prepare(op, args)
-                outcome = "skipped" if prep is None else self._two_sided(op, *prep)
-            else:
-                outcome = getattr(self, f"_op_{op}")(args)
-        except Divergence:
+            try:
+                if op in _PREP_OPS:
+                    prep = self._prepare(op, args)
+                    outcome = (
+                        "skipped" if prep is None else self._two_sided(op, *prep)
+                    )
+                else:
+                    outcome = getattr(self, f"_op_{op}")(args)
+            except Divergence:
+                raise
+            except OracleReject as exc:  # oracle raised outside its contract
+                raise Divergence(
+                    "oracle-exception", op, self.step, f"{type(exc).__name__}: {exc}"
+                )
+            except Exception as exc:  # a real-system invariant crash is a finding
+                raise Divergence(
+                    "exception", op, self.step, f"{type(exc).__name__}: {exc}"
+                )
+            self.outcomes.append((self.step, op, outcome))
+            self._check_equivalence(op)
+        except Divergence as divergence:
+            self.last_dossier = self._file_dossier(divergence)
             raise
-        except OracleReject as exc:  # oracle raised outside its contract
-            raise Divergence(
-                "oracle-exception", op, self.step, f"{type(exc).__name__}: {exc}"
-            )
-        except Exception as exc:  # a real-system invariant crash is a finding
-            raise Divergence(
-                "exception", op, self.step, f"{type(exc).__name__}: {exc}"
-            )
-        self.outcomes.append((self.step, op, outcome))
-        self._check_equivalence(op)
         return outcome
+
+    def _file_dossier(self, divergence: Divergence):
+        """Dump the forensic bundle for one divergence.
+
+        Writes into :attr:`dossier_dir` when configured (the fuzz jobs set
+        ``TSE_DOSSIER_DIR`` so CI can upload the bundle as an artifact);
+        the dossier's ``extra.commands`` replays through
+        :func:`run_commands` byte-for-byte."""
+        if self.db is None:
+            return None
+        flight = self.db.obs.flight
+        flight.record(
+            "divergence",
+            divergence_kind=divergence.kind,
+            op=divergence.op,
+            step=divergence.step,
+            detail=divergence.detail,
+        )
+        if self.dossier_dir is None:
+            return None
+        try:
+            return flight.dump_dossier(
+                "divergence",
+                extra={
+                    "divergence": divergence.to_dict(),
+                    "commands": [command_to_dict(c) for c in self.history],
+                    "outcomes": list(self.outcomes),
+                },
+                directory=self.dossier_dir,
+            )
+        except OSError:  # forensics must never mask the finding itself
+            return None
 
     # ------------------------------------------------------------------
     # two-sided application

@@ -21,6 +21,21 @@ updates, ``merge``) plus a handful of meta-commands:
                           session counters
     .trace on|off         enable/disable pipeline tracing
     .trace show [n]       render the last n recorded span trees (default 5)
+    .trace export <file>  write the span ring as Chrome trace-event JSON
+                          (open in Perfetto / chrome://tracing)
+    .explain <stmt>       dry-run a schema-change statement: the defineVC
+                          script, classifier dedup decisions, affected
+                          extents, predicted rechecks and per-phase timings
+                          — nothing is committed
+    .top                  one-screen operational stats: per-op schema-change
+                          latency quantiles, hottest spans, sessions, WAL,
+                          flight recorder; `.top watch [secs]` refreshes
+                          live until interrupted
+    .flight show [n]      last n flight-recorder records (default 10)
+    .flight dump [why]    write a crash dossier now; prints its path
+    .flight dir <path>    set the dossier directory (enables automatic
+                          dumps on failure / recovery / divergence)
+    .flight log <file>    mirror flight records to a JSONL file (rotating)
     .compile [on|off]     predicate compilation: show status (with compiler
                           counters), or force the compiled / interpreted
                           evaluator for this process
@@ -162,8 +177,102 @@ def _meta_command(
             for root in traces:
                 for line in root.render_lines():
                     emit("  " + line)
+        elif args[0] == "export":
+            if len(args) != 2:
+                emit("usage: .trace export <file>")
+            else:
+                from repro.obs.traceexport import export_chrome_trace
+
+                trace = export_chrome_trace(db.obs.tracer, path=args[1])
+                emit(
+                    f"wrote {len(trace['traceEvents'])} trace event(s) to "
+                    f"{args[1]} (load in Perfetto or chrome://tracing)"
+                )
         else:
-            emit("usage: .trace on|off|show [n]")
+            emit("usage: .trace on|off|show [n]|export <file>")
+    elif command == ".explain":
+        statement = line[len(".explain"):].strip()
+        if not statement:
+            emit("usage: .explain <schema-change statement>")
+        else:
+            from repro.lang.parser import SchemaChangeCmd
+
+            parsed = parse_command(statement)
+            if not isinstance(parsed, SchemaChangeCmd):
+                emit("error: .explain takes a schema-change statement "
+                     "(e.g. add_attribute x : str to Student)")
+            else:
+                try:
+                    operation, explain_args = _explain_args(parsed)
+                except TseError as exc:
+                    emit(f"error: {exc}")
+                    return True
+                report = db.explain(state["view"], operation, **explain_args)
+                for out_line in report.render_lines():
+                    emit(out_line)
+    elif command == ".top":
+        if args and args[0] == "watch":
+            try:
+                interval = float(args[1]) if len(args) > 1 else 2.0
+            except ValueError:
+                emit("usage: .top watch [seconds]")
+                return True
+            import time as _time
+
+            try:
+                while True:
+                    emit("\x1b[2J\x1b[H", )
+                    for out_line in _render_top(db):
+                        emit(out_line)
+                    _time.sleep(interval)
+            except KeyboardInterrupt:
+                emit("")
+        elif args:
+            emit("usage: .top [watch [seconds]]")
+        else:
+            for out_line in _render_top(db):
+                emit(out_line)
+    elif command == ".flight":
+        flight = db.obs.flight
+        action = args[0] if args else "show"
+        if action == "show":
+            try:
+                limit = int(args[1]) if len(args) > 1 else 10
+            except ValueError:
+                emit("usage: .flight show [n]")
+                return True
+            records = flight.tail(limit)
+            if not records:
+                emit("flight recorder is empty")
+            for record in records:
+                detail = " ".join(
+                    f"{k}={v}" for k, v in record.items()
+                    if k not in ("seq", "t", "kind")
+                )
+                emit(f"  #{record['seq']} {record['kind']} {detail}".rstrip())
+        elif action == "dump":
+            reason = args[1] if len(args) > 1 else "manual"
+            path = flight.dump_dossier(reason, directory=flight.dossier_dir or ".")
+            emit(f"dossier written to {path}")
+        elif action == "dir":
+            if len(args) != 2:
+                emit("usage: .flight dir <path>")
+            else:
+                from pathlib import Path as _Path
+
+                flight.dossier_dir = _Path(args[1])
+                emit(
+                    f"dossier directory set to {args[1]} (automatic dumps on "
+                    "failure/recovery/divergence)"
+                )
+        elif action == "log":
+            if len(args) != 2:
+                emit("usage: .flight log <file>")
+            else:
+                flight.enable_file(args[1])
+                emit(f"flight records mirrored to {args[1]}")
+        else:
+            emit("usage: .flight show [n]|dump [why]|dir <path>|log <file>")
     elif command == ".save":
         if not args:
             emit("usage: .save <path>")
@@ -255,6 +364,99 @@ def _meta_command(
     else:
         emit(f"unknown meta-command {command!r} (try .help)")
     return True
+
+
+def _explain_args(cmd) -> tuple:
+    """Map a parsed ``SchemaChangeCmd`` onto ``TseDatabase.explain`` kwargs,
+    mirroring the interpreter's dispatch of the same statement."""
+    op = cmd.op
+    if op == "add_attribute":
+        name, target = cmd.args
+        return op, {"name": name, "to": target, "domain": cmd.domain or "any"}
+    if op == "delete_attribute":
+        name, target = cmd.args
+        return op, {"name": name, "from_": target}
+    if op == "add_method":
+        name, target = cmd.args
+        return op, {"name": name, "to": target, "body": None}
+    if op == "delete_method":
+        name, target = cmd.args
+        return op, {"name": name, "from_": target}
+    if op == "add_edge":
+        sup, sub = cmd.args
+        return op, {"sup": sup, "sub": sub}
+    if op == "delete_edge":
+        sup, sub = cmd.args
+        return op, {"sup": sup, "sub": sub, "connected_to": cmd.connected_to}
+    if op == "add_class":
+        return op, {"name": cmd.args[0], "connected_to": cmd.connected_to}
+    if op == "delete_class":
+        return op, {"name": cmd.args[0]}
+    raise TseError(
+        f"{op} is a composite operation; .explain covers the eight primitives"
+    )
+
+
+def _histogram_children(entry) -> List[tuple]:
+    """A histogram-family snapshot as ``[(label, as_dict), ...]`` whether the
+    family is a bare unlabelled histogram or a labelled dict of them."""
+    if isinstance(entry, dict) and "count" in entry:
+        return [("", entry)]
+    if isinstance(entry, dict):
+        return sorted(entry.items())
+    return []
+
+
+def _render_top(db: TseDatabase) -> List[str]:
+    """One screen of operational stats (the ``.top`` meta-command)."""
+    snap = db.stats()
+    flight = db.obs.flight.stats_dict()
+    lines = ["== ops =="]
+    lines.append(
+        f"  schema changes: {snap.get('schema_changes_applied', 0)} applied, "
+        f"{snap.get('schema_changes_failed', 0)} failed; "
+        f"spans recorded: {db.obs.tracer.spans_recorded}"
+    )
+    latency = _histogram_children(snap.get("schema_change_seconds", {}))
+    if latency:
+        lines.append("== schema-change latency (by op) ==")
+        for label, hist in latency:
+            lines.append(
+                f"  {label or '(all)'}: n={hist['count']} "
+                f"p50={hist['p50'] * 1000:.3f}ms p95={hist['p95'] * 1000:.3f}ms "
+                f"p99={hist['p99'] * 1000:.3f}ms"
+            )
+    spans = _histogram_children(snap.get("span_duration_seconds", {}))
+    if spans:
+        lines.append("== hottest spans ==")
+        hottest = sorted(spans, key=lambda kv: -kv[1]["count"])[:5]
+        for label, hist in hottest:
+            lines.append(
+                f"  {label}: n={hist['count']} p95={hist['p95'] * 1000:.3f}ms"
+            )
+    concurrency = snap.get("concurrency")
+    if isinstance(concurrency, dict):
+        lines.append("== sessions ==")
+        lines.append(
+            f"  readers={concurrency.get('readers_opened', 0)} "
+            f"writers={concurrency.get('writers_opened', 0)}"
+        )
+        reads = snap.get("session_reads")
+        if isinstance(reads, dict):
+            busiest = sorted(reads.items(), key=lambda kv: -kv[1])[:5]
+            for label, count in busiest:
+                lines.append(f"  reads{label}: {count}")
+    wal_kinds = snap.get("wal_appends_by_kind")
+    if isinstance(wal_kinds, dict):
+        lines.append("== wal appends (by record kind) ==")
+        for label, count in sorted(wal_kinds.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {label}: {count}")
+    lines.append("== flight recorder ==")
+    lines.append(
+        f"  records={flight['records']} slow_ops={flight['slow_ops']} "
+        f"dossiers={flight['dossiers']} buffered={flight['buffered']}"
+    )
+    return lines
 
 
 def _batch_specs(

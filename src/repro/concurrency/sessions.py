@@ -39,16 +39,33 @@ __all__ = ["ReaderSession", "SessionManager", "WriterSession"]
 
 
 class ReaderSession:
-    """A snapshot-isolated reader: every query answers from one pinned epoch."""
+    """A snapshot-isolated reader: every query answers from one pinned epoch.
 
-    def __init__(self, manager: "SessionManager") -> None:
+    Carries a session id (``r1``, ``r2``, …) that labels every query it
+    serves into the ``session_reads`` counter family — per-session
+    attribution for multi-tenant debugging (`whose` queries, not just how
+    many)."""
+
+    def __init__(self, manager: "SessionManager", session_id: str) -> None:
         self._manager = manager
         self._epoch: Optional[SchemaEpoch] = None
+        self.session_id = session_id
+        # the hot per-session child is resolved once, not per query
+        self._reads = manager.metrics.counter(
+            "session_reads",
+            help="queries served, by reader session and view schema",
+            labels={"session": session_id},
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
     def __enter__(self) -> "ReaderSession":
         self._epoch = self._manager.epochs.pin()
+        self._manager.metrics.counter(
+            "session_snapshots",
+            help="epochs pinned, by session",
+            labels={"session": self.session_id},
+        ).inc()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -66,6 +83,9 @@ class ReaderSession:
         if self._epoch is not None:
             self._manager.epochs.unpin(self._epoch)
         self._epoch = fresh
+        self._manager.metrics.counter(
+            "session_snapshots", labels={"session": self.session_id}
+        ).inc()
         return self
 
     # -- queries (all answered from the pinned epoch) ----------------------
@@ -77,32 +97,43 @@ class ReaderSession:
         return self._epoch
 
     def view_version(self, view_name: str) -> int:
+        self._reads.inc()
         return self.epoch.view(view_name).version
 
     def class_names(self, view_name: str) -> List[str]:
+        self._reads.inc()
         return self.epoch.class_names_of(view_name)
 
     def extent_oids(self, view_name: str, view_class: str) -> List[Oid]:
+        self._reads.inc()
         return sorted(self.epoch.extent_of(view_name, view_class))
 
     def count(self, view_name: str, view_class: str) -> int:
+        self._reads.inc()
         return len(self.epoch.extent_of(view_name, view_class))
 
     def verify(self) -> bool:
         """Integrity of the pinned snapshot (see :meth:`SchemaEpoch.verify`)."""
+        self._reads.inc()
         return self.epoch.verify()
 
 
 class WriterSession:
     """Exclusive access for a block of schema changes and updates."""
 
-    def __init__(self, manager: "SessionManager") -> None:
+    def __init__(self, manager: "SessionManager", session_id: str) -> None:
         self._manager = manager
         self._db = manager.db
+        self.session_id = session_id
 
     def __enter__(self) -> "WriterSession":
         self._manager.latch.acquire_write()
         self._published_at_enter = self._manager.epochs.published
+        self._manager.metrics.counter(
+            "session_write_blocks",
+            help="writer-session blocks entered, by session",
+            labels={"session": self.session_id},
+        ).inc()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -136,6 +167,7 @@ class SessionManager:
         self.db = db
         self.latch = SchemaLatch()
         self.epochs = EpochManager(db)
+        self.metrics = db.obs.metrics
         self.readers_opened = 0
         self.writers_opened = 0
         self._counter_mutex = threading.Lock()
@@ -150,13 +182,15 @@ class SessionManager:
         """A new snapshot-isolated reader (use as a context manager)."""
         with self._counter_mutex:
             self.readers_opened += 1
-        return ReaderSession(self)
+            session_id = f"r{self.readers_opened}"
+        return ReaderSession(self, session_id)
 
     def writer(self) -> WriterSession:
         """A new exclusive writer (use as a context manager)."""
         with self._counter_mutex:
             self.writers_opened += 1
-        return WriterSession(self)
+            session_id = f"w{self.writers_opened}"
+        return WriterSession(self, session_id)
 
     def stats_dict(self) -> Dict[str, object]:
         """The ``concurrency`` group of ``db.stats()`` / ``.sessions``."""

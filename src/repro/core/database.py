@@ -79,6 +79,18 @@ class TseDatabase:
         #: pays nothing for it
         self._sessions = None
         self._register_metrics()
+        # crash dossiers carry the live schema/view state at dump time
+        self.obs.flight.add_state("schema_generation", lambda: self.schema.generation)
+        self.obs.flight.add_state(
+            "classes", lambda: len(self.schema.class_names())
+        )
+        self.obs.flight.add_state(
+            "view_versions",
+            lambda: {
+                name: self.views.current(name).version
+                for name in self.views.history.view_names()
+            },
+        )
 
     # ------------------------------------------------------------------
     # schema authoring (the initial global schema of section 2.1)
@@ -206,6 +218,19 @@ class TseDatabase:
     def evolution_log(self):
         """Audit trail of every schema change applied through the TSEM."""
         return list(self.tsem.log)
+
+    def explain(self, view_name: str, operation: str, **args):
+        """Dry-run a primitive schema change: the ``defineVC`` script, the
+        classifier's dedup decisions, affected extents and the predicted
+        recheck bill — with per-phase timings, and no change committed.
+
+        ``operation`` is one of the eight primitives
+        (:data:`repro.core.explain.PRIMITIVE_OPS`); ``args`` mirror the
+        :class:`~repro.core.handles.ViewHandle` method of the same name.
+        Returns an :class:`~repro.core.explain.ExplainReport`."""
+        from repro.core.explain import explain_change
+
+        return explain_change(self, view_name, operation, **args)
 
     # ------------------------------------------------------------------
     # maintenance

@@ -208,7 +208,11 @@ class TseManager:
         journal_args: Optional[Dict[str, object]] = None,
     ) -> ViewSchema:
         view = self.views.current(view_name)
-        with self.tracer.span(
+        # per-operation-kind latency: one labelled series per primitive op,
+        # recorded even on failure (failure latency is still latency)
+        with self.metrics.timed(
+            "schema_change_seconds", op_kind=operation
+        ), self.tracer.span(
             "schema_change", operation=operation, view=view_name
         ) as root:
             self.events.emit(

@@ -8,23 +8,37 @@ Three cooperating pieces, one bundle per database:
 * :class:`~repro.obs.metrics.MetricsRegistry` — the unified registry that
   ``Database.stats()`` delegates to, exportable as JSON and Prometheus text;
 * :class:`~repro.obs.events.EventBus` — subscribable schema-change
-  lifecycle events, generalising the pool-delta listener pattern.
+  lifecycle events, generalising the pool-delta listener pattern;
+* :class:`~repro.obs.flight.FlightRecorder` — the black box: a bounded
+  JSONL event log with slow-op records and crash dossiers;
+* :mod:`~repro.obs.traceexport` — the span ring as Chrome trace-event
+  JSON, loadable in Perfetto.
 
-:class:`Observability` wires the three together (spans feed the span-
-duration histogram; event emission counts surface as a counter).
+:class:`Observability` wires them together (spans feed the span-duration
+histogram; every event lands in the flight recorder; slow root spans file
+slow-op records).
 """
 
 from __future__ import annotations
 
 from repro.obs.events import LIFECYCLE_EVENTS, Event, EventBus
+from repro.obs.flight import DOSSIER_TRIGGERS, FlightRecorder
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_QUANTILES,
+    LABEL_CARDINALITY_BUDGET,
+    OVERFLOW_LABEL,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
 from repro.obs.tracing import NULL_SPAN, Span, Tracer, phase_breakdown
+from repro.obs.traceexport import (
+    export_chrome_trace,
+    reconstruct_tree,
+    to_trace_events,
+)
 
 __all__ = [
     "Observability",
@@ -37,16 +51,26 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "LABEL_CARDINALITY_BUDGET",
+    "OVERFLOW_LABEL",
     "EventBus",
     "Event",
     "LIFECYCLE_EVENTS",
+    "FlightRecorder",
+    "DOSSIER_TRIGGERS",
+    "export_chrome_trace",
+    "to_trace_events",
+    "reconstruct_tree",
 ]
 
 
 class Observability:
-    """Per-database bundle: one tracer, one metrics registry, one event bus."""
+    """Per-database bundle: tracer, metrics registry, event bus, flight
+    recorder — one of each, wired together."""
 
     def __init__(self, ring_size: int = 64) -> None:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(metrics=self.metrics, ring_size=ring_size)
         self.events = EventBus()
+        self.flight = FlightRecorder().attach(self)

@@ -1,0 +1,268 @@
+"""Flight recorder: a bounded black-box event log with crash dossiers.
+
+The schema-change pipeline is transparent by design — which is exactly why
+its failures are opaque: by the time a ``schema_change_failed`` surfaces,
+the memento rollback has already erased the evidence.  The flight recorder
+keeps the evidence.  It is a bounded, structured, always-on log of what the
+system just did, cheap enough to leave running:
+
+* **event stream** — every :class:`~repro.obs.events.EventBus` emission
+  (lifecycle events, pool deltas) is appended to an in-memory ring of the
+  last N records; optionally mirrored to a JSONL file with size-based
+  rotation and opt-in fsync, so a post-mortem can read past the ring.
+* **slow-op records** — every finished root span over a configurable
+  threshold is recorded with its per-phase breakdown, via the tracer's
+  ``on_root`` hook (no cost when tracing is disabled: no spans exist).
+* **crash dossiers** — on ``schema_change_failed``, WAL recovery, or a
+  differential-oracle divergence, :meth:`FlightRecorder.dump_dossier`
+  writes one timestamped JSON file bundling the recent events, every span
+  still open on any thread, the full metrics snapshot, and registered
+  live state (schema generation, published epoch).  The differential
+  harness adds the command sequence, making the dossier *replayable*.
+
+File dumps only happen once a dossier directory is configured
+(:attr:`FlightRecorder.dossier_dir`) — the library never writes to disk
+behind the embedder's back; :meth:`build_dossier` always works in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["FlightRecorder", "DOSSIER_TRIGGERS"]
+
+#: event kinds that trigger an automatic dossier dump (when a dossier
+#: directory is configured)
+DOSSIER_TRIGGERS = ("schema_change_failed", "recovery", "divergence")
+
+
+def _json_safe(value: object) -> object:
+    """Payload values survive json.dumps; rich objects degrade to repr."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+class FlightRecorder:
+    """Bounded structured event log + dossier dumper for one database."""
+
+    def __init__(
+        self,
+        max_events: int = 256,
+        slow_op_threshold_s: float = 0.050,
+        dossier_events: int = 64,
+    ) -> None:
+        self._events: deque = deque(maxlen=max_events)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.slow_op_threshold_s = slow_op_threshold_s
+        self.dossier_events = dossier_events
+        #: where automatic dossiers land; None disables file dumps
+        self.dossier_dir: Optional[Path] = None
+        self.records_recorded = 0
+        self.slow_ops_recorded = 0
+        self.dossiers_written = 0
+        #: named callables contributing live state to every dossier
+        self._state: Dict[str, Callable[[], object]] = {}
+        self._obs = None  # the Observability bundle, once attached
+        # optional JSONL mirror
+        self._file = None
+        self._file_path: Optional[Path] = None
+        self._file_bytes = 0
+        self._max_bytes = 1 << 20
+        self._rotations = 2
+        self._fsync = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, obs) -> "FlightRecorder":
+        """Wire into an ``Observability`` bundle: subscribe to every event,
+        watch finished root spans for slow ops."""
+        self._obs = obs
+        obs.events.subscribe("*", self._on_event)
+        obs.tracer.on_root = self._on_root_span
+        return self
+
+    def add_state(self, name: str, provider: Callable[[], object]) -> None:
+        """Register a live-state contributor (e.g. schema generation) that
+        is evaluated at dossier time."""
+        self._state[name] = provider
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, kind: str, **payload: object) -> Dict[str, object]:
+        entry = {
+            "seq": 0,
+            "t": time.time(),
+            "kind": kind,
+            **{k: _json_safe(v) for k, v in payload.items()},
+        }
+        with self._lock:
+            self._seq += 1
+            entry["seq"] = self._seq
+            self._events.append(entry)
+            self.records_recorded += 1
+            if self._file is not None:
+                self._write_line(entry)
+        if kind in DOSSIER_TRIGGERS and self.dossier_dir is not None:
+            self.dump_dossier(reason=kind)
+        return entry
+
+    def _on_event(self, event) -> None:
+        self.record(event.kind, **event.payload)
+
+    def _on_root_span(self, span) -> None:
+        if span.duration_s < self.slow_op_threshold_s:
+            return
+        self.slow_ops_recorded += 1
+        phases = {}
+        for child in span.walk():
+            entry = phases.setdefault(child.name, {"count": 0, "total_ms": 0.0})
+            entry["count"] += 1
+            entry["total_ms"] = round(entry["total_ms"] + child.duration_ms, 4)
+        self.record(
+            "slow_op",
+            span=span.name,
+            duration_ms=round(span.duration_ms, 4),
+            attributes=span.attributes,
+            phases=phases,
+        )
+
+    # -- JSONL mirror ------------------------------------------------------
+
+    def enable_file(
+        self,
+        path,
+        max_bytes: int = 1 << 20,
+        rotations: int = 2,
+        fsync: bool = False,
+    ) -> None:
+        """Mirror every record to ``path`` as JSON lines, rotating at
+        ``max_bytes`` into ``path.1`` … ``path.<rotations>``."""
+        with self._lock:
+            self._close_file_locked()
+            self._file_path = Path(path)
+            self._file_path.parent.mkdir(parents=True, exist_ok=True)
+            self._max_bytes = max_bytes
+            self._rotations = rotations
+            self._fsync = fsync
+            self._file = open(self._file_path, "a", encoding="utf-8")
+            self._file_bytes = self._file.tell()
+
+    def disable_file(self) -> None:
+        with self._lock:
+            self._close_file_locked()
+
+    def _close_file_locked(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+            self._file_path = None
+            self._file_bytes = 0
+
+    def _write_line(self, entry: Dict[str, object]) -> None:
+        line = json.dumps(entry, default=repr) + "\n"
+        self._file.write(line)
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        self._file_bytes += len(line.encode("utf-8"))
+        if self._file_bytes >= self._max_bytes:
+            self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        path = self._file_path
+        self._file.close()
+        for index in range(self._rotations, 0, -1):
+            src = path if index == 1 else Path(f"{path}.{index - 1}")
+            dst = Path(f"{path}.{index}")
+            if src.exists():
+                os.replace(src, dst)
+        self._file = open(path, "a", encoding="utf-8")
+        self._file_bytes = 0
+
+    # -- reading back ------------------------------------------------------
+
+    def tail(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Most recent records, oldest first; ``limit`` keeps the newest N."""
+        with self._lock:
+            events = list(self._events)
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
+
+    # -- dossiers ----------------------------------------------------------
+
+    def build_dossier(
+        self, reason: str, extra: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """The forensic bundle as a dict: recent events, open spans, recent
+        traces, metrics snapshot, live state, and caller-supplied extras."""
+        dossier: Dict[str, object] = {
+            "reason": reason,
+            "created_unix": time.time(),
+            "events": self.tail(self.dossier_events),
+            "state": {name: _json_safe(fn()) for name, fn in self._state.items()},
+        }
+        if self._obs is not None:
+            dossier["open_spans"] = [
+                {"name": s.name, "attributes": _json_safe(s.attributes)}
+                for s in self._obs.tracer.open_spans()
+            ]
+            dossier["recent_traces"] = [
+                root.as_dict() for root in self._obs.tracer.traces(limit=8)
+            ]
+            dossier["metrics"] = _json_safe(self._obs.metrics.snapshot())
+        if extra:
+            dossier["extra"] = _json_safe(extra)
+        return dossier
+
+    def dump_dossier(
+        self,
+        reason: str,
+        extra: Optional[Dict[str, object]] = None,
+        directory=None,
+    ) -> Optional[Path]:
+        """Write the dossier to ``<dir>/dossier-<reason>-<stamp>.json``.
+
+        Uses ``directory`` if given, else the configured
+        :attr:`dossier_dir`; returns None (and writes nothing) when
+        neither is set."""
+        target = Path(directory) if directory is not None else self.dossier_dir
+        if target is None:
+            return None
+        target.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%S") + f"-{time.time_ns() % 10**9:09d}"
+        path = target / f"dossier-{_slug(reason)}-{stamp}.json"
+        path.write_text(
+            json.dumps(self.build_dossier(reason, extra), indent=2, default=repr)
+            + "\n",
+            encoding="utf-8",
+        )
+        self.dossiers_written += 1
+        return path
+
+    # -- stats -------------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, object]:
+        return {
+            "records": self.records_recorded,
+            "slow_ops": self.slow_ops_recorded,
+            "dossiers": self.dossiers_written,
+            "buffered": len(self._events),
+            "file": str(self._file_path) if self._file_path else None,
+        }
+
+
+def _slug(text: str) -> str:
+    return "".join(ch if ch.isalnum() else "-" for ch in text)[:40] or "event"

@@ -6,19 +6,33 @@ pool, ad-hoc ints elsewhere.  :class:`MetricsRegistry` puts one facade over
 all of them without forcing a rewrite:
 
 * **counters** — monotonically increasing values owned by the registry
-  (``registry.counter("schema_changes").inc()``);
+  (``registry.counter("schema_changes").inc()``), optionally labelled so
+  one family can attribute work per session / per record type;
 * **gauges** — point-in-time values, either set directly or *observed*
   through a callback (``registry.gauge("objects", callback=...)``) so
   existing component state is absorbed rather than duplicated;
 * **histograms** — fixed-boundary bucketed distributions (span durations),
-  optionally labelled;
+  optionally labelled, with streaming p50/p95/p99 estimates interpolated
+  from the buckets (the ``histogram_quantile`` construction, O(1) memory);
 * **groups** — named providers returning whole dicts (``pages``,
   ``extents``), preserving the nested shape ``Database.stats()`` always had.
+
+Dimensional metrics are *families*: ``counter("session_reads",
+labels={"session": "r3"})`` get-or-creates one child per label set under a
+single family name.  Label cardinality is budgeted per family
+(:data:`LABEL_CARDINALITY_BUDGET`): once a family holds that many children,
+further label sets collapse into a single ``_other_`` child instead of
+growing without bound — a mis-labelled hot loop degrades one series, never
+the process.
 
 Everything is exportable two ways: :meth:`MetricsRegistry.snapshot` (the
 JSON/dict shape ``Database.stats()`` now delegates to) and
 :meth:`MetricsRegistry.to_prometheus` (the text exposition format, so a
-scraper — or a test — can consume the same numbers).
+scraper — or a test — can consume the same numbers).  Bucket boundaries are
+rendered through one canonical formatter in *both* exports, and
+``observe()`` uses the same inclusive upper-bound (``value <= le``)
+semantics Prometheus defines for ``le`` — the JSON snapshot and the
+``_bucket`` series can be compared key-for-key.
 
 Instruments and the registry are thread-safe: each instrument guards its
 own mutation/read with a small per-instrument lock (a ``Histogram`` update
@@ -35,10 +49,20 @@ from __future__ import annotations
 import re
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "LABEL_CARDINALITY_BUDGET",
+    "OVERFLOW_LABEL",
+]
 
 #: default histogram boundaries (seconds), Prometheus-style
 DEFAULT_BUCKETS = (
@@ -46,7 +70,19 @@ DEFAULT_BUCKETS = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
 )
 
+#: quantiles estimated on every histogram snapshot
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+#: children a single family may hold before new label sets collapse
+LABEL_CARDINALITY_BUDGET = 64
+
+#: label value absorbing over-budget label sets
+OVERFLOW_LABEL = "_other_"
+
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: a normalised label set: sorted (key, value) pairs
+LabelKey = Tuple[Tuple[str, str], ...]
 
 
 def _sanitize(name: str) -> str:
@@ -57,14 +93,24 @@ def _sanitize(name: str) -> str:
     return cleaned
 
 
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in (labels or {}).items()))
+
+
 class Counter:
     """A monotonically increasing value (resettable for benchmarking)."""
 
-    __slots__ = ("name", "help", "value", "_lock")
+    __slots__ = ("name", "help", "labels", "value", "_lock")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
         self.value = 0
         self._lock = threading.Lock()
 
@@ -82,16 +128,18 @@ class Counter:
 class Gauge:
     """A point-in-time value: set directly, or observed via callback."""
 
-    __slots__ = ("name", "help", "_value", "_callback", "_lock")
+    __slots__ = ("name", "help", "labels", "_value", "_callback", "_lock")
 
     def __init__(
         self,
         name: str,
         help: str = "",
         callback: Optional[Callable[[], object]] = None,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.name = name
         self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
         self._value: object = 0
         self._callback = callback
         self._lock = threading.Lock()
@@ -132,29 +180,59 @@ class Histogram:
         self.name = name
         self.help = help
         self.labels: Dict[str, str] = dict(labels or {})
-        self.buckets = tuple(buckets)
+        self.buckets = tuple(float(bound) for bound in buckets)
         self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
         self.sum = 0.0
         self.count = 0
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        # The bucket is the first bound >= value — the inclusive ``le``
+        # semantics of the Prometheus cumulative export.  bisect_left lands
+        # on the bound itself when value == bound, so boundary observations
+        # count into the bucket whose ``le`` equals them, exactly as a
+        # scraper computing ``value <= le`` would expect.
+        index = bisect_left(self.buckets, value)
         # sum/count/bucket are three writes; the lock keeps the invariant
         # count == sum(bucket counts) visible to any concurrent snapshot
         with self._lock:
             self.sum += value
             self.count += 1
-            for index, bound in enumerate(self.buckets):
-                if value <= bound:
-                    self.counts[index] += 1
-                    return
-            self.counts[-1] += 1
+            self.counts[index] += 1
 
     def reset(self) -> None:
         with self._lock:
             self.counts = [0] * (len(self.buckets) + 1)
             self.sum = 0.0
             self.count = 0
+
+    def quantile(self, q: float) -> float:
+        """Streaming quantile interpolated from bucket boundaries.
+
+        The ``histogram_quantile`` construction: find the bucket the rank
+        falls in, interpolate linearly inside it.  Observations beyond the
+        last finite bound clamp to that bound (there is no upper edge to
+        interpolate towards)."""
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+        return self._quantile_from(q, counts, total)
+
+    def _quantile_from(self, q: float, counts: List[int], total: int) -> float:
+        if total <= 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.buckets, counts):
+            if cumulative + bucket_count >= rank:
+                if bucket_count == 0:
+                    return lower
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (bound - lower) * fraction
+            cumulative += bucket_count
+            lower = bound
+        return self.buckets[-1]
 
     def as_dict(self) -> Dict[str, object]:
         with self._lock:
@@ -165,12 +243,15 @@ class Histogram:
         buckets = {}
         for bound, bucket_count in zip(self.buckets, counts):
             cumulative += bucket_count
-            buckets[str(bound)] = cumulative
+            buckets[_fmt(bound)] = cumulative
         buckets["+Inf"] = total
         return {
             "count": total,
             "sum": round(observed_sum, 6),
             "buckets": buckets,
+            "p50": round(self._quantile_from(0.5, counts, total), 6),
+            "p95": round(self._quantile_from(0.95, counts, total), 6),
+            "p99": round(self._quantile_from(0.99, counts, total), 6),
         }
 
 
@@ -178,34 +259,59 @@ class MetricsRegistry:
     """One registry over counters, gauges, histograms and stat groups.
 
     Instruments are get-or-create: calling :meth:`counter` twice with the
-    same name returns the same object, so components never coordinate on
-    construction order.  Registration order is preserved and becomes the
-    key order of :meth:`snapshot` — the key-stability contract of
-    ``Database.stats()``.
+    same name (and label set) returns the same object, so components never
+    coordinate on construction order.  Registration order is preserved and
+    becomes the key order of :meth:`snapshot` — the key-stability contract
+    of ``Database.stats()``.  Every instrument kind is a *family*: the
+    unlabelled child renders exactly as before (a bare scalar / histogram
+    dict), labelled children render under ``{k=v,...}`` keys.
     """
 
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
+    def __init__(self, label_budget: int = LABEL_CARDINALITY_BUDGET) -> None:
+        self._counters: Dict[str, Dict[LabelKey, Counter]] = {}
+        self._gauges: Dict[str, Dict[LabelKey, Gauge]] = {}
         self._groups: Dict[str, Callable[[], Mapping[str, object]]] = {}
         #: family name -> label-key -> Histogram
-        self._histograms: Dict[str, Dict[Tuple[Tuple[str, str], ...], Histogram]] = {}
+        self._histograms: Dict[str, Dict[LabelKey, Histogram]] = {}
         #: snapshot key order across all instrument kinds
         self._order: List[Tuple[str, str]] = []
+        self._label_budget = max(1, label_budget)
         #: guards the get-or-create maps and ``_order``; re-entrant because
         #: ``timed_observe`` calls :meth:`histogram` which may re-enter
         self._lock = threading.RLock()
 
     # -- registration ------------------------------------------------------
 
-    def counter(self, name: str, help: str = "") -> Counter:
+    def _admit(
+        self, family: Dict[LabelKey, object], key: LabelKey
+    ) -> LabelKey:
+        """Enforce the per-family cardinality budget.
+
+        A new label set beyond the budget is redirected onto the overflow
+        child (same label *keys*, every value ``_other_``) so the family
+        stays bounded no matter what a caller interpolates into labels."""
+        if key and key not in family and len(family) >= self._label_budget:
+            return tuple((k, OVERFLOW_LABEL) for k, _ in key)
+        return key
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
         with self._lock:
-            instrument = self._counters.get(name)
-            if instrument is None:
+            family = self._counters.get(name)
+            if family is None:
                 self._check_free(name)
-                instrument = Counter(name, help)
-                self._counters[name] = instrument
+                family = {}
+                self._counters[name] = family
                 self._order.append(("counter", name))
+            key = self._admit(family, _label_key(labels))
+            instrument = family.get(key)
+            if instrument is None:
+                instrument = Counter(name, help, labels=dict(key))
+                family[key] = instrument
         return instrument
 
     def gauge(
@@ -213,14 +319,20 @@ class MetricsRegistry:
         name: str,
         help: str = "",
         callback: Optional[Callable[[], object]] = None,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Gauge:
         with self._lock:
-            instrument = self._gauges.get(name)
-            if instrument is None:
+            family = self._gauges.get(name)
+            if family is None:
                 self._check_free(name)
-                instrument = Gauge(name, help, callback)
-                self._gauges[name] = instrument
+                family = {}
+                self._gauges[name] = family
                 self._order.append(("gauge", name))
+            key = self._admit(family, _label_key(labels))
+            instrument = family.get(key)
+            if instrument is None:
+                instrument = Gauge(name, help, callback, labels=dict(key))
+                family[key] = instrument
         return instrument
 
     def histogram(
@@ -237,10 +349,12 @@ class MetricsRegistry:
                 family = {}
                 self._histograms[name] = family
                 self._order.append(("histogram", name))
-            key = tuple(sorted((labels or {}).items()))
+            key = self._admit(family, _label_key(labels))
             instrument = family.get(key)
             if instrument is None:
-                instrument = Histogram(name, buckets=buckets, help=help, labels=labels)
+                instrument = Histogram(
+                    name, buckets=buckets, help=help, labels=dict(key)
+                )
                 family[key] = instrument
         return instrument
 
@@ -302,6 +416,20 @@ class MetricsRegistry:
 
     # -- export ------------------------------------------------------------
 
+    @staticmethod
+    def _family_snapshot(
+        family: Mapping[LabelKey, object], render: Callable[[object], object]
+    ) -> object:
+        """One family as snapshot JSON: bare value when unlabelled, a
+        ``{k=v}``-keyed dict once labelled children exist."""
+        if len(family) == 1 and () in family:
+            return render(family[()])
+        out = {}
+        for key, child in sorted(family.items()):
+            label = "{%s}" % ",".join(f"{k}={v}" for k, v in key)
+            out[label] = render(child)
+        return out
+
     def snapshot(self) -> Dict[str, object]:
         """All instruments as one JSON-ready dict, in registration order."""
         with self._lock:
@@ -309,20 +437,19 @@ class MetricsRegistry:
         result: Dict[str, object] = {}
         for kind, name in order:
             if kind == "counter":
-                result[name] = self._counters[name].value
+                result[name] = self._family_snapshot(
+                    self._counters[name], lambda c: c.value
+                )
             elif kind == "gauge":
-                result[name] = self._gauges[name].value
+                result[name] = self._family_snapshot(
+                    self._gauges[name], lambda g: g.value
+                )
             elif kind == "group":
                 result[name] = dict(self._groups[name]())
             else:  # histogram family
-                family = self._histograms[name]
-                if len(family) == 1 and () in family:
-                    result[name] = family[()].as_dict()
-                else:
-                    result[name] = {
-                        "{%s}" % ",".join(f"{k}={v}" for k, v in key): hist.as_dict()
-                        for key, hist in sorted(family.items())
-                    }
+                result[name] = self._family_snapshot(
+                    self._histograms[name], lambda h: h.as_dict()
+                )
         return result
 
     def to_prometheus(self, prefix: str = "tse_") -> str:
@@ -333,20 +460,28 @@ class MetricsRegistry:
         for kind, name in order:
             metric = prefix + _sanitize(name)
             if kind == "counter":
-                counter = self._counters[name]
-                if counter.help:
-                    lines.append(f"# HELP {metric} {counter.help}")
+                family = self._counters[name]
+                helps = [c.help for c in family.values() if c.help]
+                if helps:
+                    lines.append(f"# HELP {metric} {helps[0]}")
                 lines.append(f"# TYPE {metric} counter")
-                lines.append(f"{metric}_total {_fmt(counter.value)}")
+                for _, counter in sorted(family.items()):
+                    labels = _labels(counter.labels)
+                    lines.append(f"{metric}_total{labels} {_fmt(counter.value)}")
             elif kind == "gauge":
-                gauge = self._gauges[name]
-                value = gauge.value
-                if not isinstance(value, (int, float)):
-                    continue  # non-numeric gauges are snapshot-only
-                if gauge.help:
-                    lines.append(f"# HELP {metric} {gauge.help}")
-                lines.append(f"# TYPE {metric} gauge")
-                lines.append(f"{metric} {_fmt(value)}")
+                family = self._gauges[name]
+                emitted_type = False
+                for _, gauge in sorted(family.items()):
+                    value = gauge.value
+                    if not isinstance(value, (int, float)):
+                        continue  # non-numeric gauges are snapshot-only
+                    if not emitted_type:
+                        if gauge.help:
+                            lines.append(f"# HELP {metric} {gauge.help}")
+                        lines.append(f"# TYPE {metric} gauge")
+                        emitted_type = True
+                    labels = _labels(gauge.labels)
+                    lines.append(f"{metric}{labels} {_fmt(value)}")
             elif kind == "group":
                 for key, value in self._groups[name]().items():
                     if not isinstance(value, (int, float)):
@@ -360,8 +495,7 @@ class MetricsRegistry:
                     label_prefix = dict(hist.labels)
                     state = hist.as_dict()  # locked, internally consistent
                     for bound, cumulative in state["buckets"].items():
-                        le = bound if bound == "+Inf" else _fmt(float(bound))
-                        labels = _labels({**label_prefix, "le": le})
+                        labels = _labels({**label_prefix, "le": bound})
                         lines.append(f"{metric}_bucket{labels} {cumulative}")
                     base = _labels(label_prefix)
                     lines.append(f"{metric}_sum{base} {_fmt(state['sum'])}")
@@ -373,10 +507,12 @@ class MetricsRegistry:
     def reset(self) -> None:
         """Zero every registry-owned value (callback gauges are untouched —
         they mirror live component state, which owns its own reset)."""
-        for counter in self._counters.values():
-            counter.reset()
-        for gauge in self._gauges.values():
-            gauge.reset()
+        for family in self._counters.values():
+            for counter in family.values():
+                counter.reset()
+        for family in self._gauges.values():
+            for gauge in family.values():
+                gauge.reset()
         for family in self._histograms.values():
             for hist in family.values():
                 hist.reset()

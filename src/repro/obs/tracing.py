@@ -191,13 +191,31 @@ class Tracer:
         self._ring: deque = deque(maxlen=ring_size)
         self.spans_recorded = 0
         self._lock = threading.Lock()  # guards ring append + spans_recorded
+        #: every thread's live stack, for open-span forensics (flight dossiers)
+        self._stacks: List[List[Span]] = []
+        #: called with each finished *root* span (outside the ring lock);
+        #: the flight recorder hangs its slow-op detector here
+        self.on_root = None
 
     @property
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._stacks.append(stack)
         return stack
+
+    def open_spans(self) -> List[Span]:
+        """Spans currently open on *any* thread, outermost first per thread.
+
+        A crash dossier wants to know what was in flight, not just what
+        finished — this reads every thread's live stack (append/iterate on
+        lists are safe under CPython; at worst a span mid-close is missed).
+        """
+        with self._lock:
+            stacks = list(self._stacks)
+        return [span for stack in stacks for span in list(stack)]
 
     # -- switching ---------------------------------------------------------
 
@@ -232,11 +250,13 @@ class Tracer:
         # tolerate a stack cleared by disable() mid-span
         if stack and stack[-1] is span:
             stack.pop()
+        finished_root = False
         with self._lock:
             if stack:
                 stack[-1].children.append(span)
             else:
                 self._ring.append(span)
+                finished_root = True
             self.spans_recorded += 1
         if self._metrics is not None:
             self._metrics.histogram(
@@ -244,6 +264,8 @@ class Tracer:
                 buckets=SPAN_DURATION_BUCKETS,
                 labels={"span": span.name},
             ).observe(span.duration_s)
+        if finished_root and self.on_root is not None:
+            self.on_root(span)
 
     # -- reading back ------------------------------------------------------
 

@@ -492,6 +492,14 @@ class WalManager:
         if self._metrics is not None:
             self._metrics.counter("wal_appends").inc()
             self._metrics.counter("wal_bytes").inc(written)
+            # per-record-type durability cost: which record kinds dominate
+            # the log, in count and in bytes
+            self._metrics.counter(
+                "wal_appends_by_kind", labels={"record": kind}
+            ).inc()
+            self._metrics.counter(
+                "wal_bytes_by_kind", labels={"record": kind}
+            ).inc(written)
 
     def flush(self) -> None:
         """Commit barrier: records appended so far become durable."""
@@ -751,6 +759,15 @@ def recover_database(
         manager._metrics.timed_observe(
             "durability_seconds", manager.last_recovery_seconds, op="recover"
         )
+    # recovery is a dossier trigger: the flight recorder notes the replay
+    # (and dumps a forensic bundle when a dossier directory is configured)
+    db.obs.flight.record(
+        "recovery",
+        directory=str(directory),
+        records_replayed=replayed,
+        torn_bytes_dropped=torn,
+        duration_s=round(manager.last_recovery_seconds, 6),
+    )
     return db
 
 

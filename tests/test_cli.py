@@ -186,3 +186,79 @@ class TestMain:
         assert main([str(path), "--view", "VS1"]) == 0
         out = capsys.readouterr().out
         assert "Student(" in out
+
+
+class TestObservabilityCommands:
+    def test_explain_renders_the_dry_run(self, session):
+        db, output, shell = session
+        before = db.view("VS1").version
+        shell([".explain add_attribute mentor : str to Student"])
+        text = "\n".join(output)
+        assert "EXPLAIN add_attribute" in text
+        assert "script:" in text
+        assert "defineVC" in text
+        assert "predicted rechecks:" in text
+        assert "timings:" in text
+        # a dry run: the view did not advance
+        assert db.view("VS1").version == before
+
+    def test_explain_usage_and_non_schema_statement(self, session):
+        db, output, shell = session
+        shell([".explain", '.explain create Student [name = "x"]'])
+        text = "\n".join(output)
+        assert "usage: .explain" in text
+        assert "takes a schema-change statement" in text
+
+    def test_explain_rejects_composite_ops(self, session):
+        db, output, shell = session
+        shell([".explain delete_class_2 TA"])
+        assert any("composite operation" in line for line in output)
+
+    def test_top_renders_all_sections(self, session):
+        db, output, shell = session
+        shell([".trace on", ".sessions on",
+               "add_attribute mentor : str to Student"])
+        with db.sessions().reader() as reader:
+            reader.count("VS1", "Student")
+        shell([".top"])
+        text = "\n".join(output)
+        for section in ("== ops ==", "== schema-change latency (by op) ==",
+                        "== hottest spans ==", "== sessions ==",
+                        "== flight recorder =="):
+            assert section in text, f"missing {section}"
+        assert "add_attribute" in text
+        assert "reads{session=r1}: 1" in text
+
+    def test_flight_show_lists_recent_records(self, session):
+        db, output, shell = session
+        shell(["add_attribute mentor : str to Student", ".flight show 5"])
+        text = "\n".join(output)
+        assert "schema_change_applied" in text
+
+    def test_flight_dump_writes_a_dossier(self, session, tmp_path):
+        db, output, shell = session
+        shell([f".flight dir {tmp_path}", ".flight dump testing"])
+        assert any("dossier directory set" in line for line in output)
+        dossiers = list(tmp_path.glob("dossier-testing-*.json"))
+        assert len(dossiers) == 1
+        assert any(str(dossiers[0]) in line for line in output)
+
+    def test_flight_log_mirrors_records(self, session, tmp_path):
+        db, output, shell = session
+        log = tmp_path / "flight.jsonl"
+        shell([f".flight log {log}", "add_attribute mentor : str to Student"])
+        db.obs.flight.disable_file()
+        assert log.exists()
+        assert "schema_change_applied" in log.read_text()
+
+    def test_trace_export_writes_chrome_trace(self, session, tmp_path):
+        db, output, shell = session
+        import json as _json
+
+        target = tmp_path / "trace.json"
+        shell([".trace on", "add_attribute mentor : str to Student",
+               f".trace export {target}"])
+        assert any("trace event(s)" in line for line in output)
+        trace = _json.loads(target.read_text())
+        assert trace["traceEvents"]
+        assert all(e["ph"] == "X" for e in trace["traceEvents"])

@@ -569,3 +569,58 @@ class TestLiveHandlesUnderSessions:
 
         run_threads([reader, reader, writer])
         assert db.views.current("campus").version == base_version + 25
+
+
+class TestSessionAttribution:
+    def test_labels_never_bleed_across_eight_readers(self):
+        """Per-session metric attribution under concurrency stress: 8 reader
+        threads each hold one session and perform a distinct, known number
+        of reads while a writer churns the schema.  Afterwards every
+        ``session_reads{session=...}`` child must equal exactly its thread's
+        local count (no bleed between labels), and the family total must be
+        the sum over the labelled children."""
+        db = build_campus()
+        sessions = db.sessions()
+        n_readers = 8
+        reads_planned = [60 + 11 * i for i in range(n_readers)]
+        session_of = [None] * n_readers
+        stop = threading.Event()
+
+        def make_reader(index):
+            def reader():
+                with sessions.reader() as r:
+                    session_of[index] = r.session_id
+                    for step in range(reads_planned[index]):
+                        r.count("campus", "Person")
+                        if step % 20 == 19:
+                            r.refresh()
+
+            return reader
+
+        def writer():
+            try:
+                for i in range(20):
+                    with sessions.writer() as w:
+                        w.view("campus").add_attribute(f"attr{i}", to="Staff")
+            finally:
+                stop.set()
+
+        run_threads([make_reader(i) for i in range(n_readers)] + [writer])
+
+        family = db.stats()["session_reads"]
+        assert isinstance(family, dict), "expected a labelled family"
+        assert len(set(session_of)) == n_readers, "session ids not unique"
+        for index, session_id in enumerate(session_of):
+            key = "{session=%s}" % session_id
+            assert family.get(key) == reads_planned[index], (
+                f"label bleed: {key} -> {family.get(key)}, "
+                f"expected {reads_planned[index]}"
+            )
+        assert sum(family.values()) == sum(reads_planned)
+
+        # snapshot pinning is attributed the same way: one initial pin per
+        # session plus one per refresh
+        snapshots = db.stats()["session_snapshots"]
+        for index, session_id in enumerate(session_of):
+            expected = 1 + reads_planned[index] // 20
+            assert snapshots["{session=%s}" % session_id] == expected

@@ -29,14 +29,20 @@ from pathlib import Path
 
 import pytest
 
-from repro.checking.commands import command_to_dict
+from repro.checking.commands import (
+    CommandGenerator,
+    command_from_dict,
+    command_to_dict,
+)
 from repro.checking.minimize import (
     load_corpus_entry,
     minimize_commands,
     save_corpus_entry,
 )
 from repro.checking.runner import (
+    DifferentialHarness,
     DifferentialMachine,
+    Divergence,
     run_commands,
     run_sequence,
 )
@@ -161,6 +167,50 @@ def test_mutation_smoke_detect_minimize_replay(monkeypatch, tmp_path):
     assert run_commands(replayed) is not None, "corpus replay lost the bug"
 
     monkeypatch.undo()
+
+
+def test_divergence_ships_replayable_dossier(monkeypatch, tmp_path):
+    """A forced divergence produces a flight-recorder crash dossier whose
+    embedded command sequence replays the finding byte-for-byte."""
+    _plant_slice_dropping_bug(monkeypatch)
+
+    dossier_dir = tmp_path / "dossiers"
+    divergence, harness = None, None
+    for seed in [19] + [s for s in range(41) if s != 19]:
+        harness = DifferentialHarness(dossier_dir=dossier_dir)
+        try:
+            for command in CommandGenerator(seed).generate(15):
+                harness.apply(command)
+        except Divergence as exc:
+            divergence = exc
+            break
+        finally:
+            dossier_path = harness.last_dossier
+            harness.close()
+    assert divergence is not None, "planted bug went undetected"
+
+    # the harness wrote exactly one dossier, at the moment of divergence
+    assert dossier_path is not None and dossier_path.exists()
+    assert list(dossier_dir.glob("dossier-divergence-*.json")) == [dossier_path]
+
+    payload = json.loads(dossier_path.read_text())
+    assert payload["reason"] == "divergence"
+    # forensics: the event stream saw the divergence, spans/metrics rode along
+    assert any(e["kind"] == "divergence" for e in payload["events"])
+    assert payload["extra"]["divergence"]["kind"] == divergence.kind
+    assert payload["extra"]["divergence"]["op"] == divergence.op
+    assert "metrics" in payload and "open_spans" in payload
+    assert "schema_generation" in payload["state"]
+
+    # replayability: the embedded commands reproduce the same divergence
+    replayed = [command_from_dict(c) for c in payload["extra"]["commands"]]
+    rediscovered = run_commands(replayed)
+    assert rediscovered is not None, "dossier commands lost the bug"
+    assert rediscovered.signature() == divergence.signature()
+
+    # ... and replay clean once the planted bug is removed
+    monkeypatch.undo()
+    assert run_commands(replayed) is None
     assert run_commands(replayed) is None, (
         "minimized sequence still diverges after removing the planted bug — "
         "it shrank onto an unrelated (real) failure"

@@ -1,0 +1,98 @@
+"""Golden-file pins for ``EXPLAIN`` over every primitive schema change.
+
+``.explain`` output is a user-facing contract: the script lines, the
+classifier's create/reuse decisions, the substitution plan, and the
+predicted recheck bill must stay stable for a fixed scenario.  Only the
+phase timings are nondeterministic, so they are normalized to ``<MS>``.
+
+To regenerate after an intentional format change::
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src pytest tests/test_explain_golden.py
+"""
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.explain import PRIMITIVE_OPS
+from repro.workloads.university import build_figure3_database, populate_students
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_TIMING = re.compile(r"=\d+(\.\d+)?ms")
+
+# One scenario per primitive op, all against the same prepared figure-3
+# database (see _database below).  ``add_edge`` needs an unconnected class
+# to hang the edge on and ``delete_method`` needs a view-added method to
+# drop; both are applied for real during setup.
+CASES = {
+    "add_attribute": {"name": "mentor", "to": "Student", "domain": "str"},
+    "delete_attribute": {"name": "advisor", "from_": "Student"},
+    "add_method": {"name": "rank", "to": "Student", "body": None},
+    "delete_method": {"name": "describe", "from_": "Person"},
+    "add_edge": {"sup": "Student", "sub": "Tutor"},
+    "delete_edge": {"sup": "Student", "sub": "TA"},
+    "add_class": {"name": "Mentor", "connected_to": "Student"},
+    "delete_class": {"name": "TA"},
+}
+
+
+def _database():
+    db, _view = build_figure3_database()
+    populate_students(db, 6)
+    db.view("VS1").add_method("describe", to="Person", body=None)
+    db.view("VS1").add_class("Tutor", connected_to="Person")
+    return db
+
+
+def _normalize(report) -> str:
+    text = "\n".join(report.render_lines()) + "\n"
+    return _TIMING.sub("=<MS>", text)
+
+
+def test_every_primitive_op_has_a_case():
+    assert set(CASES) == set(PRIMITIVE_OPS)
+
+
+@pytest.mark.parametrize("operation", sorted(CASES))
+def test_explain_matches_golden(operation):
+    db = _database()
+    actual = _normalize(db.explain("VS1", operation, **CASES[operation]))
+    golden = GOLDEN_DIR / f"explain_{operation}.txt"
+    if os.environ.get("UPDATE_GOLDEN"):
+        golden.parent.mkdir(parents=True, exist_ok=True)
+        golden.write_text(actual)
+    assert golden.exists(), (
+        f"golden file {golden} missing — regenerate with UPDATE_GOLDEN=1"
+    )
+    assert actual == golden.read_text(), (
+        f"EXPLAIN rendering for {operation} drifted from {golden.name}. "
+        "If the change is intentional, regenerate with UPDATE_GOLDEN=1 "
+        "and review the diff."
+    )
+
+
+@pytest.mark.parametrize("operation", sorted(CASES))
+def test_explain_is_a_dry_run(operation):
+    """EXPLAIN must leave the database exactly as it found it: same view
+    version, same class population, and the real change still applies."""
+    db = _database()
+    before_classes = set(db.schema.class_names())
+    before_version = db.view("VS1").version
+    report = db.explain("VS1", operation, **CASES[operation])
+    assert set(db.schema.class_names()) == before_classes
+    assert db.view("VS1").version == before_version
+    assert report.view_version == before_version
+    assert report.predicted_new_version == before_version + 1
+
+
+def test_explain_report_as_dict_round_trips_render_fields():
+    db = _database()
+    report = db.explain("VS1", "add_attribute", **CASES["add_attribute"])
+    payload = report.as_dict()
+    assert payload["operation"] == "add_attribute"
+    assert payload["script"] == report.script
+    assert payload["predicted_rechecks"] == report.predicted_rechecks
+    assert set(payload["phase_ms"]) == {"translate", "analyze", "classify"}

@@ -1,0 +1,179 @@
+"""Flight recorder: event feed, slow-op capture, JSONL mirror, dossiers.
+
+These tests exercise the black-box path end to end against a real
+database: lifecycle events flow from the EventBus into the bounded ring,
+finished root spans over the threshold become ``slow_op`` records, the
+JSONL mirror rotates at its size cap, and the dossier triggers
+(``schema_change_failed``, ``recovery``, ``divergence``) dump a forensic
+bundle — but only once a dossier directory is configured.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ChangeRejected
+from repro.obs.flight import DOSSIER_TRIGGERS, FlightRecorder
+from repro.workloads.university import build_figure3_database, populate_students
+
+
+def _database():
+    db, _view = build_figure3_database()
+    populate_students(db, 4)
+    return db
+
+
+# -- event feed --------------------------------------------------------------
+
+
+def test_lifecycle_events_land_in_the_ring():
+    db = _database()
+    db.view("VS1").add_attribute("mentor", to="Student", domain="str")
+    kinds = [e["kind"] for e in db.obs.flight.tail()]
+    for expected in ("schema_change_requested", "translated", "schema_change_applied"):
+        assert expected in kinds, f"missing {expected} in {kinds}"
+    # records carry monotonically increasing sequence numbers
+    seqs = [e["seq"] for e in db.obs.flight.tail()]
+    assert seqs == sorted(seqs)
+
+
+def test_ring_is_bounded_and_keeps_the_newest():
+    recorder = FlightRecorder(max_events=8)
+    for i in range(50):
+        recorder.record("tick", i=i)
+    events = recorder.tail()
+    assert len(events) == 8
+    assert [e["i"] for e in events] == list(range(42, 50))
+    assert recorder.records_recorded == 50
+
+
+def test_payloads_degrade_to_json_safe_values():
+    recorder = FlightRecorder()
+    entry = recorder.record("probe", obj=object(), nested={"xs": (1, 2)})
+    json.dumps(entry)  # must not raise
+    assert entry["nested"] == {"xs": [1, 2]}
+
+
+# -- slow-op capture ---------------------------------------------------------
+
+
+def test_slow_root_spans_become_slow_op_records():
+    db = _database()
+    db.obs.tracer.enable()
+    db.obs.flight.slow_op_threshold_s = 0.0  # every root span is "slow"
+    db.view("VS1").add_attribute("mentor", to="Student", domain="str")
+    slow = [e for e in db.obs.flight.tail() if e["kind"] == "slow_op"]
+    assert slow, "no slow_op record despite a zero threshold"
+    record = slow[-1]
+    assert record["span"] == "schema_change"
+    assert record["duration_ms"] >= 0
+    assert "translate" in record["phases"]
+    assert db.obs.flight.slow_ops_recorded >= 1
+
+
+def test_fast_spans_are_not_recorded():
+    db = _database()
+    db.obs.tracer.enable()
+    db.obs.flight.slow_op_threshold_s = 3600.0
+    db.view("VS1").add_attribute("mentor", to="Student", domain="str")
+    assert not [e for e in db.obs.flight.tail() if e["kind"] == "slow_op"]
+    assert db.obs.flight.slow_ops_recorded == 0
+
+
+# -- JSONL mirror ------------------------------------------------------------
+
+
+def test_file_mirror_writes_json_lines(tmp_path):
+    recorder = FlightRecorder()
+    log = tmp_path / "flight.jsonl"
+    recorder.enable_file(log)
+    recorder.record("alpha", n=1)
+    recorder.record("beta", n=2)
+    recorder.disable_file()
+    lines = [json.loads(l) for l in log.read_text().splitlines()]
+    assert [l["kind"] for l in lines] == ["alpha", "beta"]
+    assert lines[1]["n"] == 2
+
+
+def test_file_mirror_rotates_at_the_size_cap(tmp_path):
+    recorder = FlightRecorder()
+    log = tmp_path / "flight.jsonl"
+    recorder.enable_file(log, max_bytes=256, rotations=2)
+    for i in range(64):
+        recorder.record("tick", i=i, padding="x" * 32)
+    recorder.disable_file()
+    rotated = sorted(p.name for p in tmp_path.iterdir())
+    assert rotated == ["flight.jsonl", "flight.jsonl.1", "flight.jsonl.2"]
+    # no record is split across files and the newest live in the base file
+    last = json.loads(log.read_text().splitlines()[-1])
+    assert last["i"] == 63
+    # rotation keeps each file under/near the cap, not unbounded
+    assert (tmp_path / "flight.jsonl.1").stat().st_size <= 256 + 128
+
+
+# -- dossiers ----------------------------------------------------------------
+
+
+def test_failed_schema_change_dumps_a_dossier(tmp_path):
+    db = _database()
+    db.obs.flight.dossier_dir = tmp_path
+    with pytest.raises(ChangeRejected):
+        # 'major' already exists on Student in figure 2 -> pipeline fails
+        db.view("VS1").add_attribute("major", to="Student", domain="str")
+    dossiers = list(tmp_path.glob("dossier-schema-change-failed-*.json"))
+    assert len(dossiers) == 1
+    payload = json.loads(dossiers[0].read_text())
+    assert payload["reason"] == "schema_change_failed"
+    kinds = [e["kind"] for e in payload["events"]]
+    assert "schema_change_failed" in kinds
+    assert "schema_generation" in payload["state"]
+    assert "metrics" in payload
+    assert db.obs.flight.dossiers_written == 1
+
+
+def test_no_dossier_dir_means_no_files(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # catch any stray writes to cwd
+    db = _database()
+    assert db.obs.flight.dossier_dir is None
+    with pytest.raises(ChangeRejected):
+        db.view("VS1").add_attribute("major", to="Student", domain="str")
+    assert not list(tmp_path.glob("dossier-*.json"))
+    assert db.obs.flight.dossiers_written == 0
+
+
+def test_every_trigger_kind_auto_dumps(tmp_path):
+    recorder = FlightRecorder()
+    recorder.dossier_dir = tmp_path
+    for kind in DOSSIER_TRIGGERS:
+        recorder.record(kind)
+    assert recorder.dossiers_written == len(DOSSIER_TRIGGERS)
+    assert len(list(tmp_path.glob("dossier-*.json"))) == len(DOSSIER_TRIGGERS)
+
+
+def test_build_dossier_bundles_state_spans_and_metrics():
+    db = _database()
+    db.obs.tracer.enable()
+    db.view("VS1").add_attribute("mentor", to="Student", domain="str")
+    with db.obs.tracer.span("in_flight"):
+        dossier = db.obs.flight.build_dossier("probe", extra={"note": "hi"})
+    assert dossier["reason"] == "probe"
+    assert dossier["extra"] == {"note": "hi"}
+    assert any(s["name"] == "in_flight" for s in dossier["open_spans"])
+    assert dossier["state"]["schema_generation"] == db.schema.generation
+    assert dossier["state"]["classes"] == len(db.schema.class_names())
+    assert "VS1" in dossier["state"]["view_versions"]
+    assert dossier["metrics"]["schema_changes_applied"] == 1
+    assert any(t["name"] == "schema_change" for t in dossier["recent_traces"])
+    json.dumps(dossier)  # the whole bundle must serialize
+
+
+def test_stats_dict_reports_activity(tmp_path):
+    recorder = FlightRecorder(max_events=4)
+    recorder.enable_file(tmp_path / "f.jsonl")
+    for i in range(6):
+        recorder.record("tick", i=i)
+    stats = recorder.stats_dict()
+    assert stats["records"] == 6
+    assert stats["buffered"] == 4
+    assert stats["file"].endswith("f.jsonl")
+    recorder.disable_file()

@@ -2,6 +2,7 @@
 integration into the schema-change pipeline."""
 
 import json
+import re
 
 import pytest
 
@@ -139,7 +140,73 @@ class TestMetricsRegistry:
             hist.observe(value)
         data = registry.snapshot()["lat"]
         assert data["count"] == 3
-        assert data["buckets"] == {"0.1": 1, "1.0": 2, "+Inf": 3}
+        # bucket keys use the same canonical formatting as the Prometheus
+        # ``le`` labels (1.0 renders as "1"), so the two exports agree
+        assert data["buckets"] == {"0.1": 1, "1": 2, "+Inf": 3}
+
+    def test_boundary_observation_counts_into_its_own_le_bucket(self):
+        # value == bound must land in the bucket whose ``le`` equals it —
+        # the inclusive upper-bound semantics Prometheus defines
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.1)
+        hist.observe(1.0)
+        data = registry.snapshot()["lat"]
+        assert data["buckets"] == {"0.1": 1, "1": 2, "+Inf": 2}
+        text = registry.to_prometheus()
+        assert 'tse_lat_bucket{le="0.1"} 1' in text
+        assert 'tse_lat_bucket{le="1"} 2' in text
+
+    def test_snapshot_and_prometheus_agree_on_bucket_keys(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.0001, 0.5, 1.0, 2.5)).observe(0.2)
+        snapshot_keys = set(registry.snapshot()["lat"]["buckets"]) - {"+Inf"}
+        text = registry.to_prometheus()
+        prom_keys = set(re.findall(r'tse_lat_bucket\{le="([^"]+)"\}', text)) - {"+Inf"}
+        assert snapshot_keys == prom_keys
+
+    def test_histogram_quantiles_interpolate_from_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        for _ in range(90):
+            hist.observe(0.05)
+        for _ in range(10):
+            hist.observe(0.5)
+        data = registry.snapshot()["lat"]
+        assert 0.0 < data["p50"] <= 0.1
+        assert 0.1 < data["p95"] <= 1.0
+        assert 0.1 < data["p99"] <= 1.0
+        assert hist.quantile(0.0) == 0.0 or hist.quantile(0.0) <= 0.1
+        # everything beyond the last finite bound clamps to that bound
+        empty = registry.histogram("none", buckets=(0.1,))
+        assert empty.quantile(0.5) == 0.0
+
+    def test_labeled_counter_families(self):
+        registry = MetricsRegistry()
+        registry.counter("reads", labels={"session": "r1"}).inc(3)
+        registry.counter("reads", labels={"session": "r2"}).inc(4)
+        snap = registry.snapshot()["reads"]
+        assert snap == {"{session=r1}": 3, "{session=r2}": 4}
+        text = registry.to_prometheus()
+        assert 'tse_reads_total{session="r1"} 3' in text
+        assert 'tse_reads_total{session="r2"} 4' in text
+
+    def test_labeled_gauge_families(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", labels={"view": "VS1"}).set(2)
+        registry.gauge("depth", labels={"view": "VS2"}).set(5)
+        assert registry.snapshot()["depth"] == {"{view=VS1}": 2, "{view=VS2}": 5}
+        assert 'tse_depth{view="VS2"} 5' in registry.to_prometheus()
+
+    def test_label_cardinality_budget_collapses_overflow(self):
+        registry = MetricsRegistry(label_budget=3)
+        for i in range(10):
+            registry.counter("ops", labels={"session": f"s{i}"}).inc()
+        family = registry._counters["ops"]
+        assert len(family) == 4  # 3 admitted + one _other_ overflow child
+        overflow = registry.counter("ops", labels={"session": "anything-new"})
+        assert overflow.labels == {"session": "_other_"}
+        assert overflow.value == 7  # the 7 over-budget increments pooled
 
     def test_groups_absorb_existing_stats_dicts(self):
         registry = MetricsRegistry()

@@ -1,0 +1,105 @@
+"""Chrome trace export: schema validity + parent/child round-trip.
+
+The acceptance bar for ``.trace export`` is twofold: every emitted event
+must satisfy the trace-event format contract (the keys Perfetto actually
+requires for complete events), and the explicit ``span_id``/``parent_id``
+channel must reconstruct the original span forest exactly — no timestamp
+heuristics involved.
+"""
+
+import json
+
+from repro.obs import export_chrome_trace, reconstruct_tree, to_trace_events
+from repro.workloads.university import build_figure3_database, populate_students
+
+#: keys a complete ("ph": "X") trace event must carry
+REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def _traced_database():
+    db, _view = build_figure3_database()
+    populate_students(db, 4)
+    db.obs.tracer.enable()
+    db.view("VS1").add_attribute("mentor", to="Student", domain="str")
+    db.view("VS1").delete_attribute("mentor", from_="Student")
+    return db
+
+
+def _shape(node):
+    """A span tree as (name, (child shapes...)) for structural equality."""
+    return (node.name, tuple(_shape(c) for c in node.children))
+
+
+def _shape_of_dict(node):
+    return (node["name"], tuple(_shape_of_dict(c) for c in node["children"]))
+
+
+def test_events_validate_against_the_trace_event_schema():
+    db = _traced_database()
+    trace = export_chrome_trace(db.obs.tracer)
+    assert trace["displayTimeUnit"] == "ms"
+    assert trace["otherData"]["producer"] == "repro.obs"
+    events = trace["traceEvents"]
+    assert events, "traced pipeline produced no events"
+    for event in events:
+        for key in REQUIRED_EVENT_KEYS:
+            assert key in event, f"event missing {key!r}: {event}"
+        assert event["ph"] == "X"
+        assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+        assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int) and event["tid"] >= 1
+        assert "span_id" in event["args"]
+    json.dumps(trace)  # the whole trace must be plain JSON
+
+
+def test_export_round_trips_parent_child_nesting():
+    db = _traced_database()
+    roots = db.obs.tracer.traces()
+    assert len(roots) >= 2, "expected one root tree per schema change"
+    events = to_trace_events(roots)
+    rebuilt = reconstruct_tree(events)
+    assert [_shape_of_dict(r) for r in rebuilt] == [_shape(r) for r in roots]
+    # children must appear in document order, not reversed
+    original_children = [c.name for c in roots[0].children]
+    rebuilt_children = [c["name"] for c in rebuilt[0]["children"]]
+    assert rebuilt_children == original_children
+
+
+def test_each_root_tree_gets_its_own_tid():
+    db = _traced_database()
+    events = to_trace_events(db.obs.tracer.traces())
+    roots = [e for e in events if "parent_id" not in e["args"]]
+    tids = [e["tid"] for e in roots]
+    assert tids == sorted(set(tids)), f"roots share a tid: {tids}"
+    # every child event inherits its root's tid
+    by_id = {e["args"]["span_id"]: e for e in events}
+    for event in events:
+        parent_id = event["args"].get("parent_id")
+        if parent_id is not None:
+            assert event["tid"] == by_id[parent_id]["tid"]
+
+
+def test_span_attributes_ride_in_args():
+    db = _traced_database()
+    events = to_trace_events(db.obs.tracer.traces())
+    schema_changes = [e for e in events if e["name"] == "schema_change"]
+    assert schema_changes
+    assert schema_changes[0]["args"]["operation"] == "add_attribute"
+    assert schema_changes[0]["cat"] == "schema_change"
+
+
+def test_file_export_is_loadable_json(tmp_path):
+    db = _traced_database()
+    out = tmp_path / "trace.json"
+    exported = export_chrome_trace(db.obs.tracer, path=out)
+    loaded = json.loads(out.read_text())
+    assert loaded == json.loads(json.dumps(exported))
+    assert loaded["otherData"]["spans"] == db.obs.tracer.spans_recorded
+
+
+def test_empty_tracer_exports_a_valid_empty_trace():
+    db, _view = build_figure3_database()
+    trace = export_chrome_trace(db.obs.tracer)
+    assert trace["traceEvents"] == []
+    assert reconstruct_tree(trace["traceEvents"]) == []

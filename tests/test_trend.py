@@ -1,0 +1,110 @@
+"""The benchmark trend report (benchmarks/trend.py).
+
+Synthetic ``BENCH_*.json`` artifacts spanning three runs prove the series
+assembly (ordered by ``meta.unix_time``), the direction-aware deltas
+(latency up = worse, throughput down = worse), the >20%-vs-best
+regression flag, and the markdown artifact.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_trend", Path(__file__).parent.parent / "benchmarks" / "trend.py"
+)
+trend = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(trend)
+
+
+def _artifact(path, key, unix_time, **metrics):
+    path.write_text(
+        json.dumps({key: {**metrics, "meta": {"unix_time": unix_time}}})
+    )
+
+
+def _rows_by_metric(rows):
+    return {(bench, metric): row for (bench, metric, *_), row in
+            ((r[:2], r) for r in rows)}
+
+
+def test_direction_aware_regression_flags(tmp_path):
+    # three runs of one benchmark: latency doubles, throughput halves
+    _artifact(tmp_path / "BENCH_a.json", "pipeline", 100.0,
+              pipeline_ms=10.0, ops_per_sec=1000.0)
+    _artifact(tmp_path / "BENCH_b.json", "pipeline", 200.0,
+              pipeline_ms=11.0, ops_per_sec=950.0)
+    _artifact(tmp_path / "BENCH_c.json", "pipeline", 300.0,
+              pipeline_ms=20.0, ops_per_sec=500.0)
+    runs = trend.load_runs([tmp_path])
+    assert [name for name, _t, _d in runs] == [
+        "BENCH_a.json", "BENCH_b.json", "BENCH_c.json"
+    ]
+    rows = trend.build_rows(trend.collect_series(runs))
+    by_metric = _rows_by_metric(rows)
+
+    latency = by_metric[("pipeline", "pipeline_ms")]
+    assert latency[2] == 3  # three runs in the series
+    assert latency[3] == 10.0 and latency[4] == 20.0  # best, latest
+    assert latency[6] == "REGRESSION"  # +100% vs best
+
+    throughput = by_metric[("pipeline", "ops_per_sec")]
+    assert throughput[3] == 1000.0 and throughput[4] == 500.0
+    assert throughput[6] == "REGRESSION"  # -50% vs best
+
+
+def test_within_threshold_is_ok(tmp_path):
+    _artifact(tmp_path / "BENCH_a.json", "p", 1.0, pipeline_ms=10.0)
+    _artifact(tmp_path / "BENCH_b.json", "p", 2.0, pipeline_ms=11.5)
+    rows = trend.build_rows(
+        trend.collect_series(trend.load_runs([tmp_path]))
+    )
+    assert rows[0][6] == "ok"  # +15% is inside the 20% budget
+
+
+def test_non_metric_fields_are_ignored(tmp_path):
+    _artifact(tmp_path / "BENCH_a.json", "p", 1.0,
+              pipeline_ms=1.0, rounds=300, seed=7, label="x")
+    series = trend.collect_series(trend.load_runs([tmp_path]))
+    assert set(series) == {("p", "pipeline_ms")}
+
+
+def test_meta_and_provenance_subtrees_are_skipped(tmp_path):
+    (tmp_path / "BENCH_a.json").write_text(json.dumps({
+        "p": {
+            "pipeline_ms": 1.0,
+            "meta": {"unix_time": 5.0, "monotonic": 123.0},
+            "pre_pr": {"mixed_baseline_ops_per_sec": 100},
+            "floors": {"fuzz_commands_per_sec_min": 150},
+        }
+    }))
+    series = trend.collect_series(trend.load_runs([tmp_path]))
+    assert set(series) == {("p", "pipeline_ms")}
+
+
+def test_main_writes_the_markdown_report(tmp_path, capsys):
+    _artifact(tmp_path / "BENCH_a.json", "p", 1.0, pipeline_ms=10.0)
+    _artifact(tmp_path / "BENCH_b.json", "p", 2.0, pipeline_ms=30.0)
+    out = tmp_path / "trend.md"
+    assert trend.main(["--root", str(tmp_path), "--out", str(out)]) == 0
+    report = out.read_text()
+    assert report.startswith("# Benchmark trend")
+    assert "1 flagged as regressions" in report
+    assert "| p | pipeline_ms | 2 | 10 | 30 | +200.0% | REGRESSION |" in report
+    printed = capsys.readouterr().out
+    assert "scanned 2 artifact(s)" in printed
+
+
+def test_no_artifacts_is_a_clean_exit(tmp_path, capsys):
+    assert trend.main(["--root", str(tmp_path),
+                       "--out", str(tmp_path / "trend.md")]) == 0
+    assert "no BENCH_" in capsys.readouterr().out
+
+
+def test_corrupt_artifact_is_skipped(tmp_path, capsys):
+    (tmp_path / "BENCH_bad.json").write_text("{not json")
+    _artifact(tmp_path / "BENCH_good.json", "p", 1.0, pipeline_ms=1.0)
+    runs = trend.load_runs([tmp_path])
+    assert [name for name, _t, _d in runs] == ["BENCH_good.json"]
+    assert "skipping" in capsys.readouterr().err
