@@ -1,0 +1,180 @@
+"""Server throughput under many concurrent tenant connections.
+
+The server's claim (DESIGN.md section on the wire protocol) is that one
+engine serves hundreds of attached tenants: the bounded per-connection
+queues turn overload into TCP backpressure, the writer-admission gate
+keeps schema changes from starving reads, and nothing torn is ever served.
+This bench drives a real ``TseServer`` over loopback TCP with an asyncio
+load generator — N concurrent connections issuing mixed traffic (mostly
+extent reads, a slice of updates, an occasional schema change from one
+designated connection) — at N = 64, 256 and 1000.
+
+Asserted shape:
+
+* every connection completes its scripted conversation — **zero error
+  frames** (the only tolerated code would be a deliberate ``busy`` shed,
+  and the limit is set above N so none occur);
+* the per-tenant ``server_requests{tenant,op}`` counters sum exactly to
+  ``requests_served`` — attribution never loses a request;
+* sustained request throughput stays above a loose absolute floor at
+  every N (structural collapse guard, not a performance claim — CI
+  machines are noisy and this host may have a single core).
+
+Writes ``BENCH_server.json`` at the repo root (with the floors embedded)
+and ``benchmarks/results/server.md``.
+"""
+
+import asyncio
+import json
+from pathlib import Path
+
+from conftest import format_table, write_bench_json, write_report
+
+from repro.server import protocol
+from repro.server.server import TseServer
+from repro.workloads.university import build_figure3_database, populate_students
+
+BENCH_SERVER_JSON = Path(__file__).parent.parent / "BENCH_server.json"
+
+#: concurrent-connection fan widths
+CONNECTIONS = (64, 256, 1000)
+#: total scripted data requests per width (split across connections)
+TOTAL_REQUESTS = 6000
+#: loose absolute floor on sustained request throughput (req/s); guards
+#: against structural collapse, not machine speed
+REQ_PER_SEC_FLOOR = 150.0
+
+
+def build_db():
+    db, _view = build_figure3_database()
+    populate_students(db, 8)
+    return db
+
+
+async def run_tenant(host, port, index, n_ops, errors):
+    """One scripted tenant conversation; returns its request count."""
+    reader, writer = await asyncio.open_connection(host, port)
+    requests = 0
+
+    async def rpc(message):
+        nonlocal requests
+        writer.write(protocol.encode_frame(message))
+        await writer.drain()
+        requests += 1
+        reply = await protocol.read_frame(reader)
+        if reply is None:
+            raise ConnectionError("server hung up mid-conversation")
+        if reply.get("type") == "error":
+            errors.append(reply)
+        return reply
+
+    try:
+        await rpc({
+            "type": "hello",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "tenant": f"t{index % 16}",
+        })
+        await rpc({"type": "attach", "view": "VS1"})
+        for op in range(n_ops):
+            roll = (index + op) % 10
+            if roll < 6:
+                await rpc({"type": "count", "class": "Student"})
+            elif roll < 8:
+                await rpc({"type": "extent", "class": "TA"})
+            elif roll < 9:
+                await rpc({
+                    "type": "update", "op": "create", "class": "Person",
+                    "values": {"name": f"n{index}.{op}", "age": 30},
+                })
+            elif index == 0:
+                # the designated evolving tenant: flip one attribute in
+                # and out so every schema-change request succeeds
+                await rpc({
+                    "type": "add_attribute", "name": f"tag{op}",
+                    "to": "Person", "domain": "str",
+                })
+                await rpc({
+                    "type": "delete_attribute", "name": f"tag{op}",
+                    "from": "Person",
+                })
+            else:
+                await rpc({"type": "ping"})
+        await rpc({"type": "goodbye"})
+    finally:
+        writer.close()
+    return requests
+
+
+async def drive(db, n_connections):
+    """Serve ``db``, run ``n_connections`` scripted tenants, measure."""
+    server = TseServer(
+        db, max_connections=n_connections + 64, executor_threads=4
+    )
+    host, port = await server.start()
+    errors = []
+    loop = asyncio.get_running_loop()
+    n_ops = max(3, TOTAL_REQUESTS // n_connections)
+    start = loop.time()
+    counts = await asyncio.gather(*(
+        run_tenant(host, port, index, n_ops, errors)
+        for index in range(n_connections)
+    ))
+    elapsed = loop.time() - start
+    await server.stop()
+    total = sum(counts)
+    families = db.stats()["server_requests"]
+    attributed = sum(families.values()) if isinstance(families, dict) else families
+    return {
+        "connections": n_connections,
+        "requests": total,
+        "elapsed_s": round(elapsed, 3),
+        "req_per_sec": round(total / elapsed, 1),
+        "errors": len(errors),
+        "error_samples": errors[:3],
+        "served": server.stats_dict()["requests_served"],
+        "attributed": attributed,
+    }
+
+
+def test_server_throughput_under_fanout():
+    rows = []
+    for n_connections in CONNECTIONS:
+        db = build_db()  # fresh engine per width: no cross-width warmup
+        cell = asyncio.run(drive(db, n_connections))
+
+        # no connection saw a single error frame (busy shed would be the
+        # only tolerated code, and the limit sits above N)
+        assert cell["errors"] == 0, cell["error_samples"]
+        # attribution is total: per-tenant counters sum to requests served
+        assert cell["attributed"] == cell["served"], cell
+        assert cell["requests"] == cell["served"], cell
+        assert cell["req_per_sec"] >= REQ_PER_SEC_FLOOR, cell
+        rows.append(cell)
+
+    payload = {
+        f"fanout_{row['connections']}": {
+            "requests": row["requests"],
+            "elapsed_s": row["elapsed_s"],
+            "sustained_req_per_sec": row["req_per_sec"],
+        }
+        for row in rows
+    }
+    payload["floors"] = {"req_per_sec_min": REQ_PER_SEC_FLOOR}
+    write_bench_json("server", payload, db=db, target=BENCH_SERVER_JSON)
+
+    table = format_table(
+        ("connections", "requests", "elapsed s", "req/s", "errors"),
+        [
+            (r["connections"], r["requests"], r["elapsed_s"],
+             r["req_per_sec"], r["errors"])
+            for r in rows
+        ],
+    )
+    write_report(
+        "server",
+        "Server throughput under concurrent tenant connections",
+        table
+        + "\n\nMixed traffic: 60% count, 20% extent, 10% create, the rest "
+        "ping — plus paired add/delete-attribute schema changes from one "
+        "designated connection.  Zero error frames tolerated.\n",
+    )

@@ -130,13 +130,20 @@ def build_rows(
         values = [value for _t, value in points]
         latest = values[-1]
         best = max(values) if direction == 1 else min(values)
-        if best == 0:
+        if best <= 0:
             delta = 0.0
         elif direction == 1:
             delta = (best - latest) / best
         else:
             delta = (latest - best) / best
-        flag = "REGRESSION" if delta > threshold else "ok"
+        if len(values) == 1:
+            # a benchmark appearing for the first time has no history to
+            # regress against — mark it, never flag it
+            flag = "new"
+        elif delta > threshold:
+            flag = "REGRESSION"
+        else:
+            flag = "ok"
         rows.append(
             (
                 bench_key,

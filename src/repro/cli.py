@@ -48,6 +48,10 @@ updates, ``merge``) plus a handful of meta-commands:
                           do not see updates queued in the same batch
     .batch abort          discard the collected updates
     .batch status         how many updates are pending
+    .serve <host> <port>  serve this database over TCP: the framed-JSON
+                          multi-tenant protocol of docs/PROTOCOL.md
+                          (port 0 picks a free port); Ctrl-C stops and
+                          prints a summary
     .save <path>          persist the database
     .wal on <dir>         attach a write-ahead log rooted at <dir>
     .wal stats            durability counters (lsn, ops, log bytes, ...)
@@ -273,6 +277,20 @@ def _meta_command(
                 emit(f"flight records mirrored to {args[1]}")
         else:
             emit("usage: .flight show [n]|dump [why]|dir <path>|log <file>")
+    elif command == ".serve":
+        try:
+            port = int(args[1]) if len(args) == 2 else None
+        except ValueError:
+            port = None
+        if len(args) != 2 or port is None:
+            emit("usage: .serve <host> <port>")
+        else:
+            stats = db.serve(args[0], port)
+            emit(
+                f"server stopped: {stats['requests_served']} request(s) "
+                f"served, {stats['connections_accepted']} connection(s), "
+                f"{stats['connections_shed']} shed"
+            )
     elif command == ".save":
         if not args:
             emit("usage: .save <path>")

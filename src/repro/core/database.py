@@ -233,6 +233,222 @@ class TseDatabase:
         return explain_change(self, view_name, operation, **args)
 
     # ------------------------------------------------------------------
+    # stable facade — named-argument entry points shared by the network
+    # server, the CLI and future query layers (ROADMAP: "extract a stable
+    # Database facade API").  Everything below speaks *view vocabulary*
+    # and plain data (dicts, ints, JSON predicates), never handles.
+    # ------------------------------------------------------------------
+
+    def schema_change(
+        self, view_name: str, op: str, args: Optional[Mapping[str, object]] = None
+    ) -> Dict[str, object]:
+        """Apply one of the eight primitive schema changes by name.
+
+        ``op`` is one of :data:`repro.core.explain.PRIMITIVE_OPS`; ``args``
+        carries the operator's keyword arguments as plain data (the same
+        vocabulary :meth:`explain` accepts).  Returns ``{"view", "version"}``
+        for the new view version.  Raises :class:`ValueError` on an unknown
+        operator or missing argument — argument errors are the *caller's*
+        fault and are kept distinct from the database rejecting a
+        well-formed change (:class:`~repro.errors.EvolutionError`).
+        """
+        from repro.core.explain import PRIMITIVE_OPS
+
+        args = dict(args or {})
+        if op not in PRIMITIVE_OPS:
+            raise ValueError(
+                f"unknown schema change {op!r}; expected one of "
+                f"{', '.join(PRIMITIVE_OPS)}"
+            )
+
+        def need(*keys):
+            missing = [key for key in keys if key not in args]
+            if missing:
+                raise ValueError(f"{op} requires argument(s): {', '.join(missing)}")
+            return [args[key] for key in keys]
+
+        view = self.view(view_name)
+        if op == "add_attribute":
+            (name, to) = need("name", "to")
+            view.add_attribute(
+                name,
+                to=to,
+                domain=args.get("domain", "any"),
+                required=bool(args.get("required", False)),
+                default=args.get("default"),
+            )
+        elif op == "delete_attribute":
+            (name, from_) = need("name", "from")
+            view.delete_attribute(name, from_=from_)
+        elif op == "add_method":
+            (name, to) = need("name", "to")
+            view.add_method(name, to=to, body=None, doc=str(args.get("doc", "")))
+        elif op == "delete_method":
+            (name, from_) = need("name", "from")
+            view.delete_method(name, from_=from_)
+        elif op == "add_edge":
+            (sup, sub) = need("sup", "sub")
+            view.add_edge(sup, sub)
+        elif op == "delete_edge":
+            (sup, sub) = need("sup", "sub")
+            view.delete_edge(sup, sub, connected_to=args.get("connected_to"))
+        elif op == "add_class":
+            (name,) = need("name")
+            view.add_class(name, connected_to=args.get("connected_to"))
+        else:  # delete_class — PRIMITIVE_OPS membership checked above
+            (name,) = need("name")
+            view.delete_class(name)
+        return {"view": view_name, "version": self.views.current(view_name).version}
+
+    def describe_view(self, view_name: str) -> Dict[str, object]:
+        """The attached surface of one view as plain data: version plus
+        every class with its visible property names."""
+        view = self.view(view_name)
+        return {
+            "view": view_name,
+            "version": view.version,
+            "classes": {
+                cls: {"properties": view[cls].property_names()}
+                for cls in view.class_names()
+            },
+        }
+
+    def read_extent(
+        self, view_name: str, view_class: str, with_values: bool = False
+    ) -> Dict[str, object]:
+        """Extent of one view class as plain data: sorted OID integers and,
+        when ``with_values`` is set, each object's visible attribute values
+        keyed by OID."""
+        handle = self.view(view_name)[view_class]
+        result: Dict[str, object] = {
+            "class": view_class,
+            "oids": [oid.value for oid in handle.extent_oids()],
+        }
+        if with_values:
+            result["objects"] = {
+                str(oid.value): values
+                for oid, values in handle.dump_objects().items()
+            }
+        return result
+
+    def apply_view_updates(
+        self,
+        view_name: str,
+        updates: Sequence[Mapping[str, object]],
+        batched: bool = True,
+    ) -> List[Dict[str, object]]:
+        """Apply generic updates phrased in *view vocabulary* as one batch.
+
+        Each update is a plain dict: ``{"op": "create", "class": C,
+        "values": {...}}``, ``{"op": "set", "class": C, "values": {...},
+        "oids": [...] | "where": <predicate dict>}``, and likewise for
+        ``delete`` / ``add`` (with optional ``"from"`` source class) /
+        ``remove``.  ``where`` predicates use the JSON form of
+        :func:`repro.algebra.expressions.predicate_from_dict` and are
+        resolved against the pre-batch state, exactly like the shell's
+        ``.batch commit``.  Property and class names go through the view's
+        rename maps.  Returns one plain-data report per update (``{"oid"}``
+        for create, ``{"count"}`` otherwise); the batch is all-or-nothing
+        via :meth:`apply_many`.
+        """
+        from repro.algebra.expressions import predicate_from_dict
+        from repro.storage.oid import Oid
+
+        view = self.view(view_name)
+        schema = view.schema
+
+        def target_oids(spec: Mapping[str, object], cls_handle) -> List[Oid]:
+            if "oids" in spec:
+                raw = spec["oids"]
+                if not isinstance(raw, (list, tuple)):
+                    raise ValueError('"oids" must be a list of integers')
+                return [Oid(int(value)) for value in raw]
+            if "where" in spec:
+                predicate = predicate_from_dict(dict(spec["where"]))
+                return [h.oid for h in cls_handle.select_where(predicate)]
+            return [h.oid for h in cls_handle.extent()]
+
+        def visible(cls: str, values: Mapping[str, object]) -> Dict[str, object]:
+            return {
+                schema.visible_property(cls, name): value
+                for name, value in dict(values).items()
+            }
+
+        specs: List[Tuple[str, Dict[str, object]]] = []
+        for spec in updates:
+            spec = dict(spec)
+            op = spec.get("op")
+            cls = spec.get("class")
+            if op not in ("create", "set", "delete", "add", "remove"):
+                raise ValueError(
+                    f"unknown update op {op!r} (expected create/set/delete/"
+                    f"add/remove)"
+                )
+            if cls is None:
+                raise ValueError(f'update {op!r} requires a "class"')
+            cls_handle = view[cls]
+            if op == "create":
+                specs.append(
+                    (
+                        "create",
+                        {
+                            "class_name": cls_handle.global_name,
+                            "assignments": visible(cls, spec.get("values", {})),
+                        },
+                    )
+                )
+            elif op == "set":
+                specs.append(
+                    (
+                        "set",
+                        {
+                            "oids": target_oids(spec, cls_handle),
+                            "class_name": cls_handle.global_name,
+                            "assignments": visible(cls, spec.get("values", {})),
+                        },
+                    )
+                )
+            elif op == "delete":
+                specs.append(("delete", {"oids": target_oids(spec, cls_handle)}))
+            elif op == "add":
+                source = view[spec["from"]] if "from" in spec else cls_handle
+                specs.append(
+                    (
+                        "add",
+                        {
+                            "oids": target_oids(spec, source),
+                            "class_name": cls_handle.global_name,
+                        },
+                    )
+                )
+            else:  # remove
+                specs.append(
+                    (
+                        "remove",
+                        {
+                            "oids": target_oids(spec, cls_handle),
+                            "class_name": cls_handle.global_name,
+                        },
+                    )
+                )
+        results = self.apply_many(specs, batched=batched)
+        reports: List[Dict[str, object]] = []
+        for (op, _kwargs), outcome in zip(specs, results):
+            if op == "create":
+                reports.append({"op": op, "oid": outcome.value})
+            else:
+                reports.append({"op": op, "count": len(outcome.oids)})
+        return reports
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0, **options):
+        """Serve this database over TCP until interrupted — the blocking
+        convenience around :class:`repro.server.server.TseServer` the CLI's
+        ``.serve`` uses.  See :mod:`repro.server` for the protocol."""
+        from repro.server.server import serve_forever
+
+        return serve_forever(self, host, port, **options)
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
 

@@ -430,6 +430,44 @@ class MetricsRegistry:
             out[label] = render(child)
         return out
 
+    def describe(self) -> List[Dict[str, object]]:
+        """The instrument inventory, in registration order.
+
+        One row per family: ``{"name", "kind", "labels", "help"}`` where
+        ``labels`` is the sorted union of label keys across the family's
+        children and ``help`` is the first non-empty help string among
+        them.  ``docs/OPERATIONS.md``'s metrics reference is generated
+        from these rows (:func:`repro.tools.metrics_reference_markdown`),
+        so the table cannot drift from the code."""
+        with self._lock:
+            order = list(self._order)
+            rows: List[Dict[str, object]] = []
+            for kind, name in order:
+                if kind == "group":
+                    rows.append(
+                        {"name": name, "kind": "group", "labels": [], "help": ""}
+                    )
+                    continue
+                family_map = {
+                    "counter": self._counters,
+                    "gauge": self._gauges,
+                    "histogram": self._histograms,
+                }[kind]
+                family = family_map[name]
+                label_keys = sorted({k for key in family for k, _ in key})
+                help_text = next(
+                    (child.help for child in family.values() if child.help), ""
+                )
+                rows.append(
+                    {
+                        "name": name,
+                        "kind": kind,
+                        "labels": label_keys,
+                        "help": help_text,
+                    }
+                )
+        return rows
+
     def snapshot(self) -> Dict[str, object]:
         """All instruments as one JSON-ready dict, in registration order."""
         with self._lock:

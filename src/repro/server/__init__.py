@@ -1,0 +1,42 @@
+"""``repro.server`` — TSE as a multi-tenant network service.
+
+The paper's thesis is that every user evolves *their own view* of one
+shared database; this package makes that a deployment reality.  An asyncio
+TCP server (:mod:`~repro.server.server`) speaks a length-prefixed framed
+JSON protocol (:mod:`~repro.server.protocol`, spec in
+``docs/PROTOCOL.md``): clients authenticate, attach to a named view
+schema, and issue extent reads, generic updates, atomic batches and the
+eight primitive schema changes — each connection mapped onto the
+concurrency layer's reader/writer sessions, so a thousand tenants share
+one engine without seeing each other's torn state.  A small blocking
+:class:`~repro.server.client.Client` serves tests, examples and scripts.
+
+Operational surface: ``.serve HOST PORT`` in the shell, per-tenant
+labelled metrics in ``db.stats()``, lifecycle events on the EventBus, and
+the operator handbook in ``docs/OPERATIONS.md``.
+"""
+
+from repro.server.client import Client, ServerError
+from repro.server.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_TYPES,
+    RESPONSE_TYPES,
+    ProtocolError,
+)
+from repro.server.server import BackgroundServer, TseServer, serve_forever
+
+__all__ = [
+    "TseServer",
+    "BackgroundServer",
+    "serve_forever",
+    "Client",
+    "ServerError",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "ERROR_CODES",
+]

@@ -1,0 +1,243 @@
+"""Wire protocol of the TSE server: framing, message inventory, error codes.
+
+This module is the *single source of truth* for the protocol surface.  The
+normative prose specification lives in ``docs/PROTOCOL.md``; the
+inventories below (:data:`REQUEST_TYPES`, :data:`RESPONSE_TYPES`,
+:data:`ERROR_CODES`) are cross-checked against both that document and the
+server's actual handler registry by ``tests/test_docs_consistency.py`` —
+the doc, the constants and the code cannot drift apart without failing CI.
+
+Framing
+-------
+
+Every message travels as one *frame*::
+
+    +----------------+----------------------------------+
+    | length: u32 BE | body: <length> bytes UTF-8 JSON  |
+    +----------------+----------------------------------+
+
+The body is a single JSON object carrying a ``"type"`` key (one of the
+message types) and, on requests, an optional ``"id"`` the server echoes in
+the matching response so clients can correlate pipelined traffic.  Frames
+larger than the negotiated :data:`MAX_FRAME_BYTES` are refused with a
+``frame_too_large`` error; a body that fails to decode is ``bad_frame``.
+Both are *connection-fatal*: after a framing error the byte stream cannot
+be trusted, so the server sends the error frame and closes.
+
+Version negotiation
+-------------------
+
+The first frame on a connection must be ``hello`` carrying the client's
+``protocol`` number.  The server speaks exactly
+:data:`PROTOCOL_VERSION`; a different number is answered with an
+``unsupported_protocol`` error naming the supported version, then the
+connection closes.  The ``welcome`` response repeats the server's version
+so future clients can downgrade before giving up.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+from repro.errors import TseError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "ERROR_CODES",
+    "FATAL_CODES",
+    "ProtocolError",
+    "encode_frame",
+    "decode_body",
+    "read_frame",
+    "read_frame_sync",
+    "write_frame_sync",
+]
+
+#: the one protocol version this implementation speaks
+PROTOCOL_VERSION = 1
+
+#: default ceiling on one frame's body size (requests *and* responses)
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+#: request ``type`` values the server registers a handler for, with the
+#: one-line contract the documentation must repeat
+REQUEST_TYPES: Dict[str, str] = {
+    "hello": "open the session: auth token, protocol version, tenant name",
+    "attach": "bind the connection to a named view schema",
+    "detach": "release the attached view schema (stay connected)",
+    "goodbye": "orderly shutdown of the connection",
+    "ping": "liveness probe; answered with pong",
+    "describe": "the attached view schema: classes, properties, version",
+    "classes": "class names of the attached view",
+    "extent": "extent of one view class (OIDs, optionally object values)",
+    "count": "extent cardinality of one view class",
+    "stats": "full metrics snapshot (the .stats of the wire)",
+    "update": "one generic update: create/set/delete/add/remove",
+    "apply_many": "a batch of generic updates applied atomically",
+    "add_attribute": "primitive schema change: add an attribute to a class",
+    "delete_attribute": "primitive schema change: hide an attribute",
+    "add_method": "primitive schema change: add a method to a class",
+    "delete_method": "primitive schema change: hide a method",
+    "add_edge": "primitive schema change: add an is-a edge",
+    "delete_edge": "primitive schema change: delete an is-a edge",
+    "add_class": "primitive schema change: add a class to the view",
+    "delete_class": "primitive schema change: remove a class from the view",
+}
+
+#: response ``type`` values the server emits
+RESPONSE_TYPES: Dict[str, str] = {
+    "welcome": "successful hello: server name, protocol version, features",
+    "attached": "successful attach: view name, version, classes",
+    "detached": "successful detach",
+    "bye": "acknowledges goodbye; the server closes after sending it",
+    "pong": "answers ping",
+    "result": "successful data/schema request; payload depends on the request",
+    "error": "any failure: code, human-readable message, echoed id",
+}
+
+#: error ``code`` values an ``error`` frame may carry
+ERROR_CODES: Dict[str, str] = {
+    "bad_frame": "frame body was not a JSON object (connection closes)",
+    "frame_too_large": "frame exceeded the size ceiling (connection closes)",
+    "unsupported_protocol": "hello carried an unknown protocol version (closes)",
+    "auth_failed": "hello token did not match the server's (closes)",
+    "busy": "deliberate load shed: connection limit reached (closes)",
+    "shutting_down": "server is stopping; retry against a new server (closes)",
+    "bad_state": "message arrived out of order (e.g. attach before hello)",
+    "unknown_type": "request type is not in the protocol",
+    "not_attached": "data request before a successful attach",
+    "unknown_view": "attach named a view schema that does not exist",
+    "unknown_class": "request named a class the attached view does not have",
+    "bad_request": "request arguments were missing or malformed",
+    "rejected": "the database refused the operation (semantic error)",
+    "internal": "unexpected server-side failure",
+}
+
+#: error codes after which the server closes the connection
+FATAL_CODES = frozenset(
+    {
+        "bad_frame",
+        "frame_too_large",
+        "unsupported_protocol",
+        "auth_failed",
+        "busy",
+        "shutting_down",
+    }
+)
+
+
+class ProtocolError(TseError):
+    """A violation of the wire protocol, carrying its error ``code``."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        if code not in ERROR_CODES:  # pragma: no cover - programming error
+            raise ValueError(f"unknown protocol error code {code!r}")
+        self.code = code
+
+
+def encode_frame(message: dict, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """One message as header + JSON body bytes.
+
+    Values outside the JSON vocabulary (OIDs in ``repr`` position, enum
+    members in stats groups) are stringified rather than refused — the
+    read side of the protocol never needs to rebuild them.
+    """
+    body = json.dumps(message, separators=(",", ":"), default=str).encode("utf-8")
+    if len(body) > max_bytes:
+        raise ProtocolError(
+            "frame_too_large",
+            f"outgoing frame of {len(body)} bytes exceeds the "
+            f"{max_bytes}-byte ceiling",
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse one frame body; raises :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad_frame", f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "bad_frame", f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader, max_bytes: int = MAX_FRAME_BYTES) -> Optional[dict]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on an oversized or undecodable frame and
+    ``ConnectionError``/``IncompleteReadError`` on a mid-frame hangup.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            "frame_too_large",
+            f"incoming frame announces {length} bytes "
+            f"(ceiling is {max_bytes})",
+        )
+    body = await reader.readexactly(length)
+    return decode_body(body)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Blocking-socket counterpart of :func:`read_frame` (used by the
+    synchronous :class:`~repro.server.client.Client`)."""
+    first = sock.recv(_HEADER.size)
+    if not first:
+        return None
+    header = first + (
+        _recv_exactly(sock, _HEADER.size - len(first))
+        if len(first) < _HEADER.size
+        else b""
+    )
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            "frame_too_large",
+            f"incoming frame announces {length} bytes (ceiling is {max_bytes})",
+        )
+    return decode_body(_recv_exactly(sock, length))
+
+
+def write_frame_sync(
+    sock: socket.socket, message: dict, max_bytes: int = MAX_FRAME_BYTES
+) -> None:
+    """Send one frame over a blocking socket."""
+    sock.sendall(encode_frame(message, max_bytes=max_bytes))

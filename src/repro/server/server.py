@@ -1,0 +1,694 @@
+"""The TSE network server: many tenants, one database, a view each.
+
+``TseServer`` listens on TCP and speaks the framed JSON protocol of
+:mod:`repro.server.protocol` (normative spec: ``docs/PROTOCOL.md``).  The
+paper's premise — every user transparently evolves *their own view* of one
+shared database — becomes an actual deployment shape here: each connection
+authenticates (``hello``), binds itself to a named view schema
+(``attach``), and from then on reads, updates and evolves *that* view
+while every other connection keeps its own.
+
+Concurrency model (the edgedb-style split: protocol / connection handling
+/ per-connection state):
+
+* the **event loop** owns all sockets; one reader task and one worker task
+  per connection, joined by a bounded request queue — when the queue is
+  full the reader task stops pulling bytes off the socket, so overload
+  turns into TCP backpressure instead of unbounded buffering;
+* **database work** runs on a small thread pool
+  (:class:`~concurrent.futures.ThreadPoolExecutor`), because the engine's
+  latches are thread primitives; the loop never blocks on them;
+* each attached connection holds a
+  :class:`~repro.concurrency.sessions.ReaderSession` whose **pinned epoch
+  survives across await points** — a request is answered from one
+  consistent snapshot even while a schema change commits on another
+  connection (the session is re-pinned to the newest epoch at the start of
+  each read request);
+* mutating requests pass a global **writer-admission gate** (an asyncio
+  semaphore) before reaching the pool, then run inside a
+  :class:`~repro.concurrency.sessions.WriterSession` — bounded latch
+  queueing, and an epoch republish so later reads observe the effects;
+* beyond ``max_connections`` the server **sheds load**: the newcomer gets
+  a typed ``busy`` error frame and is closed, instead of degrading every
+  established tenant.
+
+Everything is observable through the database's own ``obs`` bundle:
+``server_requests{tenant,op}`` / ``server_errors{code}`` counters,
+``server_connected{tenant}`` gauges, a ``server_request_seconds{op}``
+histogram, connection lifecycle events on the EventBus (which the flight
+recorder mirrors), and explicit ``server_slow_request`` flight records for
+requests over the slow threshold.  ``docs/OPERATIONS.md`` is the operator
+handbook.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    ObjectModelError,
+    TseError,
+    UnknownClass,
+    UnknownProperty,
+    UnknownView,
+)
+from repro.server import protocol
+from repro.server.protocol import (
+    FATAL_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_TYPES,
+    ProtocolError,
+)
+
+__all__ = ["TseServer", "BackgroundServer", "serve_forever"]
+
+
+def _error_code(exc: BaseException) -> str:
+    """Map an exception to its wire error code (see docs/PROTOCOL.md)."""
+    if isinstance(exc, ProtocolError):
+        return exc.code
+    if isinstance(exc, UnknownView):
+        return "unknown_view"
+    if isinstance(exc, (UnknownClass, UnknownProperty, ObjectModelError)):
+        return "unknown_class" if isinstance(exc, UnknownClass) else "rejected"
+    if isinstance(exc, TseError):
+        return "rejected"
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        return "bad_request"
+    return "internal"
+
+
+class _Connection:
+    """Per-connection state: streams, protocol phase, tenant, sessions."""
+
+    __slots__ = (
+        "reader",
+        "writer",
+        "queue",
+        "tenant",
+        "view_name",
+        "session",
+        "greeted",
+        "closing",
+        "peer",
+    )
+
+    def __init__(self, reader, writer, queue_size: int) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self.tenant: Optional[str] = None
+        self.view_name: Optional[str] = None
+        self.session = None  # ReaderSession once attached
+        self.greeted = False
+        self.closing = False
+        self.peer = writer.get_extra_info("peername")
+
+
+class TseServer:
+    """An asyncio TCP server over one :class:`~repro.core.database.TseDatabase`."""
+
+    #: request type -> handler method name; populated below the class body
+    #: and asserted complete against :data:`REQUEST_TYPES` at import time
+    HANDLERS: Dict[str, str] = {}
+
+    def __init__(
+        self,
+        db,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        auth_token: Optional[str] = None,
+        max_connections: int = 1024,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        queue_size: int = 32,
+        max_writers: int = 4,
+        executor_threads: int = 4,
+        slow_request_seconds: float = 0.25,
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.port = port
+        self.auth_token = auth_token
+        self.max_connections = max_connections
+        self.max_frame_bytes = max_frame_bytes
+        self.queue_size = queue_size
+        self.slow_request_seconds = slow_request_seconds
+        # the session layer is the server's concurrency substrate: attach
+        # it up front so every schema change serialises behind the latch
+        self.sessions = db.sessions()
+        self._writer_gate = asyncio.Semaphore(max(1, max_writers))
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, executor_threads), thread_name_prefix="tse-server"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: set = set()
+        self._connections: set = set()
+        self._tenant_counts: Dict[str, int] = {}
+        self.requests_served = 0
+        self.connections_shed = 0
+        self.connections_accepted = 0
+        db.obs.metrics.register_group("server", self.stats_dict)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound ``(host, port)`` (the port is
+        resolved when constructed with port 0)."""
+        self._server = await asyncio.start_server(
+            self._on_client, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self.db.obs.events.emit("server_started", host=self.host, port=self.port)
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop listening, drain every connection, release the thread pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections):
+            conn.closing = True
+            conn.writer.close()  # wakes the read loop with EOF
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        for conn in list(self._connections):  # stragglers (should be none)
+            self._close_connection(conn)
+        self._executor.shutdown(wait=True)
+        self.db.obs.events.emit("server_stopped", host=self.host, port=self.port)
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        """Start, run until ``stop_event`` is set, then stop."""
+        await self.start()
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+    # -- per-connection plumbing ------------------------------------------
+
+    async def _on_client(self, reader, writer) -> None:
+        if len(self._connections) >= self.max_connections:
+            # deliberate load shed: a typed error, then the door
+            self.connections_shed += 1
+            self._count_error("busy")
+            self.db.obs.events.emit(
+                "server_shed", peer=str(writer.get_extra_info("peername"))
+            )
+            await self._send_raw(
+                writer,
+                {
+                    "type": "error",
+                    "code": "busy",
+                    "message": f"connection limit ({self.max_connections}) "
+                    f"reached; retry later",
+                },
+            )
+            writer.close()
+            return
+        conn = _Connection(reader, writer, self.queue_size)
+        self._connections.add(conn)
+        self._tasks.add(asyncio.current_task())
+        self.connections_accepted += 1
+        self.db.obs.events.emit("server_connected", peer=str(conn.peer))
+        worker = asyncio.create_task(self._worker(conn))
+        try:
+            await self._read_loop(conn)
+        finally:
+            # EOF / reset / fatal framing error: drain point — let the
+            # worker finish queued requests, then tear down
+            try:
+                await conn.queue.put(None)
+                await worker
+            except asyncio.CancelledError:  # loop teardown mid-drain
+                worker.cancel()
+            finally:
+                self._close_connection(conn)
+                self._tasks.discard(asyncio.current_task())
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        """Pull frames off the socket into the bounded queue.
+
+        ``queue.put`` blocks when the connection's pipeline is full — the
+        socket stops being read and the kernel's receive window closes:
+        backpressure, not buffering."""
+        while not conn.closing:
+            try:
+                message = await protocol.read_frame(
+                    conn.reader, max_bytes=self.max_frame_bytes
+                )
+            except ProtocolError as exc:
+                await self._send_error(conn, exc.code, str(exc), None)
+                conn.closing = True
+                return
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+            ):  # client vanished mid-frame
+                return
+            if message is None:  # clean EOF
+                return
+            await conn.queue.put(message)
+
+    async def _worker(self, conn: _Connection) -> None:
+        """Process the connection's requests strictly in order.
+
+        Exits only on the ``None`` sentinel the accept handler enqueues at
+        teardown; once the connection is closing it keeps *draining* the
+        queue without processing, so a read loop blocked on ``put`` can
+        never deadlock against a finished worker."""
+        while True:
+            message = await conn.queue.get()
+            if message is None:
+                return
+            if conn.closing:
+                continue
+            await self._dispatch(conn, message)
+            if conn.closing:
+                # goodbye or a fatal error frame: the response is already
+                # flushed, so closing the transport unblocks the read loop
+                conn.writer.close()
+
+    async def _dispatch(self, conn: _Connection, message: dict) -> None:
+        loop = asyncio.get_running_loop()
+        rtype = message.get("type")
+        rid = message.get("id")
+        handler_name = self.HANDLERS.get(rtype)
+        if handler_name is None:
+            await self._send_error(
+                conn,
+                "unknown_type",
+                f"unknown message type {rtype!r}",
+                rid,
+            )
+            return
+        # hello is attributed to the tenant it *claims*, so every request on
+        # a connection lands under one tenant label
+        tenant = conn.tenant or str(message.get("tenant") or "default")
+        self.db.obs.metrics.counter(
+            "server_requests",
+            help="requests dispatched, by tenant and operation",
+            labels={"tenant": tenant, "op": str(rtype)},
+        ).inc()
+        self.requests_served += 1
+        start = loop.time()
+        try:
+            response = await getattr(self, handler_name)(conn, message)
+        except BaseException as exc:  # noqa: BLE001 — mapped to typed frames
+            if isinstance(exc, (asyncio.CancelledError, SystemExit)):
+                raise
+            code = _error_code(exc)
+            await self._send_error(conn, code, str(exc) or repr(exc), rid)
+        else:
+            if response is not None:  # None: the handler already replied
+                if rid is not None:
+                    response = {**response, "id": rid}
+                await self._send(conn, response)
+        finally:
+            elapsed = loop.time() - start
+            self.db.obs.metrics.timed_observe(
+                "server_request_seconds", elapsed, op=str(rtype)
+            )
+            if elapsed >= self.slow_request_seconds:
+                self.db.obs.flight.record(
+                    "server_slow_request",
+                    op=str(rtype),
+                    tenant=tenant,
+                    duration_ms=round(elapsed * 1000, 3),
+                )
+
+    # -- frame output ------------------------------------------------------
+
+    async def _send_raw(self, writer, message: dict) -> None:
+        try:
+            writer.write(protocol.encode_frame(message, self.max_frame_bytes))
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client already gone; the read loop observes the hangup
+
+    async def _send(self, conn: _Connection, message: dict) -> None:
+        await self._send_raw(conn.writer, message)
+
+    async def _send_error(
+        self, conn: _Connection, code: str, text: str, rid
+    ) -> None:
+        self._count_error(code)
+        frame = {"type": "error", "code": code, "message": text}
+        if rid is not None:
+            frame["id"] = rid
+        await self._send(conn, frame)
+        if code in FATAL_CODES:
+            conn.closing = True
+
+    def _count_error(self, code: str) -> None:
+        self.db.obs.metrics.counter(
+            "server_errors",
+            help="error frames sent, by error code",
+            labels={"code": code},
+        ).inc()
+
+    def _close_connection(self, conn: _Connection) -> None:
+        if conn not in self._connections:
+            return
+        self._connections.discard(conn)
+        conn.closing = True
+        self._detach_session(conn)
+        if conn.tenant is not None:
+            self._tenant_gauge(conn.tenant, -1)
+        self.db.obs.events.emit(
+            "server_disconnected", peer=str(conn.peer), tenant=conn.tenant
+        )
+        try:
+            conn.writer.close()
+        except Exception:  # pragma: no cover - socket already dead
+            pass
+
+    def _detach_session(self, conn: _Connection) -> None:
+        if conn.session is not None:
+            conn.session.close()
+            conn.session = None
+        conn.view_name = None
+
+    def _tenant_gauge(self, tenant: str, delta: int) -> None:
+        count = self._tenant_counts.get(tenant, 0) + delta
+        self._tenant_counts[tenant] = max(0, count)
+        self.db.obs.metrics.gauge(
+            "server_connected",
+            help="live connections, by tenant",
+            labels={"tenant": tenant},
+        ).set(self._tenant_counts[tenant])
+
+    # -- executor helpers --------------------------------------------------
+
+    async def _run(self, fn, *args):
+        """Run blocking database work on the thread pool."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def _run_write(self, fn):
+        """Run a mutating operation: writer-admission gate, then a
+        WriterSession on a pool thread (the latch is a thread primitive)."""
+
+        def guarded():
+            with self.sessions.writer():
+                return fn()
+
+        async with self._writer_gate:
+            return await self._run(guarded)
+
+    @staticmethod
+    def _require_attached(conn: _Connection) -> str:
+        if conn.view_name is None:
+            raise ProtocolError(
+                "not_attached", "attach to a view schema before issuing requests"
+            )
+        return conn.view_name
+
+    @staticmethod
+    def _require_greeted(conn: _Connection) -> None:
+        if not conn.greeted:
+            raise ProtocolError("bad_state", "the first message must be hello")
+
+    # -- handlers: session lifecycle --------------------------------------
+
+    async def _on_hello(self, conn: _Connection, message: dict):
+        if conn.greeted:
+            raise ProtocolError("bad_state", "hello already exchanged")
+        version = message.get("protocol")
+        if version != PROTOCOL_VERSION:
+            # fatal: the error frame is the whole reply (returns None)
+            await self._send_error(
+                conn,
+                "unsupported_protocol",
+                f"server speaks protocol {PROTOCOL_VERSION}, client sent "
+                f"{version!r}",
+                message.get("id"),
+            )
+            return None
+        if self.auth_token is not None and message.get("token") != self.auth_token:
+            await self._send_error(
+                conn, "auth_failed", "bad or missing auth token", message.get("id")
+            )
+            return None
+        tenant = str(message.get("tenant") or "default")
+        conn.tenant = tenant
+        conn.greeted = True
+        self._tenant_gauge(tenant, +1)
+        self.db.obs.events.emit("server_hello", tenant=tenant, peer=str(conn.peer))
+        return {
+            "type": "welcome",
+            "server": "tse-server",
+            "protocol": PROTOCOL_VERSION,
+            "max_frame_bytes": self.max_frame_bytes,
+            "features": ["views", "schema_changes", "batches", "stats"],
+        }
+
+    async def _on_attach(self, conn: _Connection, message: dict) -> dict:
+        self._require_greeted(conn)
+        view_name = message.get("view")
+        if not isinstance(view_name, str) or not view_name:
+            raise ProtocolError("bad_request", 'attach requires a "view" name')
+        described = await self._run(self.db.describe_view, view_name)
+        self._detach_session(conn)  # re-attach replaces the previous binding
+        conn.session = self.sessions.reader().__enter__()
+        conn.view_name = view_name
+        self.db.obs.events.emit(
+            "server_attached", tenant=conn.tenant, view=view_name
+        )
+        return {"type": "attached", **described}
+
+    async def _on_detach(self, conn: _Connection, message: dict) -> dict:
+        self._require_greeted(conn)
+        view_name = conn.view_name
+        self._detach_session(conn)
+        self.db.obs.events.emit(
+            "server_detached", tenant=conn.tenant, view=view_name
+        )
+        return {"type": "detached", "view": view_name}
+
+    async def _on_goodbye(self, conn: _Connection, message: dict) -> dict:
+        conn.closing = True
+        return {"type": "bye"}
+
+    async def _on_ping(self, conn: _Connection, message: dict) -> dict:
+        return {"type": "pong"}
+
+    # -- handlers: reads ---------------------------------------------------
+
+    async def _on_describe(self, conn: _Connection, message: dict) -> dict:
+        view_name = self._require_attached(conn)
+        described = await self._run(self.db.describe_view, view_name)
+        return {"type": "result", **described}
+
+    async def _on_classes(self, conn: _Connection, message: dict) -> dict:
+        view_name = self._require_attached(conn)
+
+        def read():
+            session = conn.session.refresh()
+            return {
+                "classes": session.class_names(view_name),
+                "version": session.view_version(view_name),
+            }
+
+        payload = await self._run(read)
+        return {"type": "result", **payload}
+
+    async def _on_extent(self, conn: _Connection, message: dict) -> dict:
+        view_name = self._require_attached(conn)
+        view_class = message.get("class")
+        if not isinstance(view_class, str):
+            raise ProtocolError("bad_request", 'extent requires a "class" name')
+        if message.get("values"):
+            payload = await self._run(
+                self.db.read_extent, view_name, view_class, True
+            )
+        else:
+            # answered from the connection's pinned epoch: the snapshot is
+            # stable across the await even while a writer commits
+            def read():
+                session = conn.session.refresh()
+                return {
+                    "class": view_class,
+                    "oids": [
+                        oid.value
+                        for oid in session.extent_oids(view_name, view_class)
+                    ],
+                }
+
+            payload = await self._run(read)
+        return {"type": "result", **payload}
+
+    async def _on_count(self, conn: _Connection, message: dict) -> dict:
+        view_name = self._require_attached(conn)
+        view_class = message.get("class")
+        if not isinstance(view_class, str):
+            raise ProtocolError("bad_request", 'count requires a "class" name')
+
+        def read():
+            session = conn.session.refresh()
+            return {
+                "class": view_class,
+                "count": session.count(view_name, view_class),
+            }
+
+        payload = await self._run(read)
+        return {"type": "result", **payload}
+
+    async def _on_stats(self, conn: _Connection, message: dict) -> dict:
+        self._require_greeted(conn)
+        snapshot = await self._run(self.db.stats)
+        return {"type": "result", "stats": snapshot}
+
+    # -- handlers: writes --------------------------------------------------
+
+    @staticmethod
+    def _spec_of(message: dict) -> dict:
+        return {
+            key: value
+            for key, value in message.items()
+            if key not in ("type", "id")
+        }
+
+    async def _on_update(self, conn: _Connection, message: dict) -> dict:
+        view_name = self._require_attached(conn)
+        spec = self._spec_of(message)
+        reports = await self._run_write(
+            lambda: self.db.apply_view_updates(view_name, [spec])
+        )
+        return {"type": "result", **reports[0]}
+
+    async def _on_apply_many(self, conn: _Connection, message: dict) -> dict:
+        view_name = self._require_attached(conn)
+        updates = message.get("updates")
+        if not isinstance(updates, list):
+            raise ProtocolError(
+                "bad_request", 'apply_many requires an "updates" list'
+            )
+        reports = await self._run_write(
+            lambda: self.db.apply_view_updates(view_name, updates)
+        )
+        return {"type": "result", "count": len(reports), "results": reports}
+
+    async def _schema_change(self, conn: _Connection, message: dict) -> dict:
+        view_name = self._require_attached(conn)
+        op = message["type"]
+        args = self._spec_of(message)
+        outcome = await self._run_write(
+            lambda: self.db.schema_change(view_name, op, args)
+        )
+        return {"type": "result", **outcome}
+
+    # the eight primitives share one implementation; each registers its own
+    # message type so the protocol surface names every operator explicitly
+    _on_add_attribute = _schema_change
+    _on_delete_attribute = _schema_change
+    _on_add_method = _schema_change
+    _on_delete_method = _schema_change
+    _on_add_edge = _schema_change
+    _on_delete_edge = _schema_change
+    _on_add_class = _schema_change
+    _on_delete_class = _schema_change
+
+    # -- stats -------------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, object]:
+        """The ``server`` group of ``db.stats()``."""
+        return {
+            "listening": self._server is not None,
+            "connections": len(self._connections),
+            "connections_accepted": self.connections_accepted,
+            "connections_shed": self.connections_shed,
+            "requests_served": self.requests_served,
+            "max_connections": self.max_connections,
+            "queue_size": self.queue_size,
+            "tenants": dict(sorted(self._tenant_counts.items())),
+        }
+
+
+TseServer.HANDLERS = {name: f"_on_{name}" for name in REQUEST_TYPES}
+# the registry and the protocol inventory cannot drift: every documented
+# request type must have a handler, and vice versa
+assert all(
+    hasattr(TseServer, method) for method in TseServer.HANDLERS.values()
+), "TseServer is missing a handler for a documented request type"
+
+
+class BackgroundServer:
+    """A :class:`TseServer` on its own event-loop thread.
+
+    The shape tests and notebooks want: start, get the bound port, talk to
+    it with the blocking :class:`~repro.server.client.Client`, stop.  Use
+    as a context manager::
+
+        with BackgroundServer(db) as (host, port):
+            client = Client(host, port)
+    """
+
+    def __init__(self, db, host: str = "127.0.0.1", port: int = 0, **options):
+        self.server = TseServer(db, host, port, **options)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):  # pragma: no cover - hang guard
+            raise RuntimeError("server thread failed to start")
+        return self.address
+
+    def _run(self) -> None:
+        async def main():
+            self._stop_event = asyncio.Event()
+            self.address = await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self._stop_event.wait()
+            await self.server.stop()
+
+        asyncio.run(main())
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+def serve_forever(db, host: str = "127.0.0.1", port: int = 0, **options):
+    """Blocking entry point: serve ``db`` until KeyboardInterrupt.
+
+    Returns the server's final stats dict (so the CLI can print a
+    shutdown summary)."""
+    server = TseServer(db, host, port, **options)
+
+    async def main():
+        bound_host, bound_port = await server.start()
+        print(f"tse-server listening on {bound_host}:{bound_port} (Ctrl-C to stop)")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return server.stats_dict()

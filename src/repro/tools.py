@@ -167,3 +167,87 @@ def evolution_summary(db: TseDatabase) -> str:
             )
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the metrics reference (docs/OPERATIONS.md)
+# ---------------------------------------------------------------------------
+
+#: one-line descriptions for families that carry no help string of their
+#: own: stats *groups* (providers return whole dicts) and the histograms
+#: observed through ``timed_observe`` (which takes no help argument)
+_FAMILY_NOTES: Dict[str, str] = {
+    "pages": "page store: reads, writes, cache hits, page count",
+    "extents": "extent evaluator: computes, cache hits, incremental deltas",
+    "transactions": "transaction manager: begun, committed, rolled back",
+    "pipeline": "schema-change pipeline: per-phase counts from the log",
+    "concurrency": "session layer: readers/writers opened, latch waits, epochs",
+    "wal": "write-ahead log: segment sizes, checkpoint ages, recovery facts",
+    "flight": "flight recorder: ring occupancy, file sink state",
+    "server": "network server: connections, sheds, requests served, tenants",
+    "durability_seconds": "WAL flush/checkpoint latency, by operation",
+    "schema_change_seconds": "schema-change pipeline latency, by primitive",
+    "server_request_seconds": "server request latency, by operation",
+    "span_duration_seconds": "tracer span durations, by span name",
+    "wal_appends_by_kind": "WAL records appended, by record kind",
+    "wal_bytes_by_kind": "WAL bytes appended, by record kind",
+}
+
+
+def exercise_for_metrics() -> TseDatabase:
+    """A scripted workout touching every instrumented subsystem.
+
+    Instrument families register lazily on first use, so an idle database
+    documents almost nothing.  This runs the figure-3 workload through the
+    session layer, the WAL (in a throwaway directory), and a live network
+    server — deterministically, so two runs register the *same* inventory
+    and :func:`metrics_reference_markdown` is reproducible (the property
+    ``tests/test_docs_consistency.py`` pins the handbook against).
+    """
+    import tempfile
+
+    from repro.server.client import Client, ServerError
+    from repro.server.server import BackgroundServer
+    from repro.workloads.university import build_figure3_database, populate_students
+
+    with tempfile.TemporaryDirectory() as scratch:
+        db, _view = build_figure3_database()
+        populate_students(db, 2)
+        db.enable_wal(scratch)
+        with db.sessions().reader() as reader:
+            reader.count("VS1", "Student")
+        with BackgroundServer(db) as (host, port):
+            with Client(host, port, tenant="ops") as client:
+                client.attach("VS1")
+                client.count("Student")
+                client.create("Person", name="ref", age=1)
+                client.add_attribute("scratch", to="Person", domain="str")
+                try:
+                    client.attach("no-such-view")
+                except ServerError:
+                    pass
+        db.wal.close()
+        db.wal = None  # the scratch directory is about to vanish
+    return db
+
+
+def metrics_reference_markdown(db: Optional[TseDatabase] = None) -> str:
+    """The metrics reference table of ``docs/OPERATIONS.md``, generated.
+
+    One row per instrument family from
+    :meth:`~repro.obs.metrics.MetricsRegistry.describe`, in registration
+    order: name, kind, label keys, meaning.  The handbook embeds this
+    between ``metrics-reference`` markers and a tier-1 test regenerates it
+    on every run — the table cannot drift from the code.
+    """
+    if db is None:
+        db = exercise_for_metrics()
+    header = "| metric | kind | labels | meaning |\n|---|---|---|---|"
+    lines = [header]
+    for row in db.obs.metrics.describe():
+        labels = ", ".join(row["labels"]) or "—"
+        help_text = row["help"] or _FAMILY_NOTES.get(str(row["name"]), "")
+        lines.append(
+            f"| `{row['name']}` | {row['kind']} | {labels} | {help_text} |"
+        )
+    return "\n".join(lines)

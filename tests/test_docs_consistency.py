@@ -1,12 +1,17 @@
 """Documentation consistency: the docs cannot silently rot.
 
-Three contracts, run as ordinary tier-1 tests (and as a dedicated CI step):
+Five contracts, run as ordinary tier-1 tests (and as a dedicated CI step):
 
 * every module under ``src/repro`` carries a non-empty docstring;
 * every ``repro.baselines`` system module states which Table 2 system it
   models, with a bracketed citation;
 * the file inventory in ``docs/ARCHITECTURE.md`` matches the actual tree —
-  no phantom modules documented, no real modules undocumented.
+  no phantom modules documented, no real modules undocumented;
+* the message-type and error-code tables in ``docs/PROTOCOL.md`` match the
+  inventories in ``repro.server.protocol`` — which the server's handler
+  registry is itself asserted against — in both directions;
+* the metrics reference embedded in ``docs/OPERATIONS.md`` is byte-equal
+  to the table ``repro.tools.metrics_reference_markdown`` regenerates.
 """
 
 import ast
@@ -16,6 +21,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+PROTOCOL_DOC = REPO / "docs" / "PROTOCOL.md"
+OPERATIONS_DOC = REPO / "docs" / "OPERATIONS.md"
 
 
 def _modules():
@@ -90,4 +97,76 @@ class TestArchitectureInventory:
         )
         assert phantom == [], (
             f"docs/ARCHITECTURE.md lists modules that do not exist: {phantom}"
+        )
+
+
+class TestProtocolInventory:
+    """docs/PROTOCOL.md and repro.server.protocol cannot drift apart."""
+
+    def _section_table(self, heading):
+        """Names in the first column of the markdown table under
+        ``## <heading>`` (up to the next ``## `` heading)."""
+        text = PROTOCOL_DOC.read_text()
+        match = re.search(
+            rf"^## {re.escape(heading)}\n(.*?)(?=^## |\Z)",
+            text,
+            re.MULTILINE | re.DOTALL,
+        )
+        assert match, f"docs/PROTOCOL.md lacks a '## {heading}' section"
+        return set(re.findall(r"^\| `(\w+)` \|", match.group(1), re.MULTILINE))
+
+    def test_request_types_match(self):
+        from repro.server.protocol import REQUEST_TYPES
+
+        assert self._section_table("Request types") == set(REQUEST_TYPES)
+
+    def test_response_types_match(self):
+        from repro.server.protocol import RESPONSE_TYPES
+
+        assert self._section_table("Response types") == set(RESPONSE_TYPES)
+
+    def test_error_codes_match(self):
+        from repro.server.protocol import ERROR_CODES
+
+        assert self._section_table("Error codes") == set(ERROR_CODES)
+
+    def test_server_handles_exactly_the_documented_requests(self):
+        """The doc's request inventory is the server's handler registry."""
+        from repro.server.server import TseServer
+
+        assert self._section_table("Request types") == set(TseServer.HANDLERS)
+
+    def test_fatal_codes_documented_as_closing(self):
+        """Every fatal code's table row says the connection closes."""
+        from repro.server.protocol import FATAL_CODES
+
+        text = PROTOCOL_DOC.read_text()
+        for code in FATAL_CODES:
+            row = re.search(rf"^\| `{code}` \| (.+) \|$", text, re.MULTILINE)
+            assert row, f"docs/PROTOCOL.md lacks a row for {code}"
+            assert "close" in row.group(1), (
+                f"fatal code {code} must be documented as connection-closing"
+            )
+
+    def test_readme_links_the_protocol_docs(self):
+        readme = (REPO / "README.md").read_text()
+        assert "docs/PROTOCOL.md" in readme
+        assert "docs/OPERATIONS.md" in readme
+
+
+class TestOperationsMetricsReference:
+    def test_embedded_table_matches_generated(self):
+        """The handbook's metrics reference is regenerated, not written."""
+        from repro.tools import metrics_reference_markdown
+
+        text = OPERATIONS_DOC.read_text()
+        match = re.search(
+            r"<!-- metrics-reference:begin -->\n(.*?)\n<!-- metrics-reference:end -->",
+            text,
+            re.DOTALL,
+        )
+        assert match, "docs/OPERATIONS.md lacks the metrics-reference markers"
+        assert match.group(1) == metrics_reference_markdown(), (
+            "docs/OPERATIONS.md metrics reference is stale; regenerate with "
+            "repro.tools.metrics_reference_markdown()"
         )

@@ -108,3 +108,31 @@ def test_corrupt_artifact_is_skipped(tmp_path, capsys):
     runs = trend.load_runs([tmp_path])
     assert [name for name, _t, _d in runs] == ["BENCH_good.json"]
     assert "skipping" in capsys.readouterr().err
+
+
+def test_first_appearance_is_flagged_new_not_regression(tmp_path):
+    # an established benchmark regresses while a brand-new artifact appears:
+    # only the established series may be flagged
+    _artifact(tmp_path / "BENCH_old1.json", "p", 1.0, pipeline_ms=10.0)
+    _artifact(tmp_path / "BENCH_old2.json", "p", 2.0, pipeline_ms=30.0)
+    _artifact(tmp_path / "BENCH_server.json", "server", 3.0,
+              sustained_req_per_sec=0.0)  # first run, and a zero to boot
+    rows = trend.build_rows(
+        trend.collect_series(trend.load_runs([tmp_path]))
+    )
+    by_metric = _rows_by_metric(rows)
+    assert by_metric[("p", "pipeline_ms")][6] == "REGRESSION"
+    new = by_metric[("server", "sustained_req_per_sec")]
+    assert new[2] == 1 and new[6] == "new"
+    assert new[5] == "+0.0%"  # the zero best did not divide
+
+
+def test_new_series_does_not_count_in_regression_summary(tmp_path):
+    _artifact(tmp_path / "BENCH_server.json", "server", 1.0,
+              sustained_req_per_sec=500.0)
+    rows = trend.build_rows(
+        trend.collect_series(trend.load_runs([tmp_path]))
+    )
+    report = trend.render_markdown(rows, trend.DEFAULT_THRESHOLD)
+    assert "0 flagged as regressions" in report
+    assert "| new |" in report
