@@ -22,7 +22,10 @@ the matching response so clients can correlate pipelined traffic.  Frames
 larger than the negotiated :data:`MAX_FRAME_BYTES` are refused with a
 ``frame_too_large`` error; a body that fails to decode is ``bad_frame``.
 Both are *connection-fatal*: after a framing error the byte stream cannot
-be trusted, so the server sends the error frame and closes.
+be trusted, so the server sends the error frame and closes.  The ceiling
+also applies to *outgoing* bodies, but there the stream stays intact — a
+response that outgrows it is replaced by a non-fatal
+``response_too_large`` error frame and the connection keeps going.
 
 Version negotiation
 -------------------
@@ -107,6 +110,8 @@ RESPONSE_TYPES: Dict[str, str] = {
 ERROR_CODES: Dict[str, str] = {
     "bad_frame": "frame body was not a JSON object (connection closes)",
     "frame_too_large": "frame exceeded the size ceiling (connection closes)",
+    "response_too_large": "the response body outgrew the frame ceiling; "
+    "this error frame replaces it (connection stays open)",
     "unsupported_protocol": "hello carried an unknown protocol version (closes)",
     "auth_failed": "hello token did not match the server's (closes)",
     "busy": "deliberate load shed: connection limit reached (closes)",

@@ -44,6 +44,7 @@ handbook.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
@@ -175,7 +176,13 @@ class TseServer:
             self._server = None
         for conn in list(self._connections):
             conn.closing = True
-            conn.writer.close()  # wakes the read loop with EOF
+            # the documented courtesy frame: tell the client to retry
+            # against a new server, then hang up (closing the transport
+            # also wakes the read loop with EOF)
+            await self._send_error(
+                conn, "shutting_down", "server is stopping; retry later", None
+            )
+            conn.writer.close()
         if self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
         for conn in list(self._connections):  # stragglers (should be none)
@@ -269,7 +276,17 @@ class TseServer:
                 return
             if conn.closing:
                 continue
-            await self._dispatch(conn, message)
+            try:
+                await self._dispatch(conn, message)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — last-resort guard
+                # a dispatch bug must not kill the worker: a dead worker
+                # leaves the client hanging and, once the bounded queue
+                # fills, deadlocks the read loop (and stop()) on put()
+                await self._send_error(
+                    conn, "internal", str(exc) or repr(exc), message.get("id")
+                )
             if conn.closing:
                 # goodbye or a fatal error frame: the response is already
                 # flushed, so closing the transport unblocks the read loop
@@ -288,9 +305,10 @@ class TseServer:
                 rid,
             )
             return
-        # hello is attributed to the tenant it *claims*, so every request on
-        # a connection lands under one tenant label
-        tenant = conn.tenant or str(message.get("tenant") or "default")
+        # metrics trust only the authenticated binding: before a successful
+        # hello every request lands under one fixed label, so a stranger
+        # cannot mint unbounded tenant label values into the registry
+        tenant = conn.tenant or "unauthenticated"
         self.db.obs.metrics.counter(
             "server_requests",
             help="requests dispatched, by tenant and operation",
@@ -325,20 +343,51 @@ class TseServer:
 
     # -- frame output ------------------------------------------------------
 
-    async def _send_raw(self, writer, message: dict) -> None:
+    @staticmethod
+    async def _write(writer, data: bytes) -> None:
         try:
-            writer.write(protocol.encode_frame(message, self.max_frame_bytes))
+            writer.write(data)
             await writer.drain()
         except (ConnectionError, RuntimeError):
             pass  # client already gone; the read loop observes the hangup
 
+    async def _send_raw(self, writer, message: dict) -> None:
+        """Best-effort send used before a :class:`_Connection` exists
+        (the load-shed path); an unencodable frame is simply dropped."""
+        try:
+            data = protocol.encode_frame(message, self.max_frame_bytes)
+        except ProtocolError:  # pragma: no cover - shed frames are tiny
+            return
+        await self._write(writer, data)
+
     async def _send(self, conn: _Connection, message: dict) -> None:
-        await self._send_raw(conn.writer, message)
+        try:
+            data = protocol.encode_frame(message, self.max_frame_bytes)
+        except ProtocolError as exc:
+            # the response body outgrew the frame ceiling: the stream is
+            # still intact (nothing was written), so answer with a typed
+            # error frame instead of letting the exception kill the worker
+            self._count_error("response_too_large")
+            fallback = {
+                "type": "error",
+                "code": "response_too_large",
+                "message": str(exc),
+            }
+            if "id" in message:
+                fallback["id"] = message["id"]
+            try:
+                data = protocol.encode_frame(fallback, self.max_frame_bytes)
+            except ProtocolError:  # oversized id / absurdly small ceiling
+                fallback.pop("id", None)
+                data = protocol.encode_frame(fallback, MAX_FRAME_BYTES)
+        await self._write(conn.writer, data)
 
     async def _send_error(
         self, conn: _Connection, code: str, text: str, rid
     ) -> None:
         self._count_error(code)
+        if len(text) > 512:  # keep error frames small under any ceiling
+            text = text[:512] + "…"
         frame = {"type": "error", "code": code, "message": text}
         if rid is not None:
             frame["id"] = rid
@@ -432,7 +481,9 @@ class TseServer:
                 message.get("id"),
             )
             return None
-        if self.auth_token is not None and message.get("token") != self.auth_token:
+        if self.auth_token is not None and not hmac.compare_digest(
+            str(message.get("token") or ""), self.auth_token
+        ):
             await self._send_error(
                 conn, "auth_failed", "bad or missing auth token", message.get("id")
             )
@@ -455,9 +506,23 @@ class TseServer:
         view_name = message.get("view")
         if not isinstance(view_name, str) or not view_name:
             raise ProtocolError("bad_request", 'attach requires a "view" name')
-        described = await self._run(self.db.describe_view, view_name)
+        def pin_and_describe():
+            # pin + describe as one atomic read: holding the schema latch
+            # keeps any schema change from committing between the snapshot
+            # and the description, so the "attached" reply always matches
+            # the epoch the session is actually pinned to
+            session = self.sessions.reader()
+            with self.sessions.latch.read():
+                session.__enter__()
+                try:
+                    return session, self.db.describe_view(view_name)
+                except BaseException:
+                    session.close()
+                    raise
+
+        session, described = await self._run(pin_and_describe)
         self._detach_session(conn)  # re-attach replaces the previous binding
-        conn.session = self.sessions.reader().__enter__()
+        conn.session = session
         conn.view_name = view_name
         self.db.obs.events.emit(
             "server_attached", tenant=conn.tenant, view=view_name
@@ -659,10 +724,14 @@ class BackgroundServer:
 
     def stop(self) -> None:
         if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed (repeated stop)
+                pass
         if self._thread is not None:
             self._thread.join(timeout=10)
             self._thread = None
+        self._loop = None
 
     def __enter__(self) -> Tuple[str, int]:
         return self.start()

@@ -231,6 +231,72 @@ class TestProtocolEdges:
         with Client(host, port) as c:
             assert c.ping()["type"] == "pong"
 
+    def test_oversized_response_is_typed_error_not_fatal(self):
+        """A response body over the ceiling must come back as a non-fatal
+        response_too_large error — not kill the worker task (which would
+        leave the client hanging and deadlock the read loop's queue)."""
+        db = build_db()
+        db.apply_view_updates("VS1", [
+            {"op": "create", "class": "Person",
+             "values": {"name": "x" * 5000, "age": 1}},
+        ])
+        with BackgroundServer(db, max_frame_bytes=2048) as (host, port):
+            with Client(host, port) as c:
+                c.attach("VS1")
+                with pytest.raises(ServerError) as err:
+                    c.extent("Person", values=True)
+                assert err.value.code == "response_too_large"
+                # the worker survived and the connection is still usable
+                assert c.ping()["type"] == "pong"
+                oids = c.extent("Person")["oids"]  # the small reply fits
+                assert oids
+            assert db.stats()["server_errors"][
+                "{code=response_too_large}"
+            ] >= 1
+
+    def test_preauth_tenant_claims_do_not_mint_labels(self, served):
+        """The tenant label is honoured only after a successful hello; a
+        stranger's claimed tenant must not grow the metrics registry."""
+        db, host, port = served
+        sock = raw_socket(host, port)
+        write_frame_sync(
+            sock, {"type": "hello", "protocol": 999, "tenant": "minted"}
+        )
+        assert read_frame_sync(sock)["code"] == "unsupported_protocol"
+        sock.close()
+        keys = " ".join(db.stats()["server_requests"])
+        assert "tenant=minted" not in keys
+        assert "tenant=unauthenticated" in keys
+
+    def test_stop_sends_shutting_down_to_live_connections(self):
+        db = build_db()
+        bg = BackgroundServer(db)
+        host, port = bg.start()
+        sock = raw_socket(host, port)
+        write_frame_sync(sock, {"type": "hello", "protocol": PROTOCOL_VERSION})
+        assert read_frame_sync(sock)["type"] == "welcome"
+        bg.stop()
+        reply = read_frame_sync(sock)
+        assert reply["type"] == "error"
+        assert reply["code"] == "shutting_down"
+        assert sock.recv(1) == b""  # then the transport closes
+        sock.close()
+        bg.stop()  # idempotent once the loop has exited
+
+    def test_attached_reply_matches_pinned_epoch(self):
+        """The attach handler pins and describes under one latch read, so
+        the reply's version is the pinned session's version."""
+        db = build_db()
+        bg = BackgroundServer(db)
+        try:
+            host, port = bg.start()
+            with Client(host, port) as c:
+                reply = c.attach("VS1")
+                conn = next(iter(bg.server._connections))
+                assert conn.session.view_version("VS1") == reply["version"]
+        finally:
+            bg.stop()
+
     def test_busy_shed_at_connection_limit(self):
         db = build_db()
         with BackgroundServer(db, max_connections=1) as (host, port):
