@@ -1,0 +1,189 @@
+"""Writer-visible schema-change pause: lazy migration vs eager capture.
+
+Eager epoch publication recomputes every class extent while the writer
+still holds the schema latch, so the pause a schema change imposes on the
+system grows linearly with the population.  Lazy migration (DESIGN.md
+section 16) publishes the epoch with *pending* extents and lets the
+:class:`~repro.concurrency.migration.MigrationEngine` capture them off
+the critical path — the pause must become flat in the object count.
+
+For each scale factor (1x/10x/100x of a ~120-object base population) the
+bench measures the best-of-N wall-clock time of one ``add_attribute``
+schema change committed through a writer session, under both migration
+modes, then asserts:
+
+* the lazy pause is sub-millisecond-class at every scale (<2 ms with CI
+  slack; locally ~0.5 ms);
+* the lazy pause is *flat*: 100x pays less than ``FLATNESS_BOUND``x the
+  1x pause (eager pays ~20x);
+* at 100x, eager is at least ``EAGER_GAP``x slower than lazy — the gap
+  the whole subsystem exists to open.
+
+The backfill worker is disabled during measurement (each run drains
+explicitly afterwards) so the numbers are pause, not pause-plus-drain.
+Writes ``BENCH_migration.json`` at the repo root and
+``benchmarks/results/migration.md``.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import format_table, write_bench_json, write_report
+
+from repro.core.database import TseDatabase
+from repro.schema.properties import Attribute
+
+BENCH_MIGRATION_JSON = Path(__file__).parent.parent / "BENCH_migration.json"
+
+#: base population (objects) at scale factor 1
+BASE_OBJECTS = 120
+SCALES = (1, 10, 100)
+#: schema changes timed per (mode, scale) cell; the best is the pause
+REPEATS = 7
+
+#: CI-slack bound on the lazy pause at *every* scale, milliseconds
+LAZY_PAUSE_MS = 2.0
+#: lazy pause at 100x may be at most this multiple of the 1x pause
+FLATNESS_BOUND = 4.0
+#: eager must be at least this much slower than lazy at 100x
+EAGER_GAP = 3.0
+
+
+def build_db(n_objects: int, mode: str) -> TseDatabase:
+    db = TseDatabase()
+    db.migration_mode = mode
+    db.migration_backfill = False  # measure the pause, not the drain
+    db.define_class(
+        "Person",
+        [Attribute("name", domain="str"), Attribute("age", domain="int", default=0)],
+    )
+    db.define_class(
+        "Student", [Attribute("major", domain="str")], inherits_from=("Person",)
+    )
+    db.create_view("campus", ["Person", "Student"])
+    view = db.view("campus")
+    for index in range(n_objects):
+        if index % 3:
+            view["Person"].create(name=f"p{index}", age=index % 80)
+        else:
+            view["Student"].create(name=f"s{index}", age=20, major="cs")
+    return db
+
+
+def measure_pause(mode: str, scale: int) -> dict:
+    """Best-of-``REPEATS`` writer-visible milliseconds for one schema
+    change, plus the post-run drain cost (lazy only)."""
+    db = build_db(BASE_OBJECTS * scale, mode)
+    sessions = db.sessions()
+    pauses = []
+    for k in range(REPEATS):
+        start = time.perf_counter()
+        with sessions.writer() as writer:
+            writer.view("campus").add_attribute(f"tmp{k}", to="Person")
+        pauses.append((time.perf_counter() - start) * 1000)
+    backlog = 0
+    drain_ms = 0.0
+    if sessions.migration is not None:
+        backlog = sessions.migration.backlog()
+        start = time.perf_counter()
+        sessions.migration.drain()
+        drain_ms = (time.perf_counter() - start) * 1000
+    return {
+        "pause_per_schema_change_ms": round(min(pauses), 3),
+        "pause_worst_ms": round(max(pauses), 3),
+        "backlog_after_run": backlog,
+        "drain_ms": round(drain_ms, 3),
+        "objects": BASE_OBJECTS * scale,
+    }
+
+
+def test_schema_change_pause_is_flat_under_lazy_migration():
+    cells = {
+        mode: {scale: measure_pause(mode, scale) for scale in SCALES}
+        for mode in ("lazy", "eager")
+    }
+    lazy, eager = cells["lazy"], cells["eager"]
+
+    # sub-millisecond-class pause at every scale (CI slack: <2 ms)
+    for scale in SCALES:
+        assert lazy[scale]["pause_per_schema_change_ms"] < LAZY_PAUSE_MS, cells
+    # flat in the object count: 100x costs < FLATNESS_BOUND x the 1x pause
+    assert (
+        lazy[100]["pause_per_schema_change_ms"]
+        < FLATNESS_BOUND * max(lazy[1]["pause_per_schema_change_ms"], 0.05)
+    ), cells
+    # the gap lazy migration opens at scale
+    assert (
+        eager[100]["pause_per_schema_change_ms"]
+        > EAGER_GAP * lazy[100]["pause_per_schema_change_ms"]
+    ), cells
+    # lazy deferred real work: the drain afterwards captured the backlog
+    assert lazy[100]["backlog_after_run"] > 0, cells
+
+    payload = {
+        "base_objects": BASE_OBJECTS,
+        "repeats": REPEATS,
+        "lazy": {f"scale_{s}x": lazy[s] for s in SCALES},
+        "eager": {f"scale_{s}x": eager[s] for s in SCALES},
+        "bounds": {
+            "lazy_pause_ms": LAZY_PAUSE_MS,
+            "flatness": FLATNESS_BOUND,
+            "eager_gap_at_100x": EAGER_GAP,
+        },
+    }
+    write_bench_json(
+        "migration_pause", payload, target=BENCH_MIGRATION_JSON
+    )
+
+    rows = [
+        (
+            f"{scale}x ({BASE_OBJECTS * scale})",
+            lazy[scale]["pause_per_schema_change_ms"],
+            eager[scale]["pause_per_schema_change_ms"],
+            round(
+                eager[scale]["pause_per_schema_change_ms"]
+                / max(lazy[scale]["pause_per_schema_change_ms"], 1e-9),
+                1,
+            ),
+            lazy[scale]["backlog_after_run"],
+            lazy[scale]["drain_ms"],
+        )
+        for scale in SCALES
+    ]
+    body = (
+        f"Best-of-{REPEATS} writer-visible wall-clock per `add_attribute` "
+        "schema change, committed through a writer session.  Lazy publishes "
+        "the epoch with pending extents (captured off the critical path); "
+        "eager recomputes every extent inside the latch:\n\n"
+        + format_table(
+            [
+                "scale (objects)",
+                "lazy pause ms",
+                "eager pause ms",
+                "eager/lazy",
+                "lazy backlog",
+                "lazy drain ms",
+            ],
+            rows,
+        )
+        + "\n\nBounds asserted: lazy pause < "
+        f"{LAZY_PAUSE_MS} ms at every scale; lazy 100x < {FLATNESS_BOUND}x "
+        f"lazy 1x; eager 100x > {EAGER_GAP}x lazy 100x."
+    )
+    write_report(
+        "migration",
+        "Schema-change pause: lazy migration vs eager capture",
+        body,
+    )
+
+
+@pytest.mark.bench_smoke
+def test_migration_pause_smoke():
+    """Tier-1 smoke: at the base scale, a lazy schema change completes in
+    single-digit milliseconds and leaves a drainable backlog (lenient
+    bound — the full run asserts the real flatness across 100x)."""
+    cell = measure_pause("lazy", 1)
+    assert cell["pause_per_schema_change_ms"] < 10.0, cell
+    assert cell["backlog_after_run"] > 0, cell

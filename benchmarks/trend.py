@@ -39,12 +39,17 @@ SKIP_KEYS = ("meta", "floors", "pre_pr")
 
 
 def _direction(name: str) -> Optional[int]:
-    """+1 when higher is better, -1 when lower is better, None: not a metric."""
+    """+1 when higher is better, -1 when lower is better, None: not a metric.
+
+    The unit suffix is checked *first*: it is exact where the
+    higher-is-better fragments are substrings, and a latency named, say,
+    ``pause_per_schema_change_ms`` contains ``per_s`` by accident of
+    spelling — flagging a shrinking pause as a regression."""
     leaf = name.rsplit(".", 1)[-1]
-    if any(fragment in leaf for fragment in HIGHER_IS_BETTER):
-        return 1
     if any(leaf.endswith(suffix) for suffix in LOWER_IS_BETTER):
         return -1
+    if any(fragment in leaf for fragment in HIGHER_IS_BETTER):
+        return 1
     return None
 
 

@@ -24,8 +24,9 @@ primitives plus the two composed operators (``insert_class``,
 ``delete_class_2``) and the rename operators; the five generic updates;
 savepoint transactions (commit and abort); atomic update batches
 (``apply_many``); WAL checkpoints, clean
-recovery, and crash injection at every :data:`CRASH_POINTS` seam; and
-pinned reader sessions (open / check / refresh / close).
+recovery, and crash injection at every :data:`CRASH_POINTS` seam; pinned
+reader sessions (open / check / refresh / close); and lazy-migration
+drains (``backfill_step``), which must be observably invisible.
 """
 
 from __future__ import annotations
@@ -68,9 +69,23 @@ AUTHORING_OPS = ("define_class", "create_view")
 
 DURABILITY_OPS = ("checkpoint", "crash", "recover_clean")
 
-ALL_OPS = UPDATE_OPS + SCHEMA_OPS + READER_OPS + AUTHORING_OPS + DURABILITY_OPS + (
-    "txn",
-    "apply_many",
+#: lazy-migration drains.  ``backfill_step`` captures a bounded batch of
+#: pending epoch extents on the real side only — migration is transparent,
+#: so the oracle applies nothing and the equivalence sweep must still pass
+#: (that *is* the property being fuzzed)
+MIGRATION_OPS = ("backfill_step",)
+
+ALL_OPS = (
+    UPDATE_OPS
+    + SCHEMA_OPS
+    + READER_OPS
+    + AUTHORING_OPS
+    + DURABILITY_OPS
+    + MIGRATION_OPS
+    + (
+        "txn",
+        "apply_many",
+    )
 )
 
 READER_SLOTS = 3
@@ -107,6 +122,7 @@ _DEFAULT_WEIGHTS = {
     "batch": 6,
     "durability": 8,
     "authoring": 6,
+    "migration": 4,
 }
 
 
@@ -230,6 +246,8 @@ class CommandGenerator:
             op = "apply_many"
         elif family == "durability":
             op = self.rng.choice(DURABILITY_OPS)
+        elif family == "migration":
+            op = self.rng.choice(MIGRATION_OPS)
         else:
             op = self.rng.choice(AUTHORING_OPS)
         return self.gen_op(op, self.rng)
@@ -443,6 +461,9 @@ class CommandGenerator:
 
     def _gen_enable_wal(self, rng) -> Command:
         return Command("enable_wal", {})
+
+    def _gen_backfill_step(self, rng) -> Command:
+        return Command("backfill_step", {"limit": rng.randint(1, 4)})
 
     def _gen_reader_open(self, rng) -> Command:
         return Command("reader_open", {"slot": rng.randrange(READER_SLOTS)})

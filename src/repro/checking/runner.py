@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.checking.commands import (
+    MIGRATION_OPS,
     READER_SLOTS,
     SCHEMA_OPS,
     UPDATE_OPS,
@@ -113,7 +114,13 @@ _PREP_OPS = UPDATE_OPS + SCHEMA_OPS + ("define_class", "create_view")
 class DifferentialHarness:
     """One real database + one oracle, stepped in lockstep."""
 
-    def __init__(self, wal_dir=None, sync: str = "off", dossier_dir=None) -> None:
+    def __init__(
+        self,
+        wal_dir=None,
+        sync: str = "off",
+        dossier_dir=None,
+        migration_mode: Optional[str] = None,
+    ) -> None:
         self._tmp: Optional[str] = None
         if wal_dir is None:
             self._tmp = tempfile.mkdtemp(prefix="tse-diff-")
@@ -133,7 +140,14 @@ class DifferentialHarness:
         # fsyncing the throwaway WAL buys nothing — "off" keeps every
         # append flushed to the OS, which is all recovery needs here
         self.sync = sync
-        self.db = TseDatabase()
+        # migration_mode pins lazy vs eager epoch capture for the whole run
+        # (None defers to the usual env/default resolution); the background
+        # backfill worker is always off here — a concurrent worker append
+        # would consume armed crash injections and wreck replay
+        # determinism, so drains happen only through explicit
+        # ``backfill_step`` commands and reader first-touch captures
+        self.migration_mode = migration_mode
+        self.db = self._fresh_db(TseDatabase())
         self.model = RefModel()
         self.readers: Dict[int, object] = {}
         self.pins: Dict[int, dict] = {}
@@ -157,6 +171,15 @@ class DifferentialHarness:
         # equal generation counters can never mask a recovery divergence.
         self._db_incarnation = 0
         self._last_sweep_key: Optional[tuple] = None
+
+    def _fresh_db(self, db: TseDatabase) -> TseDatabase:
+        """Stamp the harness's migration configuration onto a database
+        (the initial one and every recovered replacement) before its
+        session manager attaches."""
+        if self.migration_mode is not None:
+            db.migration_mode = self.migration_mode
+        db.migration_backfill = False
+        return db
 
     def close(self) -> None:
         for session in self.readers.values():
@@ -764,7 +787,7 @@ class DifferentialHarness:
         self.pins.clear()
         self._dump_plans.clear()  # plans hold closures over the dead db
         self._db_incarnation += 1  # force a fresh sweep of the recovered db
-        self.db = recovered
+        self.db = self._fresh_db(recovered)
         if self.model.sessions_attached:
             self.db.sessions()  # re-attach; publishes the baseline epoch
         self.model.published = {}
@@ -989,6 +1012,23 @@ class DifferentialHarness:
 
             return ("delete", {"oids": [oid]}), oracle_delete
         raise ValueError(f"unexpected batch op {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # lazy-migration drains
+    # ------------------------------------------------------------------
+
+    def _op_backfill_step(self, args) -> str:
+        """Drain a bounded batch of pending epoch captures on the real
+        side.  The oracle applies nothing: migration must be observably
+        invisible, and the post-step equivalence sweep (plus any pinned
+        ``reader_check``) is exactly that assertion.  Skipped when no
+        session manager is attached yet or the mode is eager — both sides
+        agree nothing happened."""
+        manager = getattr(self.db, "_sessions", None)
+        if manager is None or manager.migration is None:
+            return "skipped"
+        manager.migration.backfill_step(args.get("limit"))
+        return "applied"
 
     # ------------------------------------------------------------------
     # reader sessions
@@ -1229,11 +1269,11 @@ class _AbortTxn(Exception):
 
 
 def run_commands(
-    commands: List[Command], wal_dir=None
+    commands: List[Command], wal_dir=None, migration_mode: Optional[str] = None
 ) -> Optional[Divergence]:
     """Replay an explicit command list; return the first divergence (or
     ``None``).  Used by corpus replays and ddmin probes."""
-    harness = DifferentialHarness(wal_dir)
+    harness = DifferentialHarness(wal_dir, migration_mode=migration_mode)
     try:
         for command in commands:
             harness.apply(command)
@@ -1245,13 +1285,19 @@ def run_commands(
 
 
 def run_sequence(
-    seed: int, length: int = 20, config: Optional[dict] = None, wal_dir=None
+    seed: int,
+    length: int = 20,
+    config: Optional[dict] = None,
+    wal_dir=None,
+    migration_mode: Optional[str] = None,
 ) -> Tuple[List[Command], Optional[Divergence]]:
     """Generate and run one seeded random sequence (setup prefix plus
     ``length`` random commands); return ``(commands, divergence_or_None)``."""
     generator = CommandGenerator(seed, config)
     commands = generator.generate(length)
-    return commands, run_commands(commands, wal_dir=wal_dir)
+    return commands, run_commands(
+        commands, wal_dir=wal_dir, migration_mode=migration_mode
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -1267,7 +1313,7 @@ try:  # pragma: no cover - import guard
         "checkpoint", "crash", "recover_clean",
         "reader_open", "reader_check", "reader_refresh", "reader_close",
         "define_class", "create_view",
-    } | set(SCHEMA_OPS))
+    } | set(SCHEMA_OPS) | set(MIGRATION_OPS))
 
     class DifferentialMachine(RuleBasedStateMachine):
         """Hypothesis drives op choice and per-step randomness; the harness

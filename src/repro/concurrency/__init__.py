@@ -9,7 +9,7 @@ view schemas while one writer session runs the full schema-change pipeline
 ("Online Schema Evolution is (Almost) Free for Snapshot Databases",
 VLDB 2023).
 
-Three cooperating pieces:
+Four cooperating pieces:
 
 * :mod:`repro.concurrency.latch` — a readers-writer **schema latch** with a
   FIFO single-writer admission queue.  Live (non-snapshot) reads hold the
@@ -20,6 +20,13 @@ Three cooperating pieces:
   commit (inside the write latch); readers pin the current epoch *without
   touching the latch* and therefore never block on an in-flight writer.
   Epochs retire when their last reader unpins.
+* :mod:`repro.concurrency.migration` — the **lazy migration engine**.  By
+  default publish defers extent capture entirely: classes start *pending*
+  and are captured on first touch, sealed just before a conflicting pool
+  mutation, or drained by a background backfill worker in bounded batches
+  — the writer-visible pause of a schema change stays sub-millisecond no
+  matter how large the extents are.  ``REPRO_EAGER_MIGRATION=1`` restores
+  the classic capture-at-publish path.
 * :mod:`repro.concurrency.sessions` — the user-facing
   :class:`~repro.concurrency.sessions.SessionManager` /
   :class:`~repro.concurrency.sessions.ReaderSession` /
@@ -34,10 +41,12 @@ and metrics/tracing instruments are individually locked.
 
 from repro.concurrency.epoch import EpochManager, SchemaEpoch
 from repro.concurrency.latch import SchemaLatch
+from repro.concurrency.migration import MigrationEngine
 from repro.concurrency.sessions import ReaderSession, SessionManager, WriterSession
 
 __all__ = [
     "EpochManager",
+    "MigrationEngine",
     "ReaderSession",
     "SchemaEpoch",
     "SchemaLatch",

@@ -27,15 +27,33 @@ torn intermediate.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, List, Optional
 
 from repro.concurrency.epoch import EpochManager, SchemaEpoch
 from repro.concurrency.latch import SchemaLatch
+from repro.concurrency.migration import MigrationEngine
 from repro.errors import TseError
 from repro.storage.oid import Oid
 
 __all__ = ["ReaderSession", "SessionManager", "WriterSession"]
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+def _resolve_migration_mode(db, migration_mode: Optional[str]) -> str:
+    """``"lazy"`` (default) or ``"eager"`` — explicit argument first, then
+    a ``db.migration_mode`` attribute, then ``REPRO_EAGER_MIGRATION``."""
+    mode = migration_mode or getattr(db, "migration_mode", None)
+    if mode is None:
+        eager = os.environ.get("REPRO_EAGER_MIGRATION", "").strip().lower()
+        mode = "eager" if eager in _TRUTHY else "lazy"
+    if mode not in ("lazy", "eager"):
+        raise TseError(
+            f"unknown migration mode {mode!r} (expected 'lazy' or 'eager')"
+        )
+    return mode
 
 
 class ReaderSession:
@@ -163,7 +181,7 @@ class WriterSession:
 class SessionManager:
     """Owns the latch and epoch manager of one database; hands out sessions."""
 
-    def __init__(self, db) -> None:
+    def __init__(self, db, migration_mode: Optional[str] = None) -> None:
         self.db = db
         self.latch = SchemaLatch()
         self.epochs = EpochManager(db)
@@ -171,12 +189,39 @@ class SessionManager:
         self.readers_opened = 0
         self.writers_opened = 0
         self._counter_mutex = threading.Lock()
+        # lazy (default) publishes epochs with pending extents and lets the
+        # MigrationEngine capture them off the writer's critical path;
+        # eager keeps the classic capture-at-publish behaviour
+        self.migration_mode = _resolve_migration_mode(db, migration_mode)
+        if self.migration_mode == "lazy":
+            # a db.migration_backfill attribute overrides the env toggle —
+            # the differential harness needs the worker off (deterministic
+            # drains only) without mutating process-global state
+            backfill = getattr(db, "migration_backfill", None)
+            if backfill is None:
+                backfill = (
+                    os.environ.get("REPRO_MIGRATION_BACKFILL", "").strip().lower()
+                    not in ("off", "0", "false", "no")
+                )
+            self.migration: Optional[MigrationEngine] = MigrationEngine(
+                db, self.latch, backfill=bool(backfill)
+            )
+            self.epochs.migration = self.migration
+            # the pre-mutation seal hook: pool leaf mutators consult the
+            # engine before changing membership or values
+            db.pool.migration = self.migration
+        else:
+            self.migration = None
         # wire the pipeline: TseManager serialises behind the latch and
         # republishes an epoch at every commit, inside the write side
         db.tsem.latch = self.latch
         db.tsem.on_commit = self.epochs.publish
         self.epochs.publish()  # the baseline epoch readers start from
         db.obs.metrics.register_group("concurrency", self.stats_dict)
+        if self.migration is not None:
+            db.obs.metrics.register_group(
+                "migration", self.migration.stats_dict
+            )
 
     def reader(self) -> ReaderSession:
         """A new snapshot-isolated reader (use as a context manager)."""
@@ -197,6 +242,7 @@ class SessionManager:
         stats: Dict[str, object] = {
             "readers_opened": self.readers_opened,
             "writers_opened": self.writers_opened,
+            "migration_mode": self.migration_mode,
         }
         stats.update(self.latch.stats_dict())
         stats.update(self.epochs.stats_dict())

@@ -464,6 +464,11 @@ class TseDatabase:
         """
         from repro.schema.classes import VirtualClass
 
+        if self._sessions is not None and self._sessions.migration is not None:
+            # class removal would invalidate the live evaluator the pending
+            # captures read through — drain every epoch backlog first so
+            # old epochs keep their publish-time extents
+            self._sessions.migration.drain()
         retained = set()
         for view_name in self.views.history.view_names():
             for version in self.views.history.versions_of(view_name):
@@ -507,6 +512,32 @@ class TseDatabase:
         if self.wal is not None:
             self.wal.record("vacuum", {})
         return sorted(removed)
+
+    def migration_status(self) -> Dict[str, object]:
+        """Progress of lazy schema migration, as plain data.
+
+        ``{"mode", "backlog", "epochs", "backfill"}`` where ``backlog``
+        counts class extents still pending capture across live epochs and
+        ``epochs`` lists each migrating epoch with its watermark (fraction
+        of classes captured).  Databases without the session layer, or
+        running with ``REPRO_EAGER_MIGRATION``, report the quiescent eager
+        shape — publish captures everything up front, so the backlog is
+        zero by construction.  Also served over the wire as the server's
+        ``migration_status`` request.
+        """
+        if self._sessions is not None and self._sessions.migration is not None:
+            return self._sessions.migration.status()
+        return {
+            "mode": "eager",
+            "backlog": 0,
+            "epochs": [],
+            "backfill": {
+                "enabled": False,
+                "worker_alive": False,
+                "batch_limit": 0,
+                "steps": 0,
+            },
+        }
 
     # ------------------------------------------------------------------
     # concurrent sessions

@@ -266,14 +266,43 @@ class TseManager:
         memento = self.schema.memento()
         try:
             record = self._execute(view_name, view, plan)
-        except TseError:
-            self.schema.restore(memento)
+        except TseError as exc:
+            self._rollback(view_name, memento, exc)
             raise
-        except Exception as exc:  # pragma: no cover - defensive
-            self.schema.restore(memento)
+        except Exception as exc:
+            self._rollback(view_name, memento, exc)
             raise EvolutionError(f"schema change failed: {exc}") from exc
         self.log.append(record)
         return self.views.current(view_name)
+
+    def _rollback(self, view_name: str, memento, cause: BaseException) -> None:
+        """Restore the pre-change schema after a failed pipeline stage.
+
+        The restore is not allowed to mask the pipeline failure: whatever
+        propagates out of here still reaches ``_change_locked``'s failure
+        path, which emits ``schema_change_failed`` (the dossier trigger),
+        counts the failure and journals the abort.  If the restore *itself*
+        raises, that is strictly worse than a failed change — the schema
+        may be torn — so a dedicated ``schema_restore_failed`` event and
+        counter fire before the restore error propagates, chained onto the
+        original cause instead of silently replacing it.
+        """
+        try:
+            self.schema.restore(memento)
+        except Exception as exc:
+            self.events.emit(
+                "schema_restore_failed",
+                view=view_name,
+                error=type(exc).__name__,
+                cause=type(cause).__name__,
+            )
+            self.metrics.counter(
+                "schema_restores_failed",
+                help="rollbacks that failed after a failed schema change",
+            ).inc()
+            raise EvolutionError(
+                f"rollback after failed schema change also failed: {exc}"
+            ) from cause
 
     def _execute(
         self, view_name: str, view: ViewSchema, plan: ChangePlan

@@ -126,6 +126,10 @@ class InstancePool:
         self._slice_drop_listeners: list = []
         #: callbacks fired with a :class:`PoolDelta` on every mutation
         self._delta_listeners: list = []
+        #: optional :class:`~repro.concurrency.migration.MigrationEngine`;
+        #: when set, every leaf mutator asks it to seal affected pending
+        #: epoch extents *before* the pool state changes (lazy migration)
+        self.migration = None
 
     def add_value_listener(self, callback) -> None:
         """Subscribe to attribute writes (index maintenance hook)."""
@@ -163,15 +167,24 @@ class InstancePool:
 
     def create_object(self, direct_classes: Iterable[str]) -> ConceptualObject:
         """Create a conceptual object that is a direct member of each class."""
-        oid = self.store.allocate_oid()
-        obj = ConceptualObject(oid)
-        self._objects[oid] = obj
-        for name in direct_classes:
-            self._add_direct(obj, name)
-        self._dirty()
-        for name in obj.direct_classes:
-            self._emit(PoolDelta("add_membership", oid=oid, class_name=name))
-        return obj
+        direct_classes = tuple(direct_classes)
+        mig = self.migration
+        sealed = mig is not None and mig.begin_mutation(
+            "membership", class_names=direct_classes
+        )
+        try:
+            oid = self.store.allocate_oid()
+            obj = ConceptualObject(oid)
+            self._objects[oid] = obj
+            for name in direct_classes:
+                self._add_direct(obj, name)
+            self._dirty()
+            for name in obj.direct_classes:
+                self._emit(PoolDelta("add_membership", oid=oid, class_name=name))
+            return obj
+        finally:
+            if sealed:
+                mig.end_mutation()
 
     def destroy_object(self, oid: Oid) -> None:
         """Destroy an object: all slices dropped, all memberships removed.
@@ -180,15 +193,21 @@ class InstancePool:
         is "removed from all the classes which they belong to" (section 3.3).
         """
         obj = self.get(oid)
-        for impl in obj.implementations.values():
-            self.store.drop_slice(impl.slice_id)
-        for name in list(obj.direct_classes):
-            self._discard_direct(oid, name)
-        del self._objects[oid]
-        self._dirty()
-        for listener in self._destroy_listeners:
-            listener(oid)
-        self._emit(PoolDelta("destroy", oid=oid))
+        mig = self.migration
+        sealed = mig is not None and mig.begin_mutation("destroy", oid=oid)
+        try:
+            for impl in obj.implementations.values():
+                self.store.drop_slice(impl.slice_id)
+            for name in list(obj.direct_classes):
+                self._discard_direct(oid, name)
+            del self._objects[oid]
+            self._dirty()
+            for listener in self._destroy_listeners:
+                listener(oid)
+            self._emit(PoolDelta("destroy", oid=oid))
+        finally:
+            if sealed:
+                mig.end_mutation()
 
     def get(self, oid: Oid) -> ConceptualObject:
         try:
@@ -232,9 +251,19 @@ class InstancePool:
         """
         obj = self.get(oid)
         if class_name not in obj.direct_classes:
-            self._add_direct(obj, class_name)
-            self._dirty()
-            self._emit(PoolDelta("add_membership", oid=oid, class_name=class_name))
+            mig = self.migration
+            sealed = mig is not None and mig.begin_mutation(
+                "membership", oid=oid, class_names=(class_name,)
+            )
+            try:
+                self._add_direct(obj, class_name)
+                self._dirty()
+                self._emit(
+                    PoolDelta("add_membership", oid=oid, class_name=class_name)
+                )
+            finally:
+                if sealed:
+                    mig.end_mutation()
 
     def remove_membership(
         self, oid: Oid, class_name: str, keep_slice: bool = False
@@ -250,18 +279,28 @@ class InstancePool:
         obj = self.get(oid)
         if class_name not in obj.direct_classes:
             raise NotAMember(f"{oid} is not a direct member of {class_name!r}")
-        obj.direct_classes.discard(class_name)
-        self._discard_direct(oid, class_name)
-        if not keep_slice:
-            impl = obj.implementations.pop(class_name, None)
-            if impl is not None:
-                self.store.drop_slice(impl.slice_id)
-                for listener in self._slice_drop_listeners:
-                    listener(oid, class_name)
-        if obj.current_class == class_name:
-            obj.current_class = None
-        self._dirty()
-        self._emit(PoolDelta("remove_membership", oid=oid, class_name=class_name))
+        mig = self.migration
+        sealed = mig is not None and mig.begin_mutation(
+            "membership", oid=oid, class_names=(class_name,)
+        )
+        try:
+            obj.direct_classes.discard(class_name)
+            self._discard_direct(oid, class_name)
+            if not keep_slice:
+                impl = obj.implementations.pop(class_name, None)
+                if impl is not None:
+                    self.store.drop_slice(impl.slice_id)
+                    for listener in self._slice_drop_listeners:
+                        listener(oid, class_name)
+            if obj.current_class == class_name:
+                obj.current_class = None
+            self._dirty()
+            self._emit(
+                PoolDelta("remove_membership", oid=oid, class_name=class_name)
+            )
+        finally:
+            if sealed:
+                mig.end_mutation()
 
     def reclassify(self, oid: Oid, from_class: str, to_class: str) -> None:
         """Dynamic classification (Table 1): swap one membership for another.
@@ -371,23 +410,43 @@ class InstancePool:
         Value writes bump the pool generation because select-class extents
         depend on attribute values, not only on memberships.
         """
-        impl = self.ensure_slice(oid, storage_class)
-        self.store.put_value(impl.slice_id, attr, value)
-        self._dirty()
-        for listener in self._value_listeners:
-            listener(oid, storage_class, attr, value)
-        self._emit(PoolDelta("set_value", oid=oid, class_name=storage_class, attr=attr))
+        mig = self.migration
+        sealed = mig is not None and mig.begin_mutation(
+            "value", oid=oid, class_names=(storage_class,), attr=attr
+        )
+        try:
+            impl = self.ensure_slice(oid, storage_class)
+            self.store.put_value(impl.slice_id, attr, value)
+            self._dirty()
+            for listener in self._value_listeners:
+                listener(oid, storage_class, attr, value)
+            self._emit(
+                PoolDelta("set_value", oid=oid, class_name=storage_class, attr=attr)
+            )
+        finally:
+            if sealed:
+                mig.end_mutation()
 
     def remove_value(self, oid: Oid, storage_class: str, attr: str) -> None:
         """Erase one stored attribute (used by update rollback)."""
         obj = self.get(oid)
         impl = obj.implementations.get(storage_class)
         if impl is not None:
-            self.store.remove_value(impl.slice_id, attr)
-            self._dirty()
-            self._emit(
-                PoolDelta("remove_value", oid=oid, class_name=storage_class, attr=attr)
+            mig = self.migration
+            sealed = mig is not None and mig.begin_mutation(
+                "value", oid=oid, class_names=(storage_class,), attr=attr
             )
+            try:
+                self.store.remove_value(impl.slice_id, attr)
+                self._dirty()
+                self._emit(
+                    PoolDelta(
+                        "remove_value", oid=oid, class_name=storage_class, attr=attr
+                    )
+                )
+            finally:
+                if sealed:
+                    mig.end_mutation()
 
     # -- mementos -------------------------------------------------------------
 
@@ -409,7 +468,23 @@ class InstancePool:
         return (objects, members)
 
     def restore(self, memento: tuple) -> None:
-        """Roll memberships and slice links back to a prior :meth:`memento`."""
+        """Roll memberships and slice links back to a prior :meth:`memento`.
+
+        The wholesale replacement can move any extent, so pending epoch
+        captures are all sealed first — with publish-time values: the
+        restore target is the savepoint entry state, and any class a
+        mid-savepoint mutation touched was already sealed by that
+        mutation's own hook.
+        """
+        mig = self.migration
+        sealed = mig is not None and mig.begin_mutation("reset")
+        try:
+            self._restore_body(memento)
+        finally:
+            if sealed:
+                mig.end_mutation()
+
+    def _restore_body(self, memento: tuple) -> None:
         objects, members = memento
         self._objects = {}
         for oid, obj in objects.items():

@@ -17,6 +17,9 @@ subscribe to pipeline milestones without patching internals:
     the successor view version replaced the old one (section 5);
 ``schema_change_applied`` / ``schema_change_failed``
     terminal outcome of the pipeline;
+``schema_restore_failed``
+    the rollback after a failed change itself raised (the schema may be
+    torn — strictly worse than a failed change, so it gets its own kind);
 ``definevc``
     a user-level ``defineVC`` outside any evolution plan.
 
@@ -43,6 +46,7 @@ LIFECYCLE_EVENTS = (
     "view_substituted",
     "schema_change_applied",
     "schema_change_failed",
+    "schema_restore_failed",
     "definevc",
 )
 

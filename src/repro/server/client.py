@@ -170,6 +170,11 @@ class Client:
     def stats(self) -> dict:
         return self.request(type="stats")["stats"]
 
+    def migration_status(self) -> dict:
+        """Lazy-migration progress: backlog, per-epoch watermarks,
+        backfill worker state (quiescent shape under eager mode)."""
+        return self.request(type="migration_status")["migration"]
+
     # -- writes ------------------------------------------------------------
 
     def create(self, view_class: str, **values) -> dict:

@@ -83,6 +83,8 @@ REQUEST_TYPES: Dict[str, str] = {
     "extent": "extent of one view class (OIDs, optionally object values)",
     "count": "extent cardinality of one view class",
     "stats": "full metrics snapshot (the .stats of the wire)",
+    "migration_status": "lazy-migration progress: backlog, per-epoch "
+    "watermarks, backfill worker state",
     "update": "one generic update: create/set/delete/add/remove",
     "apply_many": "a batch of generic updates applied atomically",
     "add_attribute": "primitive schema change: add an attribute to a class",

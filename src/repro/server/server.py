@@ -611,6 +611,13 @@ class TseServer:
         snapshot = await self._run(self.db.stats)
         return {"type": "result", "stats": snapshot}
 
+    async def _on_migration_status(
+        self, conn: _Connection, message: dict
+    ) -> dict:
+        self._require_greeted(conn)
+        status = await self._run(self.db.migration_status)
+        return {"type": "result", "migration": status}
+
     # -- handlers: writes --------------------------------------------------
 
     @staticmethod

@@ -96,9 +96,10 @@ LOG_NAME = "wal.log"
 _HEADER = struct.Struct("<II")
 
 #: record kinds replay applies (everything else — ``schema_begin`` /
-#: ``schema_abort`` — is an audit trail only).  ``txn`` is the composite
-#: record a committed savepoint writes: its inner records share one CRC
-#: frame, so a torn tail drops the whole transaction or none of it.
+#: ``schema_abort`` / ``migration_step`` — is an audit trail only).
+#: ``txn`` is the composite record a committed savepoint writes: its inner
+#: records share one CRC frame, so a torn tail drops the whole transaction
+#: or none of it.
 EFFECTFUL_KINDS = frozenset(
     {
         "create",
@@ -565,6 +566,27 @@ class WalManager:
                 "class": class_name,
                 "oids": [o.value for o in oids],
                 "target": target,
+            },
+        )
+
+    # -- lazy-migration seam (concurrency.migration) -----------------------
+
+    def migration_step(self, epoch_id: int, classes, remaining: int) -> None:
+        """Journal one backfill batch: which epoch, which classes, how many
+        are still pending.
+
+        Audit-only (not in :data:`EFFECTFUL_KINDS`): replay re-runs the
+        schema changes themselves, and the recovered database re-derives
+        identical extents whenever they are next captured — so a crash at
+        any point of the backfill, including mid-append of this record,
+        recovers to a state equivalent to the mid-migration original.
+        """
+        self.record(
+            "migration_step",
+            {
+                "epoch": epoch_id,
+                "classes": list(classes),
+                "remaining": remaining,
             },
         )
 

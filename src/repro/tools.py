@@ -182,6 +182,7 @@ _FAMILY_NOTES: Dict[str, str] = {
     "transactions": "transaction manager: begun, committed, rolled back",
     "pipeline": "schema-change pipeline: per-phase counts from the log",
     "concurrency": "session layer: readers/writers opened, latch waits, epochs",
+    "migration": "lazy migration: backlog, captures by cause, backfill progress",
     "wal": "write-ahead log: segment sizes, checkpoint ages, recovery facts",
     "flight": "flight recorder: ring occupancy, file sink state",
     "server": "network server: connections, sheds, requests served, tenants",

@@ -371,6 +371,22 @@ class TestDataPlane:
         assert stats["server"]["listening"] is True
         assert stats["server"]["connections"] >= 1
 
+    def test_migration_status_over_the_wire(self, client):
+        """The report works from hello on (no attach) and carries the
+        documented shape; after a schema change it reflects the drain."""
+        status = client.migration_status()
+        assert status["mode"] in ("lazy", "eager")
+        assert set(status) == {"mode", "backlog", "epochs", "backfill"}
+        assert set(status["backfill"]) == {
+            "enabled", "worker_alive", "batch_limit", "steps",
+        }
+        client.attach("VS1")
+        client.add_attribute("wire_mig", to="Student", domain="str")
+        drained = client.migration_status()
+        assert drained["backlog"] >= 0  # worker may have drained already
+        for entry in drained["epochs"]:
+            assert 0.0 <= entry["watermark"] <= 1.0
+
 
 # ---------------------------------------------------------------------------
 # schema changes over the wire

@@ -54,6 +54,26 @@ def test_direction_aware_regression_flags(tmp_path):
     assert throughput[6] == "REGRESSION"  # -50% vs best
 
 
+def test_ms_suffix_beats_per_s_fragment(tmp_path):
+    """A latency whose name happens to contain ``per_s`` (e.g.
+    ``pause_per_schema_change_ms``) is still lower-is-better: the unit
+    suffix wins over the throughput fragment.  Before the fix a shrinking
+    pause was flagged as a throughput regression — and a *growing* pause
+    sailed through as an improvement."""
+    assert trend._direction("pause_per_schema_change_ms") == -1
+    assert trend._direction("lazy.pause_per_schema_change_ms") == -1
+    assert trend._direction("ops_per_sec") == 1
+
+    _artifact(tmp_path / "BENCH_a.json", "migration", 1.0,
+              pause_per_schema_change_ms=0.2)
+    _artifact(tmp_path / "BENCH_b.json", "migration", 2.0,
+              pause_per_schema_change_ms=5.0)
+    rows = trend.build_rows(trend.collect_series(trend.load_runs([tmp_path])))
+    row = _rows_by_metric(rows)[("migration", "pause_per_schema_change_ms")]
+    assert row[3] == 0.2 and row[4] == 5.0  # best is the *smallest* pause
+    assert row[6] == "REGRESSION"  # the pause grew 25x: flagged
+
+
 def test_within_threshold_is_ok(tmp_path):
     _artifact(tmp_path / "BENCH_a.json", "p", 1.0, pipeline_ms=10.0)
     _artifact(tmp_path / "BENCH_b.json", "p", 2.0, pipeline_ms=11.5)
