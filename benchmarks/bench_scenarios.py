@@ -1,0 +1,171 @@
+"""Fleet throughput against the number of co-existing view versions.
+
+The multi-version promise has a cost model: every pinned handle resolves
+its historical schema through the view history on each access, so a
+fleet spread across many live versions stresses exactly the resolution
+path that a single-version deployment never touches.  This bench pins a
+small app fleet across 1, 2 and 4 live versions of one view, pushes the
+same create/set/read traffic mix through the pinned handles, and reports
+operations/second per live-version count:
+
+* qualitative shape — throughput must not collapse as versions coexist
+  (the history lookup is a list index, not a scan of the object store);
+* a loose absolute floor, so an accidental quadratic in pinned
+  resolution fails the bench instead of silently slowing CI;
+* plus the *checked* rate: scenario steps/second through the
+  differential fleet builder (every step runs real + oracle + the full
+  equivalence sweep), the number that bounds how much story the nightly
+  scenario sweep can afford.
+
+Results merge into ``BENCH_scenarios.json`` (keyed per benchmark, same
+format as the other BENCH artifacts; ``benchmarks/trend.py`` plots any
+of them over time).
+"""
+
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+from conftest import format_table, write_bench_json, write_report
+
+from repro.core.database import TseDatabase
+from repro.scenarios import build_scenario
+from repro.schema.properties import Attribute
+
+BENCH_TARGET = Path(__file__).parent.parent / "BENCH_scenarios.json"
+
+APPS = 4
+OPS_PER_APP = 120
+VERSION_COUNTS = (1, 2, 4)
+REPEATS = 3
+
+#: loose floor in fleet ops/second at 4 live versions — laptop-class
+#: hardware does thousands; below 200 pinned resolution went quadratic
+MIN_OPS_PER_SEC = 200
+
+#: checked steps/second floor for the differential fleet builder
+MIN_CHECKED_STEPS_PER_SEC = 25
+
+
+def _build_world(versions: int) -> TseDatabase:
+    db = TseDatabase()
+    db.define_class(
+        "Person",
+        properties=(Attribute("name", domain="int", required=False, default=0),),
+    )
+    db.define_class("Student", inherits_from=("Person",))
+    db.create_view("Campus", ["Person", "Student"], closure="ignore")
+    for n in range(versions - 1):
+        db.view("Campus").add_attribute(
+            f"extra{n}", to="Person", domain="int", default=n
+        )
+    return db
+
+
+def _fleet_pass(db: TseDatabase, versions: int) -> int:
+    """One traffic pass: APPS pinned handles spread across the live
+    versions, each doing create/set/read rounds.  Returns ops done."""
+    handles = [
+        db.view("Campus").pin(1 + (app % versions)) for app in range(APPS)
+    ]
+    ops = 0
+    for app, handle in enumerate(handles):
+        cls = handle["Student"]
+        oid = cls.create(name=app).oid
+        ops += 1
+        for i in range(OPS_PER_APP):
+            obj = cls.get_object(oid)
+            if i % 3 == 0:
+                obj.set("name", i)
+            else:
+                obj["name"]
+            ops += 1
+    return ops
+
+
+@pytest.mark.bench_smoke
+def test_fleet_throughput_vs_live_versions():
+    rows = []
+    series = {}
+    for versions in VERSION_COUNTS:
+        db = _build_world(versions)
+        _fleet_pass(db, versions)  # warm-up: plan/predicate caches
+        rates = []
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            ops = _fleet_pass(db, versions)
+            rates.append(ops / (time.perf_counter() - start))
+        rate = statistics.median(rates)
+        series[versions] = rate
+        rows.append((versions, APPS, ops, f"{rate:.0f}"))
+
+    assert series[max(VERSION_COUNTS)] >= MIN_OPS_PER_SEC, (
+        f"fleet throughput fell to {series[max(VERSION_COUNTS)]:.0f} ops/s "
+        f"at {max(VERSION_COUNTS)} live versions"
+    )
+    # co-existing versions may cost something, but never an order of
+    # magnitude: history resolution is an index, not a scan
+    assert series[max(VERSION_COUNTS)] >= series[1] / 10, (
+        f"throughput collapsed with live versions: "
+        f"{series[1]:.0f} ops/s at 1 vs "
+        f"{series[max(VERSION_COUNTS)]:.0f} at {max(VERSION_COUNTS)}"
+    )
+
+    write_bench_json(
+        "fleet_throughput",
+        {
+            "apps": APPS,
+            "ops_per_app": OPS_PER_APP,
+            "repeats": REPEATS,
+            "ops_per_sec_by_versions": {
+                str(v): round(r, 1) for v, r in series.items()
+            },
+        },
+        target=BENCH_TARGET,
+    )
+    write_report(
+        "scenarios_fleet_throughput",
+        "Fleet throughput vs co-existing view versions",
+        format_table(
+            ["live versions", "apps", "ops/pass", "median ops/s"], rows
+        ),
+    )
+
+
+@pytest.mark.bench_smoke
+def test_checked_scenario_step_rate():
+    """Steps/second through the checked fleet builder (real + oracle +
+    equivalence sweep per step) — the nightly sweep's budget currency."""
+    build_scenario("blue_green_flip", scale=1)  # warm-up
+    rates = []
+    steps = 0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        steps = sum(
+            len(build_scenario(name, scale=2))
+            for name in ("blue_green_flip", "canary_then_roll")
+        )
+        rates.append(steps / (time.perf_counter() - start))
+    rate = statistics.median(rates)
+
+    assert rate >= MIN_CHECKED_STEPS_PER_SEC, (
+        f"checked scenario rate fell to {rate:.1f} steps/s"
+    )
+    write_bench_json(
+        "checked_step_rate",
+        {
+            "steps_per_pass": steps,
+            "repeats": REPEATS,
+            "steps_per_sec": round(rate, 1),
+        },
+        target=BENCH_TARGET,
+    )
+    write_report(
+        "scenarios_checked_step_rate",
+        "Checked fleet-scenario step rate",
+        format_table(
+            ["steps/pass", "repeats", "median steps/s"],
+            [(steps, REPEATS, f"{rate:.0f}")],
+        ),
+    )

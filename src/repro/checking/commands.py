@@ -75,6 +75,22 @@ DURABILITY_OPS = ("checkpoint", "crash", "recover_clean")
 #: (that *is* the property being fuzzed)
 MIGRATION_OPS = ("backfill_step",)
 
+#: the fleet-simulator vocabulary (section 7 / rolling deploys): app slots
+#: pin a view *version* and read/write through that pin while the global
+#: schema advances underneath; ``roll_app`` rebinds a slot to the successor
+#: version, ``retire_version`` decommissions a vacated version, and
+#: ``merge_views`` folds two view versions into a brand-new view.  Writes
+#: through an old pin must propagate to every newer (and merged) view —
+#: that propagation is exactly what the post-step sweep checks.
+VERSION_OPS = (
+    "pin_view_version",
+    "read_via_version",
+    "write_via_version",
+    "roll_app",
+    "retire_version",
+    "merge_views",
+)
+
 ALL_OPS = (
     UPDATE_OPS
     + SCHEMA_OPS
@@ -82,6 +98,7 @@ ALL_OPS = (
     + AUTHORING_OPS
     + DURABILITY_OPS
     + MIGRATION_OPS
+    + VERSION_OPS
     + (
         "txn",
         "apply_many",
@@ -89,6 +106,13 @@ ALL_OPS = (
 )
 
 READER_SLOTS = 3
+
+#: simulated app-version slots (the fleet): each holds one (view, version) pin
+APP_SLOTS = 4
+
+#: inner ops a ``write_via_version`` can carry (generic updates through the
+#: app's pinned handle)
+PINNED_WRITE_OPS = ("create", "add", "remove", "set", "delete")
 
 
 @dataclass(frozen=True)
@@ -123,6 +147,7 @@ _DEFAULT_WEIGHTS = {
     "durability": 8,
     "authoring": 6,
     "migration": 4,
+    "version": 10,
 }
 
 
@@ -248,6 +273,8 @@ class CommandGenerator:
             op = self.rng.choice(DURABILITY_OPS)
         elif family == "migration":
             op = self.rng.choice(MIGRATION_OPS)
+        elif family == "version":
+            op = self.rng.choice(VERSION_OPS)
         else:
             op = self.rng.choice(AUTHORING_OPS)
         return self.gen_op(op, self.rng)
@@ -464,6 +491,51 @@ class CommandGenerator:
 
     def _gen_backfill_step(self, rng) -> Command:
         return Command("backfill_step", {"limit": rng.randint(1, 4)})
+
+    # -- fleet / version lifecycle (blind indices, like everything else) ------
+
+    def _gen_pin_view_version(self, rng) -> Command:
+        return Command(
+            "pin_view_version",
+            {
+                "app": rng.randrange(APP_SLOTS),
+                "view_i": self._i(rng),
+                "version_sel": self._i(rng),
+            },
+        )
+
+    def _gen_read_via_version(self, rng) -> Command:
+        return Command("read_via_version", {"app": rng.randrange(APP_SLOTS)})
+
+    def _gen_write_via_version(self, rng) -> Command:
+        inner = self.gen_op(rng.choice(PINNED_WRITE_OPS), rng)
+        return Command(
+            "write_via_version",
+            {"app": rng.randrange(APP_SLOTS), "inner": command_to_dict(inner)},
+        )
+
+    def _gen_roll_app(self, rng) -> Command:
+        return Command("roll_app", {"app": rng.randrange(APP_SLOTS)})
+
+    def _gen_retire_version(self, rng) -> Command:
+        return Command(
+            "retire_version",
+            {"view_i": self._i(rng), "version_sel": self._i(rng)},
+        )
+
+    def _gen_merge_views(self, rng) -> Command:
+        return Command(
+            "merge_views",
+            {
+                "name": self._fresh("V"),
+                "first_i": self._i(rng),
+                "second_i": self._i(rng),
+                "pin_first": rng.random() < 0.35,
+                "first_sel": self._i(rng),
+                "pin_second": rng.random() < 0.35,
+                "second_sel": self._i(rng),
+            },
+        )
 
     def _gen_reader_open(self, rng) -> Command:
         return Command("reader_open", {"slot": rng.randrange(READER_SLOTS)})

@@ -100,6 +100,19 @@ class Token:
         self.shared = shared
         self.hidden = hidden
         self.propagation = propagation
+        #: the real schema names a replacement by priming the replaced
+        #: class (footnote 11: ``K2`` -> ``K2'`` -> ``K2''``), so a global
+        #: name is a lineage prefix plus primes, and primes grow with
+        #: creation order.  (lineage, id) therefore sorts exactly like the
+        #: real sorted-global-name order: same lineage -> creation order;
+        #: different lineages -> prefix order (a prime sorts below every
+        #: identifier character).  Merge claim ordering depends on this.
+        if kind == "base" or name:
+            self.lineage = self.name
+        elif sources:
+            self.lineage = sources[0].lineage
+        else:  # pragma: no cover - derived tokens always have sources
+            self.lineage = self.name
         for parent in parents:
             parent.children.append(self)
 
@@ -119,6 +132,29 @@ class ViewState:
     anc: Dict[str, Set[str]] = field(default_factory=dict)
     #: per view class: visible property name -> underlying name
     aliases: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: frozen copies of every registered version (including the current
+    #: one), keyed by version number — the oracle twin of the real
+    #: ``ViewSchemaHistory`` chain.  Pinned reads resolve historical
+    #: bindings here over the *live* shared objects, exactly like a pinned
+    #: ``ViewHandle``.
+    history: Dict[int, "ViewState"] = field(default_factory=dict)
+    #: True for views produced by section-7 version merging (and their
+    #: successors).  Only such views can select two classes that are the
+    #: same *global* class under different names, so only they need the
+    #: post-evolution dedup-collapse check.
+    merged: bool = False
+
+    def snapshot(self) -> "ViewState":
+        """An immutable-in-practice copy of the current bindings (tokens
+        are shared — they never mutate — but the per-view containers the
+        evolution ops update in place are copied)."""
+        return ViewState(
+            version=self.version,
+            token=dict(self.token),
+            anc={cls: set(ancestors) for cls, ancestors in self.anc.items()},
+            aliases={cls: dict(per) for cls, per in self.aliases.items()},
+            merged=self.merged,
+        )
 
     def direct_edges(self) -> Set[Tuple[str, str]]:
         """Transitive reduction of the ancestor relation."""
@@ -149,6 +185,20 @@ class RefModel:
         self.objects: Dict[object, Set[Token]] = {}
         self.values: Dict[Tuple[object, str], object] = {}
         self.views: Dict[str, ViewState] = {}
+        #: versions the operators declared vacated (oracle twin of the real
+        #: history's retirement set): view name -> retired version numbers
+        self.retired: Dict[str, Set[int]] = {}
+        # -- the mirrored global schema DAG (consulted only by merge_views) --
+        # every token in creation order; registration into the dup-free
+        # canonical registry is deferred until a merge actually needs global
+        # identity, then replayed in this exact order (matching the real
+        # classifier, which integrates classes as they are derived)
+        self._created: List[Token] = []
+        self._reg_cursor = 0
+        self._registry: List[Token] = []
+        self._reg_sig: Dict[int, tuple] = {}
+        self._canon_memo: Dict[int, Token] = {}
+        self._dag_parents: Dict[int, Set[Token]] = {}
         self.sessions_attached = False
         #: last published epoch: view -> {"version", "classes", "extents"}
         self.published: Dict[str, dict] = {}
@@ -316,21 +366,40 @@ class RefModel:
             raise OracleReject(f"unknown view {view!r}")
         return state
 
-    def _token(self, view: str, cls: str) -> Token:
+    def _resolved(self, view: str, version: Optional[int] = None) -> ViewState:
+        """The current bindings, or — for a pinned access — the frozen
+        snapshot of a historical version (the oracle twin of the real
+        ``ViewSchemaHistory.version`` lookup)."""
         state = self._view(view)
+        if version is None or version == state.version:
+            return state
+        snap = state.history.get(version)
+        if snap is None:
+            raise OracleReject(f"view {view!r} has no version {version}")
+        return snap
+
+    def _token(self, view: str, cls: str, version: Optional[int] = None) -> Token:
+        state = self._resolved(view, version)
         token = state.token.get(cls)
         if token is None:
             raise OracleReject(f"view {view!r} has no class {cls!r}")
         return token
 
-    def class_names(self, view: str) -> List[str]:
-        return sorted(self._view(view).token)
+    def class_names(self, view: str, version: Optional[int] = None) -> List[str]:
+        return sorted(self._resolved(view, version).token)
 
     def version(self, view: str) -> int:
         return self._view(view).version
 
-    def anc_pairs(self, view: str) -> Set[Tuple[str, str]]:
-        state = self._view(view)
+    def versions_of(self, view: str) -> List[int]:
+        """Every registered version number, ascending (the current one
+        included) — the address space pin/retire commands resolve against."""
+        return sorted(self._view(view).history)
+
+    def anc_pairs(
+        self, view: str, version: Optional[int] = None
+    ) -> Set[Tuple[str, str]]:
+        state = self._resolved(view, version)
         return {(a, c) for c, ancestors in state.anc.items() for a in ancestors}
 
     def ancestors(self, view: str, cls: str) -> List[str]:
@@ -338,31 +407,43 @@ class RefModel:
         self._token(view, cls)
         return sorted(self._view(view).anc[cls])
 
-    def extent_oids(self, view: str, cls: str) -> List[object]:
-        return sorted(self.extent(self._token(view, cls)), key=_oid_key)
+    def extent_oids(
+        self, view: str, cls: str, version: Optional[int] = None
+    ) -> List[object]:
+        return sorted(self.extent(self._token(view, cls, version)), key=_oid_key)
 
-    def _alias_of(self, view: str, cls: str, underlying: str) -> str:
-        per_class = self._view(view).aliases.get(cls, {})
+    def _alias_of(
+        self, view: str, cls: str, underlying: str, version: Optional[int] = None
+    ) -> str:
+        per_class = self._resolved(view, version).aliases.get(cls, {})
         for alias, original in per_class.items():
             if original == underlying:
                 return alias
         return underlying
 
-    def _underlying_of(self, view: str, cls: str, visible: str) -> str:
-        return self._view(view).aliases.get(cls, {}).get(visible, visible)
+    def _underlying_of(
+        self, view: str, cls: str, visible: str, version: Optional[int] = None
+    ) -> str:
+        return (
+            self._resolved(view, version).aliases.get(cls, {}).get(visible, visible)
+        )
 
-    def attribute_names(self, view: str, cls: str) -> List[str]:
-        token = self._token(view, cls)
+    def attribute_names(
+        self, view: str, cls: str, version: Optional[int] = None
+    ) -> List[str]:
+        token = self._token(view, cls, version)
         return sorted(
-            self._alias_of(view, cls, name)
+            self._alias_of(view, cls, name, version)
             for name in self.type_names(token)
             if self.specs[name].kind == "attr"
         )
 
-    def method_names(self, view: str, cls: str) -> List[str]:
-        token = self._token(view, cls)
+    def method_names(
+        self, view: str, cls: str, version: Optional[int] = None
+    ) -> List[str]:
+        token = self._token(view, cls, version)
         return sorted(
-            self._alias_of(view, cls, name)
+            self._alias_of(view, cls, name, version)
             for name in self.type_names(token)
             if self.specs[name].kind == "method"
         )
@@ -378,15 +459,17 @@ class RefModel:
             result[alias] = self.values.get((oid, name), spec.default)
         return result
 
-    def dump(self, view: str) -> Dict[str, object]:
+    def dump(self, view: str, version: Optional[int] = None) -> Dict[str, object]:
         """Every per-class observable of ``view`` in one pass.
 
         The same shape as ``ViewHandle.dump()['by_class']`` plus the
         version: the runner compares the two wholesale (one dict equality
         in the common all-agreeing case) instead of re-deriving aliases
-        and extents once per observable accessor.
+        and extents once per observable accessor.  With ``version`` the
+        historical bindings are read over the live objects — the pinned
+        handle semantics.
         """
-        state = self._view(view)
+        state = self._resolved(view, version)
         by_class: Dict[str, dict] = {}
         for cls, token in state.token.items():
             per_class = state.aliases.get(cls, {})
@@ -449,6 +532,162 @@ class RefModel:
             self.sessions_attached = True
             self.publish()
 
+    # -- version lifecycle (retirement; mirrors views/history.py) -------------
+
+    def retire_view(self, view: str, version: int) -> None:
+        """Mirror of ``ViewSchemaHistory.retire``: unknown views/versions,
+        the current version, and double retirement are all refused."""
+        state = self._view(view)
+        if version not in state.history:
+            raise OracleReject(f"view {view!r} has no version {version}")
+        if version == state.version:
+            raise OracleReject(
+                f"view {view!r} version {version} is current and cannot retire"
+            )
+        retired = self.retired.setdefault(view, set())
+        if version in retired:
+            raise OracleReject(
+                f"view {view!r} version {version} is already retired"
+            )
+        retired.add(version)
+
+    def is_retired(self, view: str, version: int) -> bool:
+        return version in self.retired.get(view, set())
+
+    def _check_writable(self, view: str, version: Optional[int]) -> None:
+        """Writes through a retired pinned version are refused (reads stay
+        legal) — the oracle twin of the handle-level retirement guard."""
+        if version is not None and self.is_retired(view, version):
+            raise OracleReject(
+                f"view {view!r} version {version} is retired for writes"
+            )
+
+    def lifecycle_rows(self, view: Optional[str] = None) -> List[Dict[str, object]]:
+        """The same rows ``ViewSchemaHistory.versions()`` answers."""
+        names = [view] if view is not None else self.view_names()
+        rows: List[Dict[str, object]] = []
+        for name in names:
+            state = self._view(name)
+            for number in sorted(state.history):
+                rows.append(
+                    {
+                        "view": name,
+                        "version": number,
+                        "current": number == state.version,
+                        "retired": self.is_retired(name, number),
+                    }
+                )
+        return rows
+
+    # ------------------------------------------------------------------
+    # the mirrored global schema DAG (section 7 support)
+    #
+    # The real system integrates every derived class into ONE global
+    # schema: the classifier deduplicates equivalent classes and positions
+    # the survivors in the DAG.  Per-view observables never needed that
+    # mirror — each view's reachability is maintained longhand — but
+    # version *merging* does: a merged view unifies classes that are "the
+    # same global class" and inherits the global DAG's ancestry over its
+    # selection.  The mirror is consulted only by :meth:`merge_views`;
+    # tokens are recorded at creation (cheap) and registered lazily, in
+    # creation order, exactly as the real classifier saw them.
+    # ------------------------------------------------------------------
+
+    def _new_token(self, *args, **kwargs) -> Token:
+        token = Token(*args, **kwargs)
+        self._created.append(token)
+        return token
+
+    def _ensure_registry(self) -> None:
+        while self._reg_cursor < len(self._created):
+            token = self._created[self._reg_cursor]
+            self._reg_cursor += 1
+            self._register(token)
+
+    def _canon_of(self, token: Token) -> Token:
+        """The canonical (dedup survivor) token ``token`` resolves to in
+        the mirrored global schema.  Only valid after `_ensure_registry`."""
+        return self._canon_memo.get(id(token), token)
+
+    def _der_sig(self, token: Token) -> tuple:
+        """Mirror of ``Derivation.signature()``: op plus canonicalised
+        sources plus the property deltas."""
+        return (
+            token.op,
+            tuple(id(self._canon_of(s)) for s in token.sources),
+            tuple(token.new),
+            tuple(token.shared),
+            tuple(sorted(token.hidden)),
+        )
+
+    def _register(self, token: Token) -> None:
+        if token.kind == "base":
+            # base classes are declared, never classified: their DAG
+            # parents are exactly the declared ones, and they never dedup
+            self._canon_memo[id(token)] = token
+            self._dag_parents[id(token)] = set(token.parents)
+            self._registry.append(token)
+            return
+        sig = self._der_sig(token)
+        # duplicate detection, mirroring Classifier._find_duplicate: an
+        # identical derivation, or an equal type with provably equal
+        # extent.  The registry is dup-free, so at most one entry matches.
+        for other in self._registry:
+            if other.kind != "base" and self._reg_sig[id(other)] == sig:
+                self._canon_memo[id(token)] = other
+                return
+        my_types = self.type_names(token)
+        for other in self._registry:
+            if (
+                self.type_names(other) == my_types
+                and self._subsumed(token, other)
+                and self._subsumed(other, token)
+            ):
+                self._canon_memo[id(token)] = other
+                return
+        self._canon_memo[id(token)] = token
+        self._reg_sig[id(token)] = sig
+        self._place(token, my_types)
+        self._registry.append(token)
+
+    def _dag_ancestors(self, token: Token) -> Set[Token]:
+        result: Set[Token] = set()
+        frontier = list(self._dag_parents.get(id(token), ()))
+        while frontier:
+            parent = frontier.pop()
+            if parent in result:
+                continue
+            result.add(parent)
+            frontier.extend(self._dag_parents.get(id(parent), ()))
+        return result
+
+    def _place(self, token: Token, my_types: FrozenSet[str]) -> None:
+        """Mirror of classifier positioning: direct supers are the minimal
+        candidates that subsume the newcomer, direct subs the maximal ones
+        it subsumes.  Transitive-edge removal is skipped — the merge model
+        only ever asks for reachability, which removal never changes."""
+        supers: List[Token] = []
+        subs: List[Token] = []
+        for other in self._registry:
+            other_types = self.type_names(other)
+            if other_types <= my_types and self._subsumed(token, other):
+                supers.append(other)
+            if my_types <= other_types and self._subsumed(other, token):
+                subs.append(other)
+        anc_memo = {c: self._dag_ancestors(c) for c in set(supers) | set(subs)}
+        chosen_supers = {
+            c
+            for c in supers
+            if not any(other is not c and c in anc_memo[other] for other in supers)
+        }
+        self._dag_parents[id(token)] = chosen_supers
+        for sub in subs:
+            if any(other is not sub and other in anc_memo[sub] for other in subs):
+                continue  # not maximal
+            if sub is token or sub in self._dag_ancestors(token):
+                continue  # pragma: no cover - cycle guard, mirrors classifier
+            self._dag_parents.setdefault(id(sub), set()).add(token)
+
     # ------------------------------------------------------------------
     # authoring (setup commands)
     # ------------------------------------------------------------------
@@ -468,7 +707,7 @@ class RefModel:
                 raise OracleReject(f"property name {spec.name!r} already used")
         for spec in attrs:
             self.specs[spec.name] = spec
-        token = Token(
+        token = self._new_token(
             "base",
             name=name,
             parents=tuple(parents),
@@ -502,6 +741,7 @@ class RefModel:
                     ancestors.add(parent.name)
                 frontier.extend(parent.parents)
             state.anc[cls] = ancestors
+        state.history[1] = state.snapshot()
         self.views[name] = state
         self._touch()
 
@@ -509,8 +749,15 @@ class RefModel:
     # generic updates (section 3.3/3.4)
     # ------------------------------------------------------------------
 
-    def _check_assignable(self, view: str, cls: str, token: Token, visible: str) -> str:
-        underlying = self._underlying_of(view, cls, visible)
+    def _check_assignable(
+        self,
+        view: str,
+        cls: str,
+        token: Token,
+        visible: str,
+        version: Optional[int] = None,
+    ) -> str:
+        underlying = self._underlying_of(view, cls, visible, version)
         if underlying not in self.type_names(token):
             raise OracleReject(f"unknown property {visible!r} in {cls!r}")
         if self.specs[underlying].kind != "attr":
@@ -518,12 +765,18 @@ class RefModel:
         return underlying
 
     def create(
-        self, view: str, cls: str, assignments: Dict[str, object], oid: object
+        self,
+        view: str,
+        cls: str,
+        assignments: Dict[str, object],
+        oid: object,
+        version: Optional[int] = None,
     ) -> object:
-        token = self._token(view, cls)
+        self._check_writable(view, version)
+        token = self._token(view, cls, version)
         targets = self.insertion_targets(token)
         translated = {
-            self._check_assignable(view, cls, token, visible): value
+            self._check_assignable(view, cls, token, visible, version): value
             for visible, value in assignments.items()
         }
         for target in targets:
@@ -552,8 +805,11 @@ class RefModel:
             raise OracleReject("value-closure violation on create")
         return oid
 
-    def add(self, view: str, cls: str, oid: object) -> None:
-        token = self._token(view, cls)
+    def add(
+        self, view: str, cls: str, oid: object, version: Optional[int] = None
+    ) -> None:
+        self._check_writable(view, version)
+        token = self._token(view, cls, version)
         targets = self.insertion_targets(token)
         members = self.objects.get(oid)
         if members is None:
@@ -578,8 +834,11 @@ class RefModel:
             frontier.extend(current.parents)
         return result
 
-    def remove(self, view: str, cls: str, oid: object) -> None:
-        token = self._token(view, cls)
+    def remove(
+        self, view: str, cls: str, oid: object, version: Optional[int] = None
+    ) -> None:
+        self._check_writable(view, version)
+        token = self._token(view, cls, version)
         if oid not in self.extent(token):
             raise OracleReject(f"{oid!r} is not a member of {cls!r}")
         members = self.objects[oid]
@@ -599,13 +858,19 @@ class RefModel:
         self._touch()
 
     def set_values(
-        self, view: str, cls: str, oid: object, assignments: Dict[str, object]
+        self,
+        view: str,
+        cls: str,
+        oid: object,
+        assignments: Dict[str, object],
+        version: Optional[int] = None,
     ) -> None:
-        token = self._token(view, cls)
+        self._check_writable(view, version)
+        token = self._token(view, cls, version)
         if oid not in self.extent(token):
             raise OracleReject(f"{oid!r} is not a member of {cls!r}")
         translated = {
-            self._check_assignable(view, cls, token, visible): value
+            self._check_assignable(view, cls, token, visible, version): value
             for visible, value in assignments.items()
         }
         undo = {
@@ -636,9 +901,48 @@ class RefModel:
 
     def _bump(self, state: ViewState, publish: bool = True) -> None:
         state.version += 1
+        state.history[state.version] = state.snapshot()
         self._touch()
         if publish:
             self.publish()
+
+    def _collapse_twins(self, state: ViewState, names) -> None:
+        """Post-replacement dedup for merge-created views.
+
+        When evolution replaces a view class's derivation with one the
+        global classifier already knows, the real side's define returns the
+        *existing* global class.  If that global is also selected by this
+        view under another name (possible only after a section-7 merge of
+        pinned versions), the real substitution collapses the selected set
+        to a single entry whose display name is the replaced class's
+        (``renames[primed] = visible_name`` in the manager).  Mirror: the
+        replaced name adopts the twin's token (the dedup survivor keeps its
+        identity, ancestry, and extent) and the twin's name vanishes.
+        """
+        if not state.merged:
+            return
+        for name in sorted(names):
+            if name not in state.token:
+                continue  # already consumed as an earlier name's twin
+            self._ensure_registry()
+            canon = self._canon_of(state.token[name])
+            twin = None
+            for other, other_token in state.token.items():
+                if other != name and self._canon_of(other_token) is canon:
+                    twin = other
+                    break
+            if twin is None:
+                continue
+            state.token[name] = state.token.pop(twin)
+            state.anc[name] = {
+                a for a in state.anc.pop(twin) if a != name
+            }
+            state.aliases.pop(twin, None)
+            for cls, ancestors in state.anc.items():
+                if twin in ancestors:
+                    ancestors.discard(twin)
+                    if cls != name:
+                        ancestors.add(name)
 
     def _order_subs_first(self, state: ViewState, classes: Set[str]) -> List[str]:
         """Deeper classes first (every class before its ancestors)."""
@@ -654,7 +958,7 @@ class RefModel:
         if spec.name in self.specs:
             raise OracleReject(f"property name {spec.name!r} already used globally")
         self.specs[spec.name] = spec
-        primed_top = Token(
+        primed_top = self._new_token(
             "derived", op="refine", sources=(token,), new=(spec.name,)
         )
         replacements = {to: primed_top}
@@ -669,7 +973,7 @@ class RefModel:
                 visited.add(sub)
                 if spec.name in self.type_names(state.token[sub]):
                     continue  # overriding definition stops propagation
-                replacements[sub] = Token(
+                replacements[sub] = self._new_token(
                     "derived",
                     op="refine",
                     sources=(state.token[sub],),
@@ -677,6 +981,7 @@ class RefModel:
                 )
                 frontier.append(sub)
         state.token.update(replacements)
+        self._collapse_twins(state, replacements)
         self._bump(state)
 
     def delete_property(self, view: str, from_: str, visible: str, kind: str) -> None:
@@ -722,13 +1027,14 @@ class RefModel:
                 continue
             if w != from_ and retains(w):
                 continue
-            replacements[w] = Token(
+            replacements[w] = self._new_token(
                 "derived",
                 op="hide",
                 sources=(state.token[w],),
                 hidden=frozenset({underlying}),
             )
         state.token.update(replacements)
+        self._collapse_twins(state, replacements)
         self._bump(state)
 
     def _subsumed(
@@ -816,7 +1122,7 @@ class RefModel:
             shared = tuple(sorted(sup_names - self.type_names(state.token[w])))
             if not shared:
                 continue
-            replacements[w] = Token(
+            replacements[w] = self._new_token(
                 "derived", op="refine", sources=(state.token[w],), shared=shared
             )
         primed_sub = replacements.get(sub, t_sub)
@@ -826,7 +1132,7 @@ class RefModel:
             old = state.token[v]
             if self._dedups_into(primed_sub, old):
                 continue  # classifier collapses the union back into v
-            replacements[v] = Token(
+            replacements[v] = self._new_token(
                 "derived",
                 op="union",
                 sources=(old, primed_sub),
@@ -836,6 +1142,7 @@ class RefModel:
         uppers = {sup} | state.anc[sup]
         for d in [sub] + sorted(state.descendants(sub)):
             state.anc[d] |= uppers - {d}
+        self._collapse_twins(state, replacements)
         self._bump(state)
 
     def delete_edge(
@@ -884,13 +1191,13 @@ class RefModel:
             if v in protected or v in still_above_sub:
                 continue
             old = state.token[v]
-            expr = Token("derived", op="difference", sources=(old, t_sub))
+            expr = self._new_token("derived", op="difference", sources=(old, t_sub))
             children = sorted(c for s, c in remaining if s == v)
             for child in children:
                 keeper = new_tokens.get(child, state.token[child])
                 if self._dedups_into(keeper, expr):
                     continue  # classifier collapses this union step
-                expr = Token(
+                expr = self._new_token(
                     "derived",
                     op="union",
                     sources=(expr, keeper),
@@ -934,7 +1241,7 @@ class RefModel:
                 if n in self.type_names(state.token[w]) and n not in keep
             )
             if lost:
-                new_tokens[w] = Token(
+                new_tokens[w] = self._new_token(
                     "derived", op="hide", sources=(state.token[w],), hidden=lost
                 )
 
@@ -956,6 +1263,7 @@ class RefModel:
         for cls in state.token:
             anc[cls] = close(cls)
         state.anc = anc
+        self._collapse_twins(state, new_tokens)
         self._bump(state)
 
     def _origins(self, token: Token) -> Set[Token]:
@@ -976,7 +1284,7 @@ class RefModel:
             sources = (self._replay(token.sources[0], mapping), token.sources[1])
         else:
             sources = tuple(self._replay(s, mapping) for s in token.sources)
-        replayed = Token(
+        replayed = self._new_token(
             "derived",
             op=token.op,
             sources=sources,
@@ -996,7 +1304,7 @@ class RefModel:
         if name in self.global_names:
             raise OracleReject(f"global schema already has {name!r}")
         if connected_to is None:
-            token = Token("base", name=name)
+            token = self._new_token("base", name=name)
             self.base[name] = token
             self.global_names.add(name)
             state.token[name] = token
@@ -1006,14 +1314,16 @@ class RefModel:
         t_sup = self._token(view, connected_to)
         self.global_names.add(name)
         if t_sup.kind == "base":
-            token = Token("base", name=name, parents=(t_sup,))
+            token = self._new_token("base", name=name, parents=(t_sup,))
             self.base[name] = token
         else:
             mapping: Dict[Token, Token] = {}
             for origin in sorted(self._origins(t_sup), key=lambda t: t.name):
-                fresh = Token("base", name=f"{name}_base_{origin.name}", parents=(origin,))
+                fresh = self._new_token("base", name=f"{name}_base_{origin.name}", parents=(origin,))
                 mapping[origin] = fresh
             token = self._replay(t_sup, mapping)
+            # the real define names this class with the user-given name
+            token.lineage = name
         state.token[name] = token
         state.anc[name] = {connected_to} | set(state.anc[connected_to])
         self._bump(state)
@@ -1087,6 +1397,86 @@ class RefModel:
         ):
             self.delete_edge(view, sup, name)
         self.delete_class(view, name)
+
+    # -- version merging (section 7) -------------------------------------------
+
+    def merge_views(
+        self,
+        first: str,
+        second: str,
+        into: str,
+        first_version: Optional[int] = None,
+        second_version: Optional[int] = None,
+    ) -> None:
+        """Mirror of :func:`repro.core.merging.merge_views`.
+
+        Classes of the two views that are the same *global* class (their
+        tokens canonicalise to the same dedup survivor in the mirrored
+        DAG) unify into one merged class; same-named distinct classes are
+        disambiguated with the ``{name}_v{origin.version}`` suffix; the
+        merged reachability is the global DAG's ancestry restricted to the
+        merged selection.
+        """
+        if into in self.views:
+            raise OracleReject(f"merge target view {into!r} already exists")
+        fs = self._resolved(first, first_version)
+        ss = self._resolved(second, second_version)
+        self._ensure_registry()
+        first_canon = {cls: self._canon_of(t) for cls, t in fs.token.items()}
+        second_canon = {cls: self._canon_of(t) for cls, t in ss.token.items()}
+        first_globals = set(first_canon.values())
+
+        taken: Dict[str, Token] = {}
+        chosen_name: Dict[Token, str] = {}
+
+        def claim(canonical: Token, wanted: str, origin_version: int) -> None:
+            holder = taken.get(wanted)
+            if holder is None:
+                taken[wanted] = canonical
+                chosen_name[canonical] = wanted
+                return
+            if holder is canonical:  # pragma: no cover - defensive
+                return
+            suffixed = f"{wanted}_v{origin_version}"
+            index = 2
+            while suffixed in taken:
+                suffixed = f"{wanted}_v{origin_version}_{index}"
+                index += 1
+            taken[suffixed] = canonical
+            chosen_name[canonical] = suffixed
+
+        # the real merge iterates ``sorted(selected)`` — *global* names, not
+        # view-visible ones.  (lineage, id) reproduces that order without
+        # tracking the names themselves (see Token.lineage).
+        def global_order(canon_map):
+            return lambda cls: (canon_map[cls].lineage, canon_map[cls].id)
+
+        for cls in sorted(fs.token, key=global_order(first_canon)):
+            claim(first_canon[cls], cls, fs.version)
+        for cls in sorted(ss.token, key=global_order(second_canon)):
+            if second_canon[cls] in first_globals:
+                continue  # identical global class arrived through the first view
+            claim(second_canon[cls], cls, ss.version)
+
+        state = ViewState()
+        for canonical, name in chosen_name.items():
+            state.token[name] = canonical
+        selection = set(chosen_name)
+        for canonical, name in chosen_name.items():
+            ancestors = self._dag_ancestors(canonical)
+            state.anc[name] = {
+                chosen_name[a] for a in ancestors if a in selection
+            }
+        for origin_state, canon_map in ((fs, first_canon), (ss, second_canon)):
+            for cls, per_class in origin_state.aliases.items():
+                if not per_class:
+                    continue
+                merged_name = chosen_name[canon_map[cls]]
+                state.aliases.setdefault(merged_name, {}).update(per_class)
+        state.merged = True
+        state.history[1] = state.snapshot()
+        self.views[into] = state
+        self._touch()
 
 
 _MISSING = object()

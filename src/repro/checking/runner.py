@@ -45,10 +45,12 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.checking.commands import (
+    APP_SLOTS,
     MIGRATION_OPS,
     READER_SLOTS,
     SCHEMA_OPS,
     UPDATE_OPS,
+    VERSION_OPS,
     Command,
     CommandGenerator,
     command_from_dict,
@@ -151,6 +153,10 @@ class DifferentialHarness:
         self.model = RefModel()
         self.readers: Dict[int, object] = {}
         self.pins: Dict[int, dict] = {}
+        #: fleet app slots: slot -> (view name, pinned version number).
+        #: Bindings survive recovery — view histories are durable, so a
+        #: pinned app keeps working against the recovered database.
+        self.apps: Dict[int, Tuple[str, int]] = {}
         self.step = 0
         self.outcomes: List[Tuple[int, str, str]] = []
         # the equivalence sweep normally reads each view in bulk (one
@@ -1112,6 +1118,240 @@ class DifferentialHarness:
         return "applied"
 
     # ------------------------------------------------------------------
+    # fleet simulation: version pins, rolling upgrades, retirement, merge
+    # ------------------------------------------------------------------
+
+    def _op_pin_view_version(self, args) -> str:
+        """Bind an app slot to a (view, version) pin — the simulated app
+        deploys against that schema version and keeps using it until a
+        ``roll_app`` rebinds the slot."""
+        app = args["app"] % APP_SLOTS
+        view = self._r_view(args["view_i"])
+        if view is None:
+            return "skipped"
+        version = self._pick(self.model.versions_of(view), args["version_sel"])
+        if version is None:  # pragma: no cover - histories are never empty
+            return "skipped"
+
+        def real():
+            self.db.view(view).pin(version)
+
+        def oracle(_value):
+            self.model._resolved(view, version)
+
+        outcome = self._two_sided("pin_view_version", real, oracle)
+        if outcome == "applied":
+            self.apps[app] = (view, version)
+        return outcome
+
+    def _op_read_via_version(self, args) -> str:
+        """Read every observable of the app's pinned view version and
+        compare against the oracle's historical bindings over the live
+        objects — the paper's never-upgraded application."""
+        app = args["app"] % APP_SLOTS
+        binding = self.apps.get(app)
+        if binding is None:
+            return "skipped"
+        view, version = binding
+        try:
+            dump = self.db.view(view).pin(version).dump(self._dump_plans)
+        except TseError as exc:
+            raise Divergence(
+                "pinned-read", "read_via_version", self.step,
+                f"app {app}: pinned read of {view!r} v{version} raised "
+                f"{type(exc).__name__}: {exc}",
+            )
+        oracle_dump = self.model.dump(view, version=version)
+        if (
+            dump["version"] != oracle_dump["version"]
+            or sorted(dump["classes"]) != oracle_dump["classes"]
+            or dump["by_class"] != oracle_dump["by_class"]
+            or self._closure(dump["edges"])
+            != self.model.anc_pairs(view, version)
+        ):
+            raise Divergence(
+                "observe:pinned_dump", "read_via_version", self.step,
+                f"app {app}: {view!r} v{version}: real {dump!r} != oracle "
+                f"{oracle_dump!r}",
+            )
+        return "applied"
+
+    def _op_write_via_version(self, args) -> str:
+        """One generic update through the app's pinned handle.  Old views
+        stay updatable; the post-step sweep asserts the write propagated to
+        every *current* view (including merged ones), and a retired pin is
+        an agreed rejection on both sides."""
+        app = args["app"] % APP_SLOTS
+        binding = self.apps.get(app)
+        if binding is None:
+            return "skipped"
+        view, version = binding
+        prep = self._prep_pinned_write(
+            view, version, command_from_dict(args["inner"])
+        )
+        if prep is None:
+            return "skipped"
+        return self._two_sided("write_via_version", *prep)
+
+    def _prep_pinned_write(self, view: str, version: int, inner: Command):
+        """Resolve one update's blind indices against the oracle's bindings
+        *at the pinned version* (class names, attribute aliases, and extents
+        as that version sees them)."""
+        model = self.model
+        op, args = inner.op, dict(inner.args)
+        cls = self._pick(model.class_names(view, version), args.get("cls_i", 0))
+        if cls is None:
+            return None  # pragma: no cover - views are never empty
+        handle = lambda c: self.db.view(view).pin(version)[c]
+        if op == "create":
+            attrs = model.attribute_names(view, cls, version)
+            assigns: Dict[str, object] = {}
+            for i, value in args["assigns"]:
+                if attrs:
+                    assigns[attrs[i % len(attrs)]] = value
+
+            def real():
+                return handle(cls).create(**assigns).oid
+
+            def oracle(oid):
+                model.create(view, cls, assigns, oid, version=version)
+
+            return real, oracle
+        if op == "add":
+            src = self._pick(
+                model.class_names(view, version), args["src_cls_i"]
+            )
+            if src is None:
+                return None  # pragma: no cover - views are never empty
+            oid = self._pick(
+                model.extent_oids(view, src, version), args["obj_i"]
+            )
+            if oid is None:
+                return None
+
+            def real():
+                handle(src).get_object(oid).add_to(cls)
+
+            def oracle(_value):
+                model.add(view, cls, oid, version=version)
+
+            return real, oracle
+        oid = self._pick(model.extent_oids(view, cls, version), args["obj_i"])
+        if oid is None:
+            return None
+        if op == "remove":
+
+            def real():
+                handle(cls).get_object(oid).remove_from(cls)
+
+            def oracle(_value):
+                model.remove(view, cls, oid, version=version)
+
+            return real, oracle
+        if op == "set":
+            attr = self._pick(
+                model.attribute_names(view, cls, version), args["attr_i"]
+            )
+            if attr is None:
+                return None
+            value = args["value"]
+
+            def real():
+                handle(cls).get_object(oid).set(attr, value)
+
+            def oracle(_value):
+                model.set_values(view, cls, oid, {attr: value}, version=version)
+
+            return real, oracle
+        if op == "delete":
+
+            def real():
+                handle(cls).get_object(oid).delete()
+
+            def oracle(_value):
+                model._check_writable(view, version)
+                model.delete(oid)
+
+            return real, oracle
+        raise ValueError(f"unexpected pinned write {op!r}")  # pragma: no cover
+
+    def _op_roll_app(self, args) -> str:
+        """Rolling upgrade: rebind the app slot to the successor version.
+        An app already on the newest version has nowhere to roll."""
+        app = args["app"] % APP_SLOTS
+        binding = self.apps.get(app)
+        if binding is None:
+            return "skipped"
+        view, version = binding
+        if version >= self.model.version(view):
+            return "skipped"
+        self.apps[app] = (view, version + 1)
+        return "applied"
+
+    def _op_retire_version(self, args) -> str:
+        """Two-sided retirement, then a full version-lifecycle comparison
+        (the rows ``versions()`` answers must match the oracle's)."""
+        view = self._r_view(args["view_i"])
+        if view is None:
+            return "skipped"
+        version = self._pick(self.model.versions_of(view), args["version_sel"])
+        if version is None:  # pragma: no cover - histories are never empty
+            return "skipped"
+
+        def real():
+            self.db.retire_view_version(view, version)
+
+        def oracle(_value):
+            self.model.retire_view(view, version)
+
+        outcome = self._two_sided("retire_version", real, oracle)
+        self._check_lifecycle("retire_version")
+        return outcome
+
+    def _check_lifecycle(self, op: str) -> None:
+        real_rows = self.db.views.history.versions()
+        oracle_rows = self.model.lifecycle_rows()
+        if real_rows != oracle_rows:
+            raise Divergence(
+                "observe:lifecycle", op, self.step,
+                f"real {real_rows!r} != oracle {oracle_rows!r}",
+            )
+
+    def _op_merge_views(self, args) -> str:
+        """Section 7 version merging as a two-sided command; the post-step
+        sweep then compares every observable of the merged view."""
+        first = self._r_view(args["first_i"])
+        second = self._r_view(args["second_i"])
+        if first is None or second is None:
+            return "skipped"
+        first_version = second_version = None
+        if args.get("pin_first"):
+            first_version = self._pick(
+                self.model.versions_of(first), args["first_sel"]
+            )
+        if args.get("pin_second"):
+            second_version = self._pick(
+                self.model.versions_of(second), args["second_sel"]
+            )
+        name = args["name"]
+
+        def real():
+            self.db.merge_views(
+                first,
+                second,
+                name,
+                first_version=first_version,
+                second_version=second_version,
+            )
+
+        def oracle(_value):
+            self.model.merge_views(
+                first, second, name, first_version, second_version
+            )
+
+        return self._two_sided("merge_views", real, oracle)
+
+    # ------------------------------------------------------------------
     # the per-step observable equivalence check
     # ------------------------------------------------------------------
 
@@ -1165,6 +1405,10 @@ class DifferentialHarness:
         real_views = sorted(self.db.view_names())
         if real_views != self.model.view_names():
             div("views", f"real {real_views} != oracle {self.model.view_names()}")
+        real_rows = self.db.views.history.versions()
+        oracle_rows = self.model.lifecycle_rows()
+        if real_rows != oracle_rows:
+            div("lifecycle", f"real {real_rows!r} != oracle {oracle_rows!r}")
         for view in real_views:
             handle = self.db.view(view)
             if self.bulk_sweep:
@@ -1313,7 +1557,7 @@ try:  # pragma: no cover - import guard
         "checkpoint", "crash", "recover_clean",
         "reader_open", "reader_check", "reader_refresh", "reader_close",
         "define_class", "create_view",
-    } | set(SCHEMA_OPS) | set(MIGRATION_OPS))
+    } | set(SCHEMA_OPS) | set(MIGRATION_OPS) | set(VERSION_OPS))
 
     class DifferentialMachine(RuleBasedStateMachine):
         """Hypothesis drives op choice and per-step randomness; the harness

@@ -205,6 +205,18 @@ class TseDatabase:
             )
         return ViewHandle(self, into)
 
+    def retire_view_version(self, name: str, version: int) -> None:
+        """Retire a historical view version once the fleet has vacated it.
+
+        Reads through the retired pin stay legal (forensics), writes raise
+        :class:`~repro.errors.RetiredViewVersion`; the current version can
+        never retire.  Retirement is durable — it writes a WAL record and
+        rides along in checkpoints.
+        """
+        self.views.history.retire(name, version)
+        if self.wal is not None:
+            self.wal.record("retire_view", {"view": name, "version": version})
+
     # ------------------------------------------------------------------
     # direct (un-viewed) access — mostly for tests and tooling
     # ------------------------------------------------------------------
@@ -681,6 +693,7 @@ class TseDatabase:
                 name: list(self.views.history.versions_of(name))
                 for name in self.views.history.view_names()
             },
+            "retired_views": self.views.history.retired_map(),
             "log_length": len(self.tsem.log),
             "indexes": list(self.indexes.index_names()),
         }
@@ -693,6 +706,7 @@ class TseDatabase:
             name: list(versions)
             for name, versions in checkpoint["views"].items()
         }
+        self.views.history.restore_retired(checkpoint.get("retired_views", {}))
         del self.tsem.log[checkpoint["log_length"]:]
         # rebuild indexes from restored data (cheap at savepoint scale)
         for storage_class, attribute in checkpoint["indexes"]:

@@ -694,9 +694,13 @@ class ViewClassHandle:
 
     # -- generic updates (section 3.3) ------------------------------------------------
 
+    def _check_writable(self) -> None:
+        self._db.views.history.check_writable(self.view_name, self.pinned_version)
+
     def create(
         self, union_target: Optional[str] = None, **assignments
     ) -> "ObjectHandle":
+        self._check_writable()
         translated = {
             self._underlying(name): value for name, value in assignments.items()
         }
@@ -712,6 +716,7 @@ class ViewClassHandle:
 
     def set_where(self, predicate: Predicate, **assignments) -> int:
         """``(select ...) set [...]`` in one call; returns objects updated."""
+        self._check_writable()
         targets = [h.oid for h in self.select_where(predicate)]
         if targets:
             translated = {
@@ -723,6 +728,7 @@ class ViewClassHandle:
     def add_objects(
         self, handles: Iterable["ObjectHandle"], union_target: Optional[str] = None
     ) -> None:
+        self._check_writable()
         if union_target is not None and union_target != "both":
             union_target = self.schema.global_name_of(union_target)
         self._db.engine.add(
@@ -770,6 +776,9 @@ class ObjectHandle:
     def _underlying(self, prop_name: str) -> str:
         return self._view.visible_property(self.view_class, prop_name)
 
+    def _check_writable(self) -> None:
+        self._db.views.history.check_writable(self.view_name, self.pinned_version)
+
     # -- attributes --------------------------------------------------------------
 
     def get(self, prop_name: str) -> object:
@@ -783,6 +792,7 @@ class ObjectHandle:
         )
 
     def set(self, prop_name: str, value: object) -> None:
+        self._check_writable()
         self._db.engine.set_values(
             [self.oid], self.global_class, {self._underlying(prop_name): value}
         )
@@ -845,15 +855,18 @@ class ObjectHandle:
         return ObjectHandle(self._db, self.view_name, view_class, self.oid)
 
     def delete(self) -> None:
+        self._check_writable()
         self._db.engine.delete([self.oid])
 
     def remove_from(self, view_class: str, target: Optional[str] = None) -> None:
+        self._check_writable()
         global_name = self._view.global_name_of(view_class)
         if target is not None:
             target = self._view.global_name_of(target)
         self._db.engine.remove([self.oid], global_name, target=target)
 
     def add_to(self, view_class: str, union_target: Optional[str] = None) -> None:
+        self._check_writable()
         global_name = self._view.global_name_of(view_class)
         if union_target is not None and union_target != "both":
             union_target = self._view.global_name_of(union_target)

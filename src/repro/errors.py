@@ -154,6 +154,16 @@ class StaleViewVersion(ViewError):
     """An operation was issued against a superseded view version object."""
 
 
+class RetiredViewVersion(ViewError):
+    """A write was issued through a view version that has been retired.
+
+    Retirement marks a historical version as fully vacated by the fleet:
+    reads stay legal (audits, forensics), but writes through the retired
+    version are refused so a laggard application cannot silently mutate
+    shared objects through a schema the operators consider decommissioned.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Schema evolution (the TSE layer proper)
 # ---------------------------------------------------------------------------

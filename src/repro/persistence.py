@@ -213,6 +213,7 @@ def database_to_dict(db: TseDatabase) -> dict:
         "edges": edges,
         "objects": objects,
         "views": views,
+        "retired_views": db.views.history.retired_map(),
     }
 
 
@@ -283,6 +284,9 @@ def database_from_dict(
             db.views.history.register_initial(view)
         else:
             db.views.history.substitute(view)
+    # checkpoints written before retirement existed carry no key: nothing
+    # was retired then, so the empty default is also the faithful one
+    db.views.history.restore_retired(data.get("retired_views", {}))
     return db
 
 

@@ -1,0 +1,35 @@
+"""Fleet simulator: checked rolling-deploy scenarios over view versions.
+
+The paper's promise is that *many* applications keep running unchanged
+while the schema evolves underneath them — old apps pinned to historical
+view-schema versions, new apps on the current one, §7 merges reconciling
+concurrent evolution.  This package turns that promise into executable
+stories:
+
+* :class:`~repro.scenarios.fleet.Fleet` compiles named deployment steps
+  (``deploy``/``roll``/``app_write``/``retire``/``merge`` …) into the
+  differential-checking command vocabulary, applying each step to a live
+  :class:`~repro.checking.runner.DifferentialHarness` as it is emitted —
+  authoring a scenario *is* running it lockstep against the reference
+  oracle;
+* :mod:`~repro.scenarios.library` names the rolling-deploy scenarios
+  (blue/green flip, canary-then-roll, long-tail laggard, crash-mid-roll,
+  …) and :func:`~repro.scenarios.library.build_scenario` compiles one
+  into a plain command list that replays deterministically under any
+  migration mode.
+
+A divergence anywhere raises :class:`~repro.checking.runner.Divergence`,
+and the resulting command list shrinks through the ordinary ddmin corpus
+machinery (:mod:`repro.checking.minimize`).
+"""
+
+from repro.scenarios.fleet import Fleet, FleetDivergence
+from repro.scenarios.library import SCENARIOS, build_scenario, scenario_names
+
+__all__ = [
+    "Fleet",
+    "FleetDivergence",
+    "SCENARIOS",
+    "build_scenario",
+    "scenario_names",
+]

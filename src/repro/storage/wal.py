@@ -111,6 +111,7 @@ EFFECTFUL_KINDS = frozenset(
         "definevc",
         "create_view",
         "merge_views",
+        "retire_view",
         "schema_commit",
         "rename_class",
         "rename_property",
@@ -864,6 +865,8 @@ def _apply_record(db, record: WalRecord, methods) -> None:
                 first_version=payload.get("first_version"),
                 second_version=payload.get("second_version"),
             )
+        elif kind == "retire_view":
+            db.retire_view_version(payload["view"], payload["version"])
         elif kind == "schema_commit":
             args = {
                 key: _decode_arg(value, payload, methods)

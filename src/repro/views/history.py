@@ -9,9 +9,14 @@ invisible to the running application.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Set
 
-from repro.errors import StaleViewVersion, UnknownView, ViewError
+from repro.errors import (
+    RetiredViewVersion,
+    StaleViewVersion,
+    UnknownView,
+    ViewError,
+)
 from repro.views.schema import ViewSchema
 
 
@@ -20,6 +25,9 @@ class ViewSchemaHistory:
 
     def __init__(self) -> None:
         self._versions: Dict[str, List[ViewSchema]] = {}
+        # versions the operators declared fully vacated — reads stay legal,
+        # writes through a retired pin raise RetiredViewVersion
+        self._retired: Dict[str, Set[int]] = {}
 
     # -- registration ----------------------------------------------------------
 
@@ -77,6 +85,84 @@ class ViewSchemaHistory:
 
     def view_names(self) -> List[str]:
         return sorted(self._versions)
+
+    # -- lifecycle introspection -------------------------------------------------
+
+    def versions(self, name: Optional[str] = None) -> List[Dict[str, object]]:
+        """Version-lifecycle inventory: one row per registered version.
+
+        Each row carries ``view``/``version``/``current``/``retired`` so a
+        fleet simulator (or an operator) can observe lifecycles instead of
+        probing for exceptions.  With ``name`` the inventory is restricted
+        to that view's chain.
+        """
+        names = [name] if name is not None else self.view_names()
+        rows: List[Dict[str, object]] = []
+        for view_name in names:
+            chain = self._chain(view_name)
+            current = chain[-1].version
+            for view in chain:
+                rows.append(
+                    {
+                        "view": view_name,
+                        "version": view.version,
+                        "current": view.version == current,
+                        "retired": self.is_retired(view_name, view.version),
+                    }
+                )
+        return rows
+
+    def live_pins(self, name: Optional[str] = None) -> List[Dict[str, object]]:
+        """The subset of :meth:`versions` still legal to pin for writes —
+        everything registered and not retired."""
+        return [row for row in self.versions(name) if not row["retired"]]
+
+    def retire(self, name: str, version: int) -> None:
+        """Mark a *historical* version as retired.
+
+        The current version can never retire (it is what unpinned handles
+        resolve to), an unknown version raises :class:`StaleViewVersion`
+        via the ordinary lookup, and retiring twice is refused so operator
+        scripts notice double-decommissions.
+        """
+        view = self.version(name, version)  # raises for unknown name/version
+        if view.version == self._chain(name)[-1].version:
+            raise ViewError(
+                f"view {name!r} version {version} is the current version "
+                "and cannot retire; substitute a successor first"
+            )
+        retired = self._retired.setdefault(name, set())
+        if version in retired:
+            raise RetiredViewVersion(
+                f"view {name!r} version {version} is already retired"
+            )
+        retired.add(version)
+
+    def is_retired(self, name: str, version: int) -> bool:
+        return version in self._retired.get(name, set())
+
+    def check_writable(self, name: str, version: Optional[int]) -> None:
+        """Raise :class:`RetiredViewVersion` when a pinned write targets a
+        retired version (``None`` — an unpinned handle — is always legal)."""
+        if version is not None and self.is_retired(name, version):
+            raise RetiredViewVersion(
+                f"view {name!r} version {version} is retired; "
+                "writes must go through a live version"
+            )
+
+    def retired_map(self) -> Dict[str, List[int]]:
+        """JSON-shaped retirement state (for persistence and checkpoints)."""
+        return {
+            name: sorted(versions)
+            for name, versions in self._retired.items()
+            if versions
+        }
+
+    def restore_retired(self, retired: Dict[str, List[int]]) -> None:
+        """Replace the retirement state wholesale (checkpoint restore)."""
+        self._retired = {
+            name: set(versions) for name, versions in retired.items() if versions
+        }
 
     def __contains__(self, name: str) -> bool:
         return name in self._versions

@@ -141,8 +141,8 @@ def test_mutation_smoke_detect_minimize_replay(monkeypatch, tmp_path):
     _plant_slice_dropping_bug(monkeypatch)
 
     found_seed, commands, divergence = None, None, None
-    for seed in [19] + [s for s in range(41) if s != 19]:
-        commands, divergence = run_sequence(seed, length=15)
+    for seed in [5] + [s for s in range(41) if s != 5]:
+        commands, divergence = run_sequence(seed, length=25)
         if divergence is not None:
             found_seed = seed
             break
@@ -183,10 +183,10 @@ def test_divergence_ships_replayable_dossier(monkeypatch, tmp_path):
 
     dossier_dir = tmp_path / "dossiers"
     divergence, harness = None, None
-    for seed in [19] + [s for s in range(41) if s != 19]:
+    for seed in [5] + [s for s in range(41) if s != 5]:
         harness = DifferentialHarness(dossier_dir=dossier_dir)
         try:
-            for command in CommandGenerator(seed).generate(15):
+            for command in CommandGenerator(seed).generate(25):
                 harness.apply(command)
         except Divergence as exc:
             divergence = exc
